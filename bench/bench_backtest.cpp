@@ -1,0 +1,94 @@
+// Microbenchmarks for the backtesting path: strategy stepping, per-pair
+// correlation-series recomputation (Approach 2's unit cost) and the shared
+// market-wide computation (Approach 3's unit cost).
+#include <benchmark/benchmark.h>
+
+#include "core/backtester.hpp"
+#include "core/experiment.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+namespace {
+
+using namespace mm;
+
+struct DayFixture {
+  std::vector<std::vector<double>> bam;
+
+  explicit DayFixture(std::size_t symbols) {
+    const auto universe = md::make_universe(symbols);
+    md::GeneratorConfig gen;
+    gen.quote_rate = 0.2;
+    const md::SyntheticDay day(universe, gen, 0);
+    md::QuoteCleaner cleaner(symbols, md::CleanerConfig{});
+    bam = md::sample_bam_series(cleaner.clean(day.quotes()), symbols, gen.session, 30);
+  }
+};
+
+void BM_StrategyDayRun(benchmark::State& state) {
+  static const DayFixture fixture(4);
+  core::StrategyParams params = core::ParamGrid::base();
+  params.divergence = 0.0005;
+  const auto series = core::compute_pair_corr_series(
+      fixture.bam[0], fixture.bam[1], stats::Ctype::pearson, params.corr_window);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_pair_day(params, fixture.bam[0], fixture.bam[1], series));
+  }
+  // 780 intervals per run.
+  state.SetItemsProcessed(state.iterations() * 780);
+}
+BENCHMARK(BM_StrategyDayRun);
+
+void BM_PairSeriesPearson(benchmark::State& state) {
+  static const DayFixture fixture(4);
+  const auto m = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_pair_corr_series(
+        fixture.bam[0], fixture.bam[1], stats::Ctype::pearson, m));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairSeriesPearson)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_PairSeriesMaronna(benchmark::State& state) {
+  static const DayFixture fixture(4);
+  const auto m = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_pair_corr_series(
+        fixture.bam[0], fixture.bam[1], stats::Ctype::maronna, m));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairSeriesMaronna)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MarketSeriesShared(benchmark::State& state) {
+  // Approach 3's amortized unit: ALL pairs in one pass (Pearson only, the
+  // common case for the fast path).
+  const auto symbols = static_cast<std::size_t>(state.range(0));
+  const DayFixture fixture(symbols);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_market_corr_series(fixture.bam, 100, /*need_maronna=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols * (symbols - 1) / 2));
+}
+BENCHMARK(BM_MarketSeriesShared)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TinyExperimentEndToEnd(benchmark::State& state) {
+  core::ExperimentConfig cfg;
+  cfg.symbols = 4;
+  cfg.days = 1;
+  cfg.generator.quote_rate = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_experiment(cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TinyExperimentEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace

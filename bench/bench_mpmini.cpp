@@ -1,0 +1,106 @@
+// Microbenchmarks for the mpmini message-passing substrate: point-to-point
+// latency/throughput and collective costs across world sizes.
+#include <benchmark/benchmark.h>
+
+#include "mpmini/collectives.hpp"
+#include "mpmini/environment.hpp"
+
+namespace {
+
+using namespace mm::mpi;
+
+void BM_PingPong(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  std::int64_t round_trips = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    constexpr int rounds = 64;
+    state.ResumeTiming();
+    Environment::run(2, [&](Comm& comm) {
+      std::vector<std::uint8_t> payload(payload_size, 0x5a);
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, payload);
+          (void)comm.recv(1, 2);
+        } else {
+          (void)comm.recv(0, 1);
+          comm.send(0, 2, payload);
+        }
+      }
+    });
+    round_trips += rounds;
+  }
+  state.SetItemsProcessed(round_trips);
+  state.SetBytesProcessed(round_trips * 2 * static_cast<std::int64_t>(payload_size));
+}
+BENCHMARK(BM_PingPong)->Arg(8)->Arg(1024)->Arg(64 * 1024);
+
+void BM_SendThroughput(benchmark::State& state) {
+  const auto messages = 4096;
+  for (auto _ : state) {
+    Environment::run(2, [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < messages; ++i) comm.send_value<int>(1, 1, i);
+      } else {
+        for (int i = 0; i < messages; ++i) (void)comm.recv(0, 1);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+}
+BENCHMARK(BM_SendThroughput);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  constexpr int rounds = 128;
+  for (auto _ : state) {
+    Environment::run(ranks, [&](Comm& comm) {
+      for (int i = 0; i < rounds; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BcastVector(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto doubles = static_cast<std::size_t>(state.range(1));
+  constexpr int rounds = 32;
+  for (auto _ : state) {
+    Environment::run(ranks, [&](Comm& comm) {
+      std::vector<double> data(doubles, 1.0);
+      for (int i = 0; i < rounds; ++i)
+        benchmark::DoNotOptimize(bcast_vector(comm, data, 0));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+  state.SetBytesProcessed(state.iterations() * rounds *
+                          static_cast<std::int64_t>(doubles * sizeof(double)));
+}
+BENCHMARK(BM_BcastVector)->Args({4, 64})->Args({4, 4096})->Args({8, 4096});
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  constexpr int rounds = 64;
+  for (auto _ : state) {
+    Environment::run(ranks, [&](Comm& comm) {
+      for (int i = 0; i < rounds; ++i)
+        benchmark::DoNotOptimize(
+            allreduce_value(comm, static_cast<double>(comm.rank()), Sum{}));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_AllreduceSum)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EnvironmentSpawn(benchmark::State& state) {
+  // Cost of standing up and tearing down a world (thread spawn + join).
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Environment::run(ranks, [](Comm&) {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnvironmentSpawn)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Baseline comparison: the canonical correlation-divergence strategy (§III)
+// vs the classical Gatev distance method ([1]) on identical synthetic days.
+//
+// The paper positions its approach against the older literature; this driver
+// quantifies the contrast: the correlation strategy monitors every pair every
+// interval (enabled by the parallel correlation engine), while the distance
+// method freezes a formation profile and trades only its pre-selected pairs.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/backtester.hpp"
+#include "core/distance.hpp"
+#include "core/metrics.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  Cli cli("repro_baseline_distance",
+          "Canonical correlation strategy vs the Gatev distance baseline");
+  auto& symbols = cli.add_int("symbols", 16, "universe size");
+  auto& days = cli.add_int("days", 3, "trading days");
+  auto& seed = cli.add_int("seed", 20080303, "generator seed");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(symbols);
+  const auto universe = md::make_universe(n);
+
+  core::StrategyParams corr_params = core::ParamGrid::base();
+  corr_params.divergence = 0.0005;
+  core::DistanceParams dist_params;
+  dist_params.top_pairs = n;  // as many pairs as symbols, Gatev's convention
+
+  double corr_total = 0.0, dist_total = 0.0;
+  std::uint64_t corr_trades = 0, dist_trades = 0;
+  std::uint64_t corr_pairs_traded = 0, dist_pairs_selected = 0;
+
+  for (int d = 0; d < days; ++d) {
+    md::GeneratorConfig gen;
+    gen.seed = static_cast<std::uint64_t>(seed);
+    const md::SyntheticDay day(universe, gen, d);
+    md::QuoteCleaner cleaner(n, md::CleanerConfig{});
+    const auto bam =
+        md::sample_bam_series(cleaner.clean(day.quotes()), n, gen.session, 30);
+    const auto pairs = stats::all_pairs(n);
+
+    // Canonical strategy: every pair, shared correlation series.
+    const auto market =
+        core::compute_market_corr_series(bam, corr_params.corr_window, false);
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const auto trades = core::run_pair_day(corr_params, bam[pairs[k].i],
+                                             bam[pairs[k].j], market, k);
+      if (!trades.empty()) ++corr_pairs_traded;
+      std::vector<double> returns;
+      for (const auto& t : trades) returns.push_back(t.trade_return);
+      corr_total += core::cumulative_return(returns);
+      corr_trades += trades.size();
+    }
+
+    // Distance method: formation on the first half, trade the second half.
+    const auto formation = core::distance_formation(bam, dist_params);
+    dist_pairs_selected += formation.selected.size();
+    for (const auto& profile : formation.selected) {
+      const auto trades = core::run_distance_pair_day(
+          dist_params, profile, bam[profile.pair.i], bam[profile.pair.j],
+          formation.anchors[profile.pair.i], formation.anchors[profile.pair.j]);
+      std::vector<double> returns;
+      for (const auto& t : trades) returns.push_back(t.trade_return);
+      dist_total += core::cumulative_return(returns);
+      dist_trades += trades.size();
+    }
+  }
+
+  const auto pair_count = static_cast<double>(stats::all_pairs(n).size() * days);
+  std::printf("baseline comparison — %zu symbols, %lld day(s)\n\n", n,
+              static_cast<long long>(days));
+  std::printf("  %-34s %10s %12s %14s\n", "strategy", "trades", "pairs",
+              "sum daily ret");
+  std::printf("  %-34s %10llu %12llu %13.2f%%\n",
+              "correlation divergence (this paper)",
+              static_cast<unsigned long long>(corr_trades),
+              static_cast<unsigned long long>(corr_pairs_traded),
+              corr_total * 100.0);
+  std::printf("  %-34s %10llu %12llu %13.2f%%\n", "distance method (Gatev [1])",
+              static_cast<unsigned long long>(dist_trades),
+              static_cast<unsigned long long>(dist_pairs_selected),
+              dist_total * 100.0);
+  std::printf("\n(correlation strategy monitors all %.0f pair-days; the distance\n"
+              "method pre-selects ~%zu pairs per day and trades at most once per\n"
+              "divergence — fewer, longer trades. The paper's §I case for the\n"
+              "market-wide brute-force search is that it misses nothing.)\n",
+              pair_count, static_cast<std::size_t>(dist_params.top_pairs));
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 1 reproduction: build the MarketMiner component graph (collector ->
+// cleaner -> OHLC/TA snapshot -> parallel correlation engine -> strategy
+// workers -> master), stream a synthetic trading day through it, and report
+// per-stage throughput and the master's aggregated books.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "engine/pipeline.hpp"
+#include "marketdata/generator.hpp"
+
+int main(int argc, char** argv) {
+  mm::Cli cli("repro_figure1",
+              "Reproduce Figure 1: the integrated MarketMiner pipeline");
+  auto& symbols = cli.add_int("symbols", 10, "universe size");
+  auto& workers = cli.add_int("workers", 3, "parallel strategy nodes (1..42)");
+  auto& corr_ranks = cli.add_int("corr-ranks", 4,
+                                 "ranks backing the parallel correlation engine");
+  auto& seed = cli.add_int("seed", 20080303, "generator seed");
+  auto& quote_rate = cli.add_double("quote-rate", 0.5, "quotes/symbol/second");
+  cli.parse(argc, argv);
+
+  const auto universe = mm::md::make_universe(static_cast<std::size_t>(symbols));
+  mm::md::GeneratorConfig gen;
+  gen.seed = static_cast<std::uint64_t>(seed);
+  gen.quote_rate = quote_rate;
+  const mm::md::SyntheticDay day(universe, gen, 0);
+
+  // One strategy node per parameter set sharing (ds, M), as in Fig. 1: here
+  // the three correlation treatments of the base level, then extra levels.
+  mm::engine::PipelineConfig cfg;
+  cfg.symbols = static_cast<std::size_t>(symbols);
+  cfg.correlation_replicas = static_cast<int>(corr_ranks);
+  cfg.cluster_every = 100;  // the [12] clustering branch, every 100 intervals
+  cfg.cluster_count = 3;
+  const mm::core::ParamGrid grid;
+  const auto all = grid.all();
+  for (const auto& params : all) {
+    if (params.corr_window != mm::core::ParamGrid::base().corr_window) continue;
+    cfg.strategies.push_back(params);
+    if (static_cast<std::int64_t>(cfg.strategies.size()) >= workers) break;
+  }
+
+  std::printf("Figure 1 — MarketMiner pipeline on one synthetic trading day\n\n");
+  std::printf("graph: collector -> cleaner -> snapshot -> correlation engine "
+              "(%d ranks) -> %zu strategy workers -> master\n",
+              cfg.correlation_replicas, cfg.strategies.size());
+  std::printf("data: %zu symbols, %zu quotes (%zu corrupted at source)\n\n",
+              cfg.symbols, day.quotes().size(), day.corrupted_count());
+
+  const auto result = mm::engine::run_pipeline(cfg, universe, day.quotes());
+
+  std::printf("%-14s %12s %12s %12s %12s\n", "stage", "records_in", "records_out",
+              "items_in", "items_out");
+  for (const auto& stage : result.stages) {
+    std::printf("%-14s %12llu %12llu %12llu %12llu\n", stage.name.c_str(),
+                static_cast<unsigned long long>(stage.records_in),
+                static_cast<unsigned long long>(stage.records_out),
+                static_cast<unsigned long long>(stage.items_in),
+                static_cast<unsigned long long>(stage.items_out));
+  }
+
+  std::printf("\nmaster: %llu orders (%llu entries, %llu exits) in %llu interval "
+              "baskets; %llu round trips, total pnl $%.2f\n",
+              static_cast<unsigned long long>(result.master.orders),
+              static_cast<unsigned long long>(result.master.entries),
+              static_cast<unsigned long long>(result.master.exits),
+              static_cast<unsigned long long>(result.master.basket_count),
+              static_cast<unsigned long long>(result.master.trades),
+              result.master.total_pnl);
+  double residual = 0.0;
+  for (const auto& [sym, net] : result.master.net_shares)
+    residual += net > 0 ? net : -net;
+  std::printf("end-of-day net exposure across all symbols: %.6f shares "
+              "(every position flattened)\n",
+              residual);
+  std::printf("\nclustering branch: %zu snapshots (every 100 intervals, "
+              "single-linkage to 3 groups)\n",
+              result.clusters.size());
+  if (!result.clusters.empty()) {
+    const auto& last = result.clusters.back();
+    std::printf("  final grouping at interval %lld:",
+                static_cast<long long>(last.interval));
+    for (int c = 0; c < last.cluster_count; ++c) {
+      std::printf(" {");
+      bool first = true;
+      for (std::size_t i = 0; i < last.assignment.size(); ++i) {
+        if (last.assignment[i] != c) continue;
+        std::printf("%s%s", first ? "" : " ",
+                    universe.table.name(static_cast<mm::md::SymbolId>(i)).c_str());
+        first = false;
+      }
+      std::printf("}");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nthroughput: %.0f quotes/s end-to-end (%.2f s wall for the "
+              "6.5-hour session — %.0fx faster than real time)\n",
+              result.quotes_per_second, result.wall_seconds,
+              23400.0 / (result.wall_seconds > 0 ? result.wall_seconds : 1e-9));
+  return 0;
+}

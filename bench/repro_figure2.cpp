@@ -1,0 +1,32 @@
+// Figure 2 reproduction: box plots (five-number summaries + outliers) of the
+// three performance metrics per correlation type.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "repro_common.hpp"
+
+int main(int argc, char** argv) {
+  mm::Cli cli("repro_figure2",
+              "Reproduce Figure 2: box plots of the three performance metrics");
+  const auto cfg = mm::bench::build_config(cli, argc, argv);
+  const auto result = mm::bench::run_with_banner(
+      cfg, "Figure 2 — box plots per correlation treatment");
+
+  using mm::core::Measure;
+  const struct {
+    Measure measure;
+    const char* title;
+  } panels[] = {
+      {Measure::monthly_return, "(a) average cumulative monthly returns"},
+      {Measure::max_daily_drawdown, "(b) average maximum daily drawdown"},
+      {Measure::win_loss, "(c) average win-loss ratio"},
+  };
+  for (const auto& panel : panels) {
+    std::printf("Figure 2%s\n", panel.title);
+    std::printf("%s\n", mm::core::render_boxplots(result, panel.measure).c_str());
+  }
+  std::printf("paper shape: heavy right tails with many high outliers for the\n"
+              "returns panel (fattest for Maronna); drawdown strongly right-\n"
+              "skewed; win-loss distributions nearly identical across types.\n");
+  return 0;
+}

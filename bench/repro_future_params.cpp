@@ -1,0 +1,29 @@
+// §VI future-work reproduction: "identification of optimal parameter sets
+// for a given correlation measure". Runs the experiment with per-level detail
+// and ranks the 14 factor levels per treatment under several objectives.
+#include <cstdio>
+
+#include "core/optimizer.hpp"
+#include "repro_common.hpp"
+
+int main(int argc, char** argv) {
+  mm::Cli cli("repro_future_params",
+              "Rank the parameter levels per correlation measure (future work)");
+  auto& top = cli.add_int("top", 5, "levels to show per treatment");
+  auto cfg = mm::bench::build_config(cli, argc, argv);
+  cfg.keep_level_detail = true;
+
+  const auto result = mm::bench::run_with_banner(
+      cfg, "Future work — optimal parameter-set identification");
+
+  const mm::core::ParamGrid grid;
+  for (const auto objective :
+       {mm::core::Objective::sharpe, mm::core::Objective::mean_return,
+        mm::core::Objective::drawdown}) {
+    const auto ranking = mm::core::rank_levels(result, grid, objective);
+    std::printf("%s\n", mm::core::render_optimizer_report(
+                            ranking, static_cast<std::size_t>(top))
+                            .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// §VI future-work reproduction: implementation shortfall.
+//
+// Runs the Fig. 1 pipeline on one synthetic day to collect the decision-price
+// order log, then re-executes it against the cleaned quote stream under
+// increasingly realistic friction models, reporting the shortfall and the
+// haircut it takes out of the frictionless P&L — quantifying the paper's
+// "transaction costs, moving the market and lost opportunity".
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "engine/execution.hpp"
+#include "engine/pipeline.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  Cli cli("repro_future_shortfall",
+          "Implementation shortfall under friction models (future work)");
+  auto& symbols = cli.add_int("symbols", 10, "universe size");
+  auto& seed = cli.add_int("seed", 20080303, "generator seed");
+  cli.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(symbols);
+  const auto universe = md::make_universe(n);
+  md::GeneratorConfig gen;
+  gen.seed = static_cast<std::uint64_t>(seed);
+  gen.quote_rate = 0.5;
+  const md::SyntheticDay day(universe, gen, 0);
+
+  engine::PipelineConfig cfg;
+  cfg.symbols = n;
+  auto params = core::ParamGrid::base();
+  params.divergence = 0.0005;
+  cfg.strategies = {params};
+  const auto pipeline = engine::run_pipeline(cfg, universe, day.quotes());
+
+  md::QuoteCleaner cleaner(n, md::CleanerConfig{});
+  const auto cleaned = cleaner.clean(day.quotes());
+
+  std::printf("implementation shortfall — %llu orders from one pipeline day "
+              "(frictionless pnl $%.2f)\n\n",
+              static_cast<unsigned long long>(pipeline.master.orders),
+              pipeline.master.total_pnl);
+  std::printf("  %-34s %8s %6s %12s %10s %12s\n", "friction model", "filled", "lost",
+              "shortfall $", "bps", "pnl after");
+
+  struct Model {
+    const char* name;
+    engine::ExecutionConfig cfg;
+  };
+  std::vector<Model> models;
+  {
+    engine::ExecutionConfig c;
+    c.cross_spread = false;
+    models.push_back({"frictionless (BAM fills)", c});
+  }
+  {
+    engine::ExecutionConfig c;
+    models.push_back({"cross the spread", c});
+  }
+  {
+    engine::ExecutionConfig c;
+    c.latency_ms = 5'000;
+    models.push_back({"spread + 5 s latency", c});
+  }
+  {
+    engine::ExecutionConfig c;
+    c.latency_ms = 30'000;
+    models.push_back({"spread + 30 s latency", c});
+  }
+  {
+    engine::ExecutionConfig c;
+    c.latency_ms = 5'000;
+    c.impact_frac_per_lot = 2e-4;
+    models.push_back({"spread + 5 s latency + impact", c});
+  }
+
+  for (const auto& model : models) {
+    const auto result = engine::simulate_execution(pipeline.master.order_log, cleaned,
+                                                   n, model.cfg);
+    std::printf("  %-34s %8llu %6llu %12.2f %10.2f %12.2f\n", model.name,
+                static_cast<unsigned long long>(result.orders_filled),
+                static_cast<unsigned long long>(result.orders_lost),
+                result.shortfall_dollars, result.shortfall_bps(),
+                pipeline.master.total_pnl - result.shortfall_dollars);
+  }
+
+  std::printf("\nshape check: the strategy's edge is a few basis points per\n"
+              "round trip, so realized profitability hinges on execution —\n"
+              "spread crossing alone consumes a large share of the paper's\n"
+              "frictionless returns, and latency compounds it. Exactly the\n"
+              "'implementation shortfall' caveat of §VI.\n");
+  return 0;
+}

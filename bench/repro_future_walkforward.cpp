@@ -1,0 +1,42 @@
+// §VI future-work reproduction, done without look-ahead: walk-forward
+// parameter selection. Picks the best factor level per treatment on each
+// formation block and scores it on the next block — the out-of-sample view of
+// "identification of optimal parameter sets", including the overfitting
+// penalty a naive in-sample selection hides.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/walkforward.hpp"
+
+int main(int argc, char** argv) {
+  mm::Cli cli("repro_future_walkforward",
+              "Walk-forward parameter selection (future work, out-of-sample)");
+  auto& symbols = cli.add_int("symbols", 12, "universe size");
+  auto& days = cli.add_int("days", 6, "trading days");
+  auto& formation = cli.add_int("formation", 2, "days per formation block");
+  auto& seed = cli.add_int("seed", 20080303, "generator seed");
+  auto& objective_arg = cli.add_string("objective", "mean_return",
+                                       "mean_return|sharpe|drawdown|win_loss");
+  cli.parse(argc, argv);
+
+  const auto objective = mm::core::parse_objective(objective_arg);
+  if (!objective) {
+    std::fprintf(stderr, "%s\n", objective.error().message.c_str());
+    return 2;
+  }
+
+  mm::core::WalkForwardConfig cfg;
+  cfg.experiment.symbols = static_cast<std::size_t>(symbols);
+  cfg.experiment.days = static_cast<int>(days);
+  cfg.experiment.generator.seed = static_cast<std::uint64_t>(seed);
+  cfg.formation_days = static_cast<int>(formation);
+  cfg.objective = *objective;
+
+  const auto result = mm::core::walk_forward(cfg);
+  std::printf("%s", mm::core::render_walk_forward(result, cfg).c_str());
+  std::printf("\nshape check: the in-sample winner's edge shrinks out of\n"
+              "sample (selection bias over 14 levels); robust treatments\n"
+              "should lose less — the caveat a practitioner must attach to\n"
+              "any 'optimal parameter set' claim.\n");
+  return 0;
+}

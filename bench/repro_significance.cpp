@@ -1,0 +1,18 @@
+// §V future-studies reproduction: the inferential tests the paper proposes
+// for its treatment comparisons — paired t and Wilcoxon signed-rank over the
+// per-pair samples, for all three performance measures.
+#include <cstdio>
+
+#include "core/significance.hpp"
+#include "repro_common.hpp"
+
+int main(int argc, char** argv) {
+  mm::Cli cli("repro_significance",
+              "Paired significance tests between correlation treatments");
+  auto& alpha = cli.add_double("alpha", 0.05, "significance level");
+  const auto cfg = mm::bench::build_config(cli, argc, argv);
+  const auto result = mm::bench::run_with_banner(
+      cfg, "Section V follow-up — treatment significance tests");
+  std::printf("%s", mm::core::render_significance_report(result, alpha).c_str());
+  return 0;
+}

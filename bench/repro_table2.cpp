@@ -1,0 +1,38 @@
+// Table II reproduction: a sample of intra-day quote data in the TAQ layout,
+// drawn from the synthetic generator (our TAQ substitute).
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "marketdata/generator.hpp"
+#include "marketdata/taq.hpp"
+
+int main(int argc, char** argv) {
+  mm::Cli cli("repro_table2", "Reproduce Table II: sample TAQ quote rows");
+  auto& rows = cli.add_int("rows", 12, "sample rows to print");
+  auto& seed = cli.add_int("seed", 20080303, "generator seed");
+  cli.parse(argc, argv);
+
+  const auto universe = mm::md::make_universe(61);
+  mm::md::GeneratorConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.quote_rate = 0.05;  // a light day is plenty for a sample
+  const mm::md::SyntheticDay day(universe, cfg, 0);
+
+  std::printf("Table II — sample synthetic quote data (TAQ layout)\n\n");
+  std::printf("  %-12s %-7s %9s %9s %8s %8s\n", "Timestamp", "Symbol", "BidPrice",
+              "AskPrice", "BidSize", "AskSize");
+  // The paper's sample shows a burst of quotes near the open; print the first
+  // `rows` quotes of the day the same way.
+  std::int64_t printed = 0;
+  for (const auto& q : day.quotes()) {
+    std::printf("  %-12s %-7s %9.2f %9.2f %8d %8d\n",
+                mm::md::format_time_of_day((q.ts_ms / 1000) * 1000).c_str(),
+                universe.table.name(q.symbol).c_str(), q.bid, q.ask, q.bid_size,
+                q.ask_size);
+    if (++printed >= rows) break;
+  }
+  std::printf("\n(%zu quotes generated for the day across 61 symbols; raw stream "
+              "includes the injected bad ticks the cleaning stage removes)\n",
+              day.quotes().size());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Correlation study: why the paper bothers with a robust measure.
+//
+// Takes one correlated pair, sweeps the bad-tick injection rate, and shows
+// how Pearson, Maronna and Combined estimates degrade — with and without the
+// TCP-like cleaning filter in front. Reproduces the §II argument: raw
+// high-frequency data wrecks Pearson; cleaning helps; Maronna gracefully
+// downweights whatever survives.
+//
+//   $ ./correlation_study [--symbols 6] [--window 100]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/backtester.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rank_corr.hpp"
+
+namespace {
+
+// Mean |C(s)| of pair 0 over the valid range — a scalar "signal level".
+double series_level(const mm::core::MarketCorrSeries& market, mm::stats::Ctype ctype,
+                    std::int64_t smax) {
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (std::int64_t s = market.first_valid; s < smax; ++s) {
+    sum += market.at(ctype, 0, s);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  Cli cli("correlation_study",
+          "Pearson vs Maronna vs Combined under dirty-data injection");
+  auto& window = cli.add_int("window", 100, "correlation window M");
+  auto& seed = cli.add_int("seed", 20080303, "generator seed");
+  cli.parse(argc, argv);
+
+  // Two same-sector symbols => a genuinely correlated pair.
+  constexpr std::size_t n = 2;
+  const auto universe = md::make_universe(n);
+
+  std::printf("pair %s/%s, M = %lld, mean correlation estimate over the day\n\n",
+              universe.table.name(0).c_str(), universe.table.name(1).c_str(),
+              static_cast<long long>(window));
+  std::printf("  %-10s | %-31s | %-31s\n", "", "raw stream", "after TCP-like filter");
+  std::printf("  %-10s | %9s %9s %9s | %9s %9s %9s\n", "bad ticks", "Pearson",
+              "Maronna", "Combined", "Pearson", "Maronna", "Combined");
+
+  for (const double bad_rate : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
+    md::GeneratorConfig gen;
+    gen.seed = static_cast<std::uint64_t>(seed);
+    gen.quote_rate = 0.5;
+    gen.bad_tick_rate = bad_rate;
+    const md::SyntheticDay day(universe, gen, 0);
+
+    const auto raw_bam = md::sample_bam_series(day.quotes(), n, gen.session, 30);
+    md::QuoteCleaner cleaner(n, md::CleanerConfig{});
+    const auto clean_bam =
+        md::sample_bam_series(cleaner.clean(day.quotes()), n, gen.session, 30);
+
+    const auto raw = core::compute_market_corr_series(raw_bam, window, true);
+    const auto clean = core::compute_market_corr_series(clean_bam, window, true);
+    const auto smax = static_cast<std::int64_t>(raw_bam[0].size());
+
+    std::printf("  %9.2f%% | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n",
+                bad_rate * 100.0,
+                series_level(raw, stats::Ctype::pearson, smax),
+                series_level(raw, stats::Ctype::maronna, smax),
+                series_level(raw, stats::Ctype::combined, smax),
+                series_level(clean, stats::Ctype::pearson, smax),
+                series_level(clean, stats::Ctype::maronna, smax),
+                series_level(clean, stats::Ctype::combined, smax));
+  }
+
+  std::printf("\nreading guide: the 0.00%% row is the truth each column should\n"
+              "hold on to. Moving down a column shows that estimator's decay as\n"
+              "the stream gets dirtier; Pearson on the raw stream collapses\n"
+              "first, Maronna degrades gracefully, and the filter restores most\n"
+              "of Pearson's signal — the paper's §II argument in one table.\n");
+
+  // Extension (§VI anticipates further measures): rank correlations on the
+  // raw stream — robust by construction, no iteration required.
+  std::printf("\nextension — rank measures on the raw stream (window-mean):\n");
+  std::printf("  %-10s %9s %9s\n", "bad ticks", "Spearman", "Kendall");
+  for (const double bad_rate : {0.0, 0.01, 0.05}) {
+    md::GeneratorConfig gen;
+    gen.seed = static_cast<std::uint64_t>(seed);
+    gen.quote_rate = 0.5;
+    gen.bad_tick_rate = bad_rate;
+    const md::SyntheticDay day(universe, gen, 0);
+    const auto raw_bam = md::sample_bam_series(day.quotes(), n, gen.session, 30);
+    const auto r0 = md::log_returns(raw_bam[0]);
+    const auto r1 = md::log_returns(raw_bam[1]);
+    const auto m = static_cast<std::size_t>(window);
+    double sp_sum = 0.0, kd_sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t s = m; s + 1 < r0.size(); s += 25) {
+      sp_sum += stats::spearman(r0.data() + s - m, r1.data() + s - m, m);
+      kd_sum += stats::kendall_tau(r0.data() + s - m, r1.data() + s - m, m);
+      ++count;
+    }
+    std::printf("  %9.2f%% %9.3f %9.3f\n", bad_rate * 100.0,
+                sp_sum / static_cast<double>(count), kd_sum / static_cast<double>(count));
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace mm {
+
+struct Cli::Option {
+  enum class Kind { integer, real, text, flag };
+  std::string name;
+  std::string help;
+  Kind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  bool flag_value = false;
+  std::string default_repr;
+};
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli::~Cli() = default;
+
+std::int64_t& Cli::add_int(const std::string& name, std::int64_t default_value,
+                           const std::string& help) {
+  auto opt = std::make_unique<Option>();
+  opt->name = name;
+  opt->help = help;
+  opt->kind = Option::Kind::integer;
+  opt->int_value = default_value;
+  opt->default_repr = std::to_string(default_value);
+  options_.push_back(std::move(opt));
+  return options_.back()->int_value;
+}
+
+double& Cli::add_double(const std::string& name, double default_value,
+                        const std::string& help) {
+  auto opt = std::make_unique<Option>();
+  opt->name = name;
+  opt->help = help;
+  opt->kind = Option::Kind::real;
+  opt->double_value = default_value;
+  opt->default_repr = format("%g", default_value);
+  options_.push_back(std::move(opt));
+  return options_.back()->double_value;
+}
+
+std::string& Cli::add_string(const std::string& name, const std::string& default_value,
+                             const std::string& help) {
+  auto opt = std::make_unique<Option>();
+  opt->name = name;
+  opt->help = help;
+  opt->kind = Option::Kind::text;
+  opt->string_value = default_value;
+  opt->default_repr = default_value.empty() ? "\"\"" : default_value;
+  options_.push_back(std::move(opt));
+  return options_.back()->string_value;
+}
+
+bool& Cli::add_flag(const std::string& name, const std::string& help) {
+  auto opt = std::make_unique<Option>();
+  opt->name = name;
+  opt->help = help;
+  opt->kind = Option::Kind::flag;
+  opt->default_repr = "false";
+  options_.push_back(std::move(opt));
+  return options_.back()->flag_value;
+}
+
+Cli::Option* Cli::find(const std::string& name) {
+  for (auto& opt : options_)
+    if (opt->name == name) return opt.get();
+  return nullptr;
+}
+
+std::string Cli::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    out += "  --" + pad_right(opt->name, 18) + opt->help +
+           " (default: " + opt->default_repr + ")\n";
+  }
+  out += "  --" + pad_right("help", 18) + "show this message\n";
+  return out;
+}
+
+Status Cli::try_parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string_view arg = args[i];
+    if (!starts_with(arg, "--"))
+      return Error(Errc::invalid_argument, "expected --flag, got: " + std::string(arg));
+    arg.remove_prefix(2);
+    if (arg == "help") return Error(Errc::invalid_argument, "help requested");
+
+    std::string name;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      have_value = true;
+    } else {
+      name = std::string(arg);
+    }
+
+    Option* opt = find(name);
+    if (opt == nullptr) return Error(Errc::invalid_argument, "unknown flag: --" + name);
+
+    if (opt->kind == Option::Kind::flag) {
+      if (have_value) return Error(Errc::invalid_argument, "--" + name + " takes no value");
+      opt->flag_value = true;
+      continue;
+    }
+
+    if (!have_value) {
+      if (i + 1 >= args.size())
+        return Error(Errc::invalid_argument, "--" + name + " needs a value");
+      value = args[++i];
+    }
+
+    switch (opt->kind) {
+      case Option::Kind::integer: {
+        auto parsed = parse_int(value);
+        if (!parsed) return Error(Errc::invalid_argument, "--" + name + ": " + parsed.error().message);
+        opt->int_value = *parsed;
+        break;
+      }
+      case Option::Kind::real: {
+        auto parsed = parse_double(value);
+        if (!parsed) return Error(Errc::invalid_argument, "--" + name + ": " + parsed.error().message);
+        opt->double_value = *parsed;
+        break;
+      }
+      case Option::Kind::text:
+        opt->string_value = value;
+        break;
+      case Option::Kind::flag:
+        break;
+    }
+  }
+  return {};
+}
+
+void Cli::parse(int argc, char** argv) {
+  std::vector<std::string> args;
+  bool want_help = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--help") {
+      want_help = true;
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  if (want_help) {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+  if (auto st = try_parse(args); !st) {
+    std::fprintf(stderr, "error: %s\n\n%s", st.error().message.c_str(), usage().c_str());
+    std::exit(2);
+  }
+}
+
+}  // namespace mm

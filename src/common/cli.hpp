@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the benches and examples.
+//
+// Usage:
+//   mm::Cli cli("repro_table3", "Reproduce Table III");
+//   auto& n = cli.add_int("symbols", 20, "universe size");
+//   auto& full = cli.add_flag("full", "run the paper-scale experiment");
+//   cli.parse(argc, argv);   // exits with usage on error / --help
+//
+// Flags are written --name value or --name=value; booleans are bare --name.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+  ~Cli();  // defined in cli.cpp where Option is complete
+
+  std::int64_t& add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help);
+  double& add_double(const std::string& name, double default_value,
+                     const std::string& help);
+  std::string& add_string(const std::string& name, const std::string& default_value,
+                          const std::string& help);
+  bool& add_flag(const std::string& name, const std::string& help);
+
+  // Parses argv. On --help prints usage and exits 0; on a malformed or unknown
+  // flag prints usage and exits 2.
+  void parse(int argc, char** argv);
+
+  // Non-exiting variant for tests.
+  Status try_parse(const std::vector<std::string>& args);
+
+  std::string usage() const;
+
+ private:
+  struct Option;
+  Option* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::unique_ptr<Option>> options_;
+};
+
+}  // namespace mm

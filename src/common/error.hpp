@@ -1,0 +1,146 @@
+// Error handling primitives shared by every MarketMiner module.
+//
+// The library reports recoverable failures through mm::Expected<T> (a minimal
+// expected/err-or-value type; we target C++20 so std::expected is not yet
+// available) and programming errors through MM_ASSERT, which is active in all
+// build types — a silent invariant violation in a trading system is far worse
+// than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mm {
+
+// Category of a recoverable error. Kept deliberately coarse: callers branch on
+// "can I retry / is the input bad / is the system broken", not on minutiae.
+enum class Errc {
+  invalid_argument,
+  out_of_range,
+  parse_error,
+  io_error,
+  not_found,
+  already_exists,
+  capacity,
+  shutdown,
+  numeric,
+  internal,
+};
+
+inline const char* to_string(Errc c) {
+  switch (c) {
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::parse_error: return "parse_error";
+    case Errc::io_error: return "io_error";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::capacity: return "capacity";
+    case Errc::shutdown: return "shutdown";
+    case Errc::numeric: return "numeric";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+// A recoverable error: category plus human-readable context.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  std::string to_string() const {
+    return std::string(mm::to_string(code)) + ": " + message;
+  }
+};
+
+// Minimal expected<T, Error>. Intentionally tiny: value(), error(), has_value,
+// explicit bool, and value_or. Enough for the library's needs without pulling
+// in a third-party dependency.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error err) : storage_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    if (!has_value()) throw std::runtime_error("Expected: no value: " + error().to_string());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    if (!has_value()) throw std::runtime_error("Expected: no value: " + error().to_string());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    if (!has_value()) throw std::runtime_error("Expected: no value: " + error().to_string());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    if (has_value()) throw std::runtime_error("Expected: holds a value, not an error");
+    return std::get<Error>(storage_);
+  }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+// Expected<void> specialization: success or an Error.
+template <>
+class Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Error err) : err_(std::move(err)), has_err_(true) {}  // NOLINT
+
+  bool has_value() const { return !has_err_; }
+  explicit operator bool() const { return has_value(); }
+  const Error& error() const {
+    if (!has_err_) throw std::runtime_error("Expected<void>: holds success");
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool has_err_ = false;
+};
+
+using Status = Expected<void>;
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "MM_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace mm
+
+// Always-on assertion for invariants. Use for conditions that indicate a bug
+// in this library, never for bad user input (return mm::Error for that).
+#define MM_ASSERT(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::mm::assert_fail(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define MM_ASSERT_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::mm::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

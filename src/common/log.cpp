@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mm::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::warn)};
+std::mutex g_mutex;
+thread_local std::string t_label;
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_thread_label(std::string label) { t_label = std::move(label); }
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO";
+    case Level::warn: return "WARN";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF";
+  }
+  return "?";
+}
+
+void write(Level level, const std::string& message) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto us = duration_cast<microseconds>(now.time_since_epoch()).count();
+
+  std::string line;
+  line.reserve(message.size() + t_label.size() + 40);
+  char head[48];
+  std::snprintf(head, sizeof(head), "[%lld.%06lld] %-5s ",
+                static_cast<long long>(us / 1000000),
+                static_cast<long long>(us % 1000000), to_string(level));
+  line += head;
+  if (!t_label.empty()) {
+    line += '[';
+    line += t_label;
+    line += "] ";
+  }
+  line += message;
+  line += '\n';
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace mm::log

@@ -1,0 +1,43 @@
+// Thread-safe leveled logging.
+//
+// The engine runs many ranks concurrently; each log line is emitted atomically
+// with a timestamp and the calling thread's rank label (set via
+// set_thread_label) so interleaved component output stays readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mm::log {
+
+enum class Level { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+// Global minimum level; messages below it are dropped cheaply.
+void set_level(Level level);
+Level level();
+
+// Label attached to every message from the current thread (e.g. "rank 3").
+void set_thread_label(std::string label);
+
+// Emit one line. Prefer the MM_LOG_* macros, which skip formatting when the
+// level is disabled.
+void write(Level level, const std::string& message);
+
+const char* to_string(Level level);
+
+}  // namespace mm::log
+
+#define MM_LOG_AT(lvl, expr)                                \
+  do {                                                      \
+    if (static_cast<int>(lvl) >= static_cast<int>(::mm::log::level())) { \
+      std::ostringstream mm_log_os;                         \
+      mm_log_os << expr;                                    \
+      ::mm::log::write(lvl, mm_log_os.str());               \
+    }                                                       \
+  } while (0)
+
+#define MM_LOG_TRACE(expr) MM_LOG_AT(::mm::log::Level::trace, expr)
+#define MM_LOG_DEBUG(expr) MM_LOG_AT(::mm::log::Level::debug, expr)
+#define MM_LOG_INFO(expr) MM_LOG_AT(::mm::log::Level::info, expr)
+#define MM_LOG_WARN(expr) MM_LOG_AT(::mm::log::Level::warn, expr)
+#define MM_LOG_ERROR(expr) MM_LOG_AT(::mm::log::Level::error, expr)

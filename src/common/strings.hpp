@@ -1,0 +1,32 @@
+// Small string utilities used by the CSV reader, CLI parser and report
+// formatters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+// Strict numeric parses: the whole (trimmed) string must be consumed.
+Expected<double> parse_double(std::string_view text);
+Expected<std::int64_t> parse_int(std::string_view text);
+
+// printf-style helper returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Fixed-width column padding for the plain-text report tables.
+std::string pad_left(std::string s, std::size_t width);
+std::string pad_right(std::string s, std::size_t width);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace mm

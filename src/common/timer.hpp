@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benches and the pipeline's throughput
+// reporting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mm {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::int64_t elapsed_micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mm

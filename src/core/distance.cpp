@@ -1,0 +1,146 @@
+#include "core/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mm::core {
+
+Status DistanceParams::validate() const {
+  if (formation_intervals < 2)
+    return Error(Errc::invalid_argument, "formation needs >= 2 intervals");
+  if (open_threshold <= 0.0)
+    return Error(Errc::invalid_argument, "open_threshold must be positive");
+  if (close_threshold < 0.0 || close_threshold >= open_threshold)
+    return Error(Errc::invalid_argument,
+                 "close_threshold must be in [0, open_threshold)");
+  if (top_pairs < 1) return Error(Errc::invalid_argument, "top_pairs must be >= 1");
+  if (max_holding < 0) return Error(Errc::invalid_argument, "max_holding must be >= 0");
+  if (no_entry_before_close < 0)
+    return Error(Errc::invalid_argument, "ST must be >= 0");
+  return {};
+}
+
+FormationResult distance_formation(const std::vector<std::vector<double>>& bam,
+                                   const DistanceParams& params) {
+  MM_ASSERT(params.validate().has_value());
+  const std::size_t n = bam.size();
+  MM_ASSERT_MSG(n >= 2, "need at least two symbols");
+  const auto f = static_cast<std::size_t>(params.formation_intervals);
+  MM_ASSERT_MSG(f <= bam[0].size(), "formation window exceeds the day");
+
+  FormationResult out;
+  out.anchors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MM_ASSERT_MSG(bam[i][0] > 0.0, "non-positive anchor price");
+    out.anchors[i] = bam[i][0];
+  }
+
+  std::vector<PairProfile> profiles;
+  const auto pairs = stats::all_pairs(n);
+  profiles.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    PairProfile profile;
+    profile.pair = pair;
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t t = 0; t < f; ++t) {
+      const double spread = bam[pair.i][t] / out.anchors[pair.i] -
+                            bam[pair.j][t] / out.anchors[pair.j];
+      profile.ssd += spread * spread;
+      sum += spread;
+      sum_sq += spread * spread;
+    }
+    const auto count = static_cast<double>(f);
+    profile.spread_mean = sum / count;
+    const double var = sum_sq / count - profile.spread_mean * profile.spread_mean;
+    profile.spread_std = var > 0.0 ? std::sqrt(var) : 0.0;
+    profiles.push_back(profile);
+  }
+
+  std::stable_sort(profiles.begin(), profiles.end(),
+                   [](const PairProfile& a, const PairProfile& b) {
+                     return a.ssd < b.ssd;
+                   });
+  const std::size_t keep = std::min(params.top_pairs, profiles.size());
+  out.selected.assign(profiles.begin(),
+                      profiles.begin() + static_cast<std::ptrdiff_t>(keep));
+  // Pairs with a degenerate (zero-variance) formation spread cannot signal.
+  out.selected.erase(std::remove_if(out.selected.begin(), out.selected.end(),
+                                    [](const PairProfile& p) {
+                                      return p.spread_std <= 0.0;
+                                    }),
+                     out.selected.end());
+  return out;
+}
+
+std::vector<Trade> run_distance_pair_day(const DistanceParams& params,
+                                         const PairProfile& profile,
+                                         const std::vector<double>& prices_i,
+                                         const std::vector<double>& prices_j,
+                                         double anchor_i, double anchor_j) {
+  MM_ASSERT(params.validate().has_value());
+  MM_ASSERT(prices_i.size() == prices_j.size());
+  MM_ASSERT(profile.spread_std > 0.0);
+  const auto smax = static_cast<std::int64_t>(prices_i.size());
+
+  std::vector<Trade> trades;
+  bool open = false;
+  std::int64_t entry_s = 0;
+  double entry_i = 0.0, entry_j = 0.0;
+  double ni = 0.0, nj = 0.0;
+  double entry_sign = 0.0;  // sign of z at entry; close when z re-crosses
+
+  const auto close_position = [&](std::int64_t s, ExitReason reason) {
+    Trade t;
+    t.entry_interval = entry_s;
+    t.exit_interval = s;
+    t.entry_price_i = entry_i;
+    t.entry_price_j = entry_j;
+    t.exit_price_i = prices_i[static_cast<std::size_t>(s)];
+    t.exit_price_j = prices_j[static_cast<std::size_t>(s)];
+    t.shares_i = ni;
+    t.shares_j = nj;
+    t.gross_basis = std::abs(ni) * entry_i + std::abs(nj) * entry_j;
+    t.pnl = ni * (t.exit_price_i - entry_i) + nj * (t.exit_price_j - entry_j);
+    t.trade_return = t.pnl / t.gross_basis;
+    t.exit_reason = reason;
+    trades.push_back(t);
+    open = false;
+  };
+
+  for (std::int64_t s = params.formation_intervals; s < smax; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const double spread =
+        prices_i[si] / anchor_i - prices_j[si] / anchor_j;
+    const double z = (spread - profile.spread_mean) / profile.spread_std;
+
+    if (open) {
+      // Gatev's convergence rule: close when the spread crosses back through
+      // the formation mean (within close_threshold sigmas of it).
+      if (entry_sign * z <= params.close_threshold) {
+        close_position(s, ExitReason::retracement);  // convergence
+      } else if (params.max_holding > 0 && s - entry_s >= params.max_holding) {
+        close_position(s, ExitReason::max_holding);
+      }
+      continue;
+    }
+
+    if (std::abs(z) <= params.open_threshold) continue;
+    if (s >= smax - params.no_entry_before_close) continue;
+
+    // Diverged: short the rich leg (positive z means leg i is rich).
+    const bool long_i = z < 0.0;
+    const auto shares = size_position(prices_i[si], prices_j[si], long_i);
+    open = true;
+    entry_s = s;
+    entry_i = prices_i[si];
+    entry_j = prices_j[si];
+    ni = shares.shares_i;
+    nj = shares.shares_j;
+    entry_sign = z > 0.0 ? 1.0 : -1.0;
+  }
+
+  if (open) close_position(smax - 1, ExitReason::end_of_day);
+  return trades;
+}
+
+}  // namespace mm::core

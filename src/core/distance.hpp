@@ -1,0 +1,71 @@
+// The classical distance-method pairs strategy — Gatev, Goetzmann &
+// Rouwenhorst, the paper's reference [1] and the baseline against which the
+// correlation-divergence approach positions itself.
+//
+// Formation: over a formation window, normalize each price series to its
+// starting value and compute, per pair, the sum of squared differences (SSD)
+// of the normalized paths. The `top_pairs` smallest-SSD pairs are selected,
+// and each records the mean and standard deviation of its normalized spread.
+//
+// Trading: a selected pair opens when its normalized spread diverges more
+// than `open_threshold` standard deviations from the formation mean (short
+// the rich leg, long the cheap leg, the same cash-neutral sizing as the
+// canonical strategy) and closes when the spread reverts through the mean
+// (or on the optional holding cap / end of day).
+//
+// The paper's strategy trades *correlation* divergence over sliding windows;
+// this baseline trades *price-path* divergence against a frozen formation
+// profile — implementing it lets the benches compare the two philosophies on
+// identical data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "stats/sym_matrix.hpp"
+
+namespace mm::core {
+
+struct DistanceParams {
+  // Intervals used for formation (the rest of the day trades).
+  std::int64_t formation_intervals = 390;
+  // Open when |spread - mean| > open_threshold * sigma.
+  double open_threshold = 2.0;
+  // Close when the spread is within close_threshold * sigma of the mean.
+  double close_threshold = 0.0;
+  // Pairs selected by smallest SSD.
+  std::size_t top_pairs = 20;
+  // 0 = hold until convergence or end of day.
+  std::int64_t max_holding = 0;
+  std::int64_t no_entry_before_close = 20;
+
+  Status validate() const;
+};
+
+struct PairProfile {
+  stats::PairIndex pair{};
+  double ssd = 0.0;          // formation distance
+  double spread_mean = 0.0;  // normalized-spread stats over formation
+  double spread_std = 0.0;
+};
+
+struct FormationResult {
+  // Selected pairs, ascending SSD.
+  std::vector<PairProfile> selected;
+  // Normalization anchors: price at interval 0 per symbol.
+  std::vector<double> anchors;
+};
+
+// Rank all pairs of `bam` by formation-window SSD and keep the best.
+FormationResult distance_formation(const std::vector<std::vector<double>>& bam,
+                                   const DistanceParams& params);
+
+// Trade one selected pair across the post-formation part of the day.
+std::vector<Trade> run_distance_pair_day(const DistanceParams& params,
+                                         const PairProfile& profile,
+                                         const std::vector<double>& prices_i,
+                                         const std::vector<double>& prices_j,
+                                         double anchor_i, double anchor_j);
+
+}  // namespace mm::core

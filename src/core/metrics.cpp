@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mm::core {
+
+double cumulative_return(const std::vector<double>& returns) {
+  double wealth = 1.0;
+  for (double r : returns) {
+    MM_ASSERT_MSG(r > -1.0, "a return of -100% or worse breaks compounding");
+    wealth *= 1.0 + r;
+  }
+  return wealth - 1.0;
+}
+
+std::vector<double> equity_curve(const std::vector<double>& returns) {
+  std::vector<double> out;
+  out.reserve(returns.size());
+  double wealth = 1.0;
+  for (double r : returns) {
+    wealth *= 1.0 + r;
+    out.push_back(wealth - 1.0);
+  }
+  return out;
+}
+
+double max_drawdown(const std::vector<double>& returns) {
+  double wealth = 1.0;
+  double peak = 1.0;
+  double worst = 0.0;
+  for (double r : returns) {
+    wealth *= 1.0 + r;
+    peak = std::max(peak, wealth);
+    // The paper's Eq. (6) subtracts cumulative returns (r_qa - r_qb), i.e.
+    // additive on the (wealth - 1) scale.
+    worst = std::max(worst, peak - wealth);
+  }
+  return worst;
+}
+
+WinLoss win_loss(const std::vector<double>& returns) {
+  WinLoss wl;
+  for (double r : returns) wl.add(r);
+  return wl;
+}
+
+ExitBreakdown exit_breakdown(const std::vector<Trade>& trades) {
+  ExitBreakdown out;
+  for (const auto& t : trades) {
+    const auto idx = static_cast<std::size_t>(t.exit_reason);
+    MM_ASSERT(idx < 5);
+    ++out.counts[idx];
+    ++out.total;
+  }
+  return out;
+}
+
+}  // namespace mm::core

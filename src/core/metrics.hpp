@@ -1,0 +1,63 @@
+// Performance metrics — the paper's Equations (1) through (9).
+//
+// Returns compound multiplicatively (the strategy reinvests all capital each
+// period). Eq. (2)/(3): daily and total cumulative returns; Eq. (4)/(5):
+// aggregation across pairs or parameter sets by compounding; Eq. (6)/(7):
+// maximum drawdown as the worst peak-to-valley drop of the running cumulative
+// return, per trade or per day; Eq. (8)/(9): win–loss ratio.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/strategy.hpp"
+
+namespace mm::core {
+
+// Π(1 + r) − 1. Empty input = flat day = 0.
+double cumulative_return(const std::vector<double>& returns);
+
+// Worst peak-to-valley drop of the running cumulative-return curve built
+// from `returns` in order (Eqs. 6/7). Non-negative; 0 for monotone growth.
+double max_drawdown(const std::vector<double>& returns);
+
+struct WinLoss {
+  std::size_t wins = 0;
+  std::size_t losses = 0;
+
+  void add(double r) {
+    if (r > 0.0) ++wins;
+    else if (r < 0.0) ++losses;
+  }
+  void merge(const WinLoss& other) {
+    wins += other.wins;
+    losses += other.losses;
+  }
+  // W/L; a loss count of zero is floored at one so a flawless pair reports
+  // `wins` rather than infinity (the aggregate tables need finite values).
+  double ratio() const {
+    return static_cast<double>(wins) / static_cast<double>(losses == 0 ? 1 : losses);
+  }
+};
+
+WinLoss win_loss(const std::vector<double>& returns);
+
+// Equity curve of running cumulative returns: out[q] = Π_{u<=q}(1+r_u) − 1.
+std::vector<double> equity_curve(const std::vector<double>& returns);
+
+// The paper's cross-sectional compounding aggregates: Eq. (4) compounds one
+// day's cumulative returns across all pairs for a fixed parameter set, and
+// Eq. (5) compounds across all parameter sets for a fixed pair. Both are
+// Π(1 + r_x) − 1 over the given collection; the alias documents the intent.
+inline double compound_across(const std::vector<double>& returns) {
+  return cumulative_return(returns);
+}
+
+// Exit-reason breakdown of a trade list (diagnostics for reports/examples).
+struct ExitBreakdown {
+  std::size_t counts[5] = {0, 0, 0, 0, 0};  // indexed by ExitReason
+  std::size_t total = 0;
+};
+ExitBreakdown exit_breakdown(const std::vector<Trade>& trades);
+
+}  // namespace mm::core

@@ -1,0 +1,100 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "stats/descriptive.hpp"
+
+namespace mm::core {
+
+const char* to_string(Objective objective) {
+  switch (objective) {
+    case Objective::mean_return: return "mean_return";
+    case Objective::sharpe: return "sharpe";
+    case Objective::drawdown: return "drawdown";
+    case Objective::win_loss: return "win_loss";
+  }
+  return "?";
+}
+
+Expected<Objective> parse_objective(const std::string& name) {
+  if (name == "mean_return") return Objective::mean_return;
+  if (name == "sharpe") return Objective::sharpe;
+  if (name == "drawdown") return Objective::drawdown;
+  if (name == "win_loss") return Objective::win_loss;
+  return Error(Errc::invalid_argument, "unknown objective: " + name);
+}
+
+OptimizerResult rank_levels(const ExperimentResult& result, const ParamGrid& grid,
+                            Objective objective) {
+  const auto& levels = grid.levels();
+  MM_ASSERT_MSG(!result.level_monthly_return_plus1[0].empty(),
+                "rank_levels needs keep_level_detail = true");
+  MM_ASSERT(result.level_monthly_return_plus1[0].size() == levels.size());
+
+  OptimizerResult out;
+  out.objective = objective;
+  for (std::size_t c = 0; c < 3; ++c) {
+    auto& ranked = out.ranked[c];
+    ranked.reserve(levels.size());
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      const auto& returns = result.level_monthly_return_plus1[c][l];
+      const auto& drawdowns = result.level_max_daily_drawdown[c][l];
+      const auto& win_losses = result.level_win_loss[c][l];
+
+      LevelScore score;
+      score.level_index = l;
+      score.params = levels[l];
+      score.params.ctype = stats::all_ctypes[c];
+      score.mean_return_plus1 = stats::mean(returns);
+      score.return_stddev = returns.size() >= 2 ? stats::stddev(returns) : 0.0;
+      score.sharpe = score.return_stddev > 0.0
+                         ? score.mean_return_plus1 / score.return_stddev
+                         : 0.0;
+      score.mean_drawdown = stats::mean(drawdowns);
+      score.mean_win_loss = stats::mean(win_losses);
+
+      switch (objective) {
+        case Objective::mean_return:
+          score.score = score.mean_return_plus1;
+          break;
+        case Objective::sharpe:
+          score.score = score.sharpe;
+          break;
+        case Objective::drawdown:
+          score.score = -score.mean_drawdown;  // lower is better
+          break;
+        case Objective::win_loss:
+          score.score = score.mean_win_loss;
+          break;
+      }
+      ranked.push_back(score);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const LevelScore& a, const LevelScore& b) {
+                       return a.score > b.score;
+                     });
+  }
+  return out;
+}
+
+std::string render_optimizer_report(const OptimizerResult& result, std::size_t top_n) {
+  std::string out =
+      format("parameter-set ranking by objective '%s'\n", to_string(result.objective));
+  for (std::size_t c = 0; c < 3; ++c) {
+    out += format("\n%s:\n", stats::to_string(stats::all_ctypes[c]));
+    out += format("  %4s %10s %9s %8s %8s %7s  %s\n", "rank", "ret(+1)", "sharpe",
+                  "mdd", "W/L", "score", "level");
+    const auto& ranked = result.ranked[c];
+    for (std::size_t r = 0; r < ranked.size() && r < top_n; ++r) {
+      const auto& s = ranked[r];
+      out += format("  %4zu %10.4f %9.2f %7.3f%% %8.3f %7.3f  k'%zu %s\n", r + 1,
+                    s.mean_return_plus1, s.sharpe, s.mean_drawdown * 100.0,
+                    s.mean_win_loss, s.score, s.level_index + 1,
+                    s.params.describe().c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,53 @@
+// Parameter-set identification — the paper's §VI future work: "identification
+// of optimal parameter sets for a given correlation measure".
+//
+// Given an experiment run with per-level detail retained, score every one of
+// the 14 factor levels per correlation treatment by an objective computed
+// over the cross-pair sample, and rank them. Objectives mirror the paper's
+// three performance views plus the risk-adjusted composite.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace mm::core {
+
+enum class Objective {
+  mean_return,     // highest mean cumulative monthly return
+  sharpe,          // highest cross-pair mean/stddev of (r + 1)
+  drawdown,        // lowest mean maximum daily drawdown
+  win_loss,        // highest mean win-loss ratio
+};
+
+const char* to_string(Objective objective);
+Expected<Objective> parse_objective(const std::string& name);
+
+struct LevelScore {
+  std::size_t level_index = 0;       // into ParamGrid::levels()
+  StrategyParams params;             // the level with ctype applied
+  double mean_return_plus1 = 0.0;    // cross-pair mean
+  double return_stddev = 0.0;
+  double sharpe = 0.0;
+  double mean_drawdown = 0.0;
+  double mean_win_loss = 0.0;
+  double score = 0.0;                // objective value (higher = better)
+};
+
+struct OptimizerResult {
+  Objective objective = Objective::sharpe;
+  // Per treatment, levels sorted best-first.
+  std::array<std::vector<LevelScore>, 3> ranked;
+};
+
+// Requires result.level_* to be populated (run the experiment with
+// keep_level_detail = true).
+OptimizerResult rank_levels(const ExperimentResult& result, const ParamGrid& grid,
+                            Objective objective);
+
+// Plain-text report: best few levels per treatment with their measures.
+std::string render_optimizer_report(const OptimizerResult& result, std::size_t top_n);
+
+}  // namespace mm::core

@@ -1,0 +1,117 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace mm::core {
+
+Status StrategyParams::validate() const {
+  if (delta_s <= 0) return Error(Errc::invalid_argument, "delta_s must be positive");
+  if (min_correlation < 0.0 || min_correlation >= 1.0)
+    return Error(Errc::invalid_argument, "A must be in [0, 1)");
+  if (corr_window < 2) return Error(Errc::invalid_argument, "M must be >= 2");
+  if (avg_window < 1) return Error(Errc::invalid_argument, "W must be >= 1");
+  if (divergence_window < 1) return Error(Errc::invalid_argument, "Y must be >= 1");
+  if (divergence <= 0.0 || divergence >= 1.0)
+    return Error(Errc::invalid_argument, "d must be in (0, 1)");
+  if (retracement <= 0.0 || retracement >= 1.0)
+    return Error(Errc::invalid_argument, "l must be in (0, 1)");
+  if (spread_window < 1) return Error(Errc::invalid_argument, "RT must be >= 1");
+  if (max_holding < 1) return Error(Errc::invalid_argument, "HP must be >= 1");
+  if (no_entry_before_close < 0)
+    return Error(Errc::invalid_argument, "ST must be >= 0");
+  if (stop_loss < 0.0) return Error(Errc::invalid_argument, "stop_loss must be >= 0");
+  if (cost_per_share < 0.0)
+    return Error(Errc::invalid_argument, "cost_per_share must be >= 0");
+  if (lot_size <= 0.0) return Error(Errc::invalid_argument, "lot_size must be positive");
+  if (slippage_frac < 0.0 || slippage_frac >= 0.1)
+    return Error(Errc::invalid_argument, "slippage_frac must be in [0, 0.1)");
+  return {};
+}
+
+std::string StrategyParams::describe() const {
+  return format("{ds=%lld %s A=%.2f M=%lld W=%lld Y=%lld d=%.4f%% l=%.3f RT=%lld "
+                "HP=%lld ST=%lld}",
+                static_cast<long long>(delta_s), stats::to_string(ctype),
+                min_correlation, static_cast<long long>(corr_window),
+                static_cast<long long>(avg_window),
+                static_cast<long long>(divergence_window), divergence * 100.0,
+                retracement, static_cast<long long>(spread_window),
+                static_cast<long long>(max_holding),
+                static_cast<long long>(no_entry_before_close));
+}
+
+StrategyParams ParamGrid::base() {
+  StrategyParams p;
+  p.delta_s = 30;
+  p.min_correlation = 0.1;
+  p.corr_window = 100;
+  p.avg_window = 60;
+  p.divergence_window = 10;
+  p.divergence = 0.0002;  // 0.02%
+  p.retracement = 2.0 / 3.0;
+  p.spread_window = 60;
+  p.max_holding = 30;
+  p.no_entry_before_close = 20;
+  return p;
+}
+
+ParamGrid::ParamGrid() {
+  // 14 levels built from the Table I values: a one-factor-at-a-time design
+  // around the base, plus two interaction levels (M x W, M x d). This matches
+  // the paper's "14 different parameter vectors of the form
+  // {ds, M, W, d, l, RT, HP, ST, Y}".
+  const StrategyParams b = base();
+  levels_.push_back(b);  // 1: base
+
+  auto with = [&](auto&& mutate) {
+    StrategyParams p = b;
+    mutate(p);
+    levels_.push_back(p);
+  };
+  with([](StrategyParams& p) { p.corr_window = 50; });     // 2
+  with([](StrategyParams& p) { p.corr_window = 200; });    // 3
+  with([](StrategyParams& p) { p.avg_window = 120; });     // 4
+  with([](StrategyParams& p) { p.divergence_window = 20; });  // 5
+  with([](StrategyParams& p) { p.divergence = 0.0001; });  // 6
+  with([](StrategyParams& p) { p.divergence = 0.0003; });  // 7
+  with([](StrategyParams& p) { p.divergence = 0.0004; });  // 8
+  with([](StrategyParams& p) { p.divergence = 0.0005; });  // 9
+  with([](StrategyParams& p) { p.divergence = 0.0010; });  // 10
+  with([](StrategyParams& p) { p.retracement = 1.0 / 3.0; });  // 11
+  with([](StrategyParams& p) { p.max_holding = 40; });     // 12
+  with([](StrategyParams& p) {                             // 13: M x W
+    p.corr_window = 50;
+    p.avg_window = 120;
+  });
+  with([](StrategyParams& p) {                             // 14: M x d
+    p.corr_window = 200;
+    p.divergence = 0.0005;
+  });
+  MM_ASSERT(levels_.size() == 14);
+  for (const auto& level : levels_) MM_ASSERT(level.validate().has_value());
+}
+
+std::vector<StrategyParams> ParamGrid::all() const {
+  std::vector<StrategyParams> out;
+  out.reserve(levels_.size() * 3);
+  for (const auto ctype : stats::all_ctypes) {
+    for (const auto& level : levels_) {
+      StrategyParams p = level;
+      p.ctype = ctype;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> ParamGrid::distinct_corr_windows() const {
+  std::vector<std::int64_t> out;
+  for (const auto& level : levels_) out.push_back(level.corr_window);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,93 @@
+// Strategy parameters — the paper's Table I.
+//
+// Every unique combination of these values defines one pair trading strategy
+// (§III). Time-based parameters are measured in ∆s intervals. The paper's
+// experiment uses 42 parameter sets: 14 "levels" of the non-treatment factors
+// crossed with the 3 correlation types (§V); ParamGrid reproduces that
+// design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/correlation.hpp"
+
+namespace mm::core {
+
+struct StrategyParams {
+  // ∆s — width of one time interval, seconds.
+  std::int64_t delta_s = 30;
+  // Ctype — correlation measure (the experiment's treatment).
+  stats::Ctype ctype = stats::Ctype::pearson;
+  // A — minimum average correlation required to trade the pair.
+  double min_correlation = 0.1;
+  // M — window length (in intervals) for each correlation calculation.
+  std::int64_t corr_window = 100;
+  // W — window (in intervals) for the average correlation C̄.
+  std::int64_t avg_window = 60;
+  // Y — window (in intervals) within which a fresh divergence must have begun.
+  std::int64_t divergence_window = 10;
+  // d — divergence from C̄ (as a fraction, e.g. 0.0002 = 0.02%) that triggers
+  // a trade.
+  double divergence = 0.0002;
+  // ℓ — retracement level parameter in (0, 1).
+  double retracement = 2.0 / 3.0;
+  // RT — window (in intervals) for measuring spread high/low/average.
+  std::int64_t spread_window = 60;
+  // HP — maximum holding period in intervals.
+  std::int64_t max_holding = 30;
+  // ST — minimum intervals before the close during which no new position may
+  // be opened.
+  std::int64_t no_entry_before_close = 20;
+
+  // --- extensions (§III step 5 mentions, §VI future work) ---------------
+  // Absolute stop-loss on the trade return (0 disables), e.g. 0.01 = exit
+  // when the open trade is down 1%.
+  double stop_loss = 0.0;
+  // Exit when the correlation reverts into [C̄(1-d), C̄] (off by default,
+  // matching the paper's evaluated strategy).
+  bool correlation_reversion_exit = false;
+  // Transaction cost per share, dollars (future-work "implementation
+  // shortfall"; 0 matches the paper's frictionless evaluation).
+  double cost_per_share = 0.0;
+  // Share multiplier applied to the 1:x ratio (e.g. 100 trades round lots).
+  // Returns are scale-invariant; exposures and dollar P&L scale linearly.
+  double lot_size = 1.0;
+  // Slippage in fractions of price paid on each leg at entry and exit.
+  double slippage_frac = 0.0;
+
+  // Validation of ranges and cross-field constraints.
+  Status validate() const;
+
+  // Compact human-readable form, e.g. for report rows.
+  std::string describe() const;
+};
+
+// One of the paper's 14 non-treatment factor levels: everything except Ctype.
+using FactorLevel = StrategyParams;  // ctype field ignored at the level stage
+
+// The experiment grid of §V: 14 factor levels x 3 correlation types = 42
+// parameter sets, built from the Table I values (a one-factor-at-a-time
+// design around a base configuration, plus two interaction levels).
+class ParamGrid {
+ public:
+  ParamGrid();
+
+  const std::vector<StrategyParams>& levels() const { return levels_; }
+
+  // All 42 strategies: level k with each Ctype.
+  std::vector<StrategyParams> all() const;
+
+  // The distinct correlation windows M appearing in the grid — the engine
+  // computes one correlation time series per (Ctype, M), shared by every
+  // strategy that uses it (the heart of the integrated "Approach 3").
+  std::vector<std::int64_t> distinct_corr_windows() const;
+
+  static StrategyParams base();
+
+ private:
+  std::vector<StrategyParams> levels_;
+};
+
+}  // namespace mm::core

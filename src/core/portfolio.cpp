@@ -1,0 +1,147 @@
+#include "core/portfolio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace mm::core {
+
+Portfolio::Portfolio(double initial_cash) : cash_(initial_cash) {}
+
+void Portfolio::apply_fill(std::uint32_t symbol, double shares, double price) {
+  MM_ASSERT_MSG(price > 0.0, "fill price must be positive");
+  cash_ -= shares * price;
+  positions_[symbol] += shares;
+  marks_[symbol] = price;
+  // Clean up fully closed positions so flat() is exact.
+  if (std::abs(positions_[symbol]) < 1e-12) positions_.erase(symbol);
+}
+
+void Portfolio::mark(std::uint32_t symbol, double price) {
+  MM_ASSERT_MSG(price > 0.0, "mark price must be positive");
+  marks_[symbol] = price;
+}
+
+double Portfolio::position(std::uint32_t symbol) const {
+  const auto it = positions_.find(symbol);
+  return it == positions_.end() ? 0.0 : it->second;
+}
+
+double Portfolio::last_price(std::uint32_t symbol) const {
+  const auto it = marks_.find(symbol);
+  return it == marks_.end() ? 0.0 : it->second;
+}
+
+double Portfolio::equity() const {
+  double total = cash_;
+  for (const auto& [symbol, shares] : positions_) {
+    const auto it = marks_.find(symbol);
+    MM_ASSERT_MSG(it != marks_.end(), "position without a mark");
+    total += shares * it->second;
+  }
+  return total;
+}
+
+double Portfolio::gross_exposure() const {
+  double total = 0.0;
+  for (const auto& [symbol, shares] : positions_) {
+    const auto it = marks_.find(symbol);
+    total += std::abs(shares) * it->second;
+  }
+  return total;
+}
+
+double Portfolio::net_exposure() const {
+  double total = 0.0;
+  for (const auto& [symbol, shares] : positions_) {
+    const auto it = marks_.find(symbol);
+    total += shares * it->second;
+  }
+  return total;
+}
+
+bool Portfolio::flat() const { return positions_.empty(); }
+
+std::vector<EquityPoint> simulate_portfolio(
+    const std::vector<TaggedTrade>& trades,
+    const std::vector<std::vector<double>>& bam, double initial_cash) {
+  MM_ASSERT_MSG(!bam.empty(), "simulate_portfolio needs price series");
+  const auto smax = static_cast<std::int64_t>(bam[0].size());
+  const std::size_t symbols = bam.size();
+
+  // Fill events, sorted by interval.
+  struct Fill {
+    std::int64_t interval;
+    std::uint32_t symbol;
+    double shares;
+    double price;
+  };
+  std::vector<Fill> fills;
+  fills.reserve(trades.size() * 4);
+  for (const auto& tagged : trades) {
+    const Trade& t = tagged.trade;
+    fills.push_back({t.entry_interval, tagged.pair.i, t.shares_i, t.entry_price_i});
+    fills.push_back({t.entry_interval, tagged.pair.j, t.shares_j, t.entry_price_j});
+    fills.push_back({t.exit_interval, tagged.pair.i, -t.shares_i, t.exit_price_i});
+    fills.push_back({t.exit_interval, tagged.pair.j, -t.shares_j, t.exit_price_j});
+  }
+  std::stable_sort(fills.begin(), fills.end(),
+                   [](const Fill& a, const Fill& b) { return a.interval < b.interval; });
+
+  Portfolio book(initial_cash);
+  std::vector<EquityPoint> curve;
+  curve.reserve(static_cast<std::size_t>(smax));
+  std::size_t next_fill = 0;
+  for (std::int64_t s = 0; s < smax; ++s) {
+    for (; next_fill < fills.size() && fills[next_fill].interval == s; ++next_fill) {
+      const Fill& f = fills[next_fill];
+      book.apply_fill(f.symbol, f.shares, f.price);
+    }
+    for (std::uint32_t i = 0; i < symbols; ++i)
+      book.mark(i, bam[i][static_cast<std::size_t>(s)]);
+    curve.push_back({s, book.equity(), book.gross_exposure()});
+  }
+  MM_ASSERT_MSG(book.flat(), "every trade closes, so the final book is flat");
+  return curve;
+}
+
+std::string render_equity_curve(const std::vector<EquityPoint>& curve,
+                                std::size_t width, std::size_t rows) {
+  MM_ASSERT(!curve.empty());
+  MM_ASSERT(width >= 10 && rows >= 4);
+
+  double lo = curve[0].equity, hi = curve[0].equity;
+  for (const auto& p : curve) {
+    lo = std::min(lo, p.equity);
+    hi = std::max(hi, p.equity);
+  }
+  if (hi - lo < 1e-9) hi = lo + 1.0;
+
+  // Downsample to `width` columns (last value in each bucket).
+  std::vector<double> cols(width, lo);
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t index =
+        std::min(curve.size() - 1, c * curve.size() / width + curve.size() / width / 2);
+    cols[c] = curve[index].equity;
+  }
+
+  std::string out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double level = hi - (hi - lo) * static_cast<double>(r) /
+                                  static_cast<double>(rows - 1);
+    out += format("%12.2f |", level);
+    for (std::size_t c = 0; c < width; ++c) {
+      const double cell_hi = hi - (hi - lo) * (static_cast<double>(r) - 0.5) /
+                                      static_cast<double>(rows - 1);
+      const double cell_lo = hi - (hi - lo) * (static_cast<double>(r) + 0.5) /
+                                      static_cast<double>(rows - 1);
+      out += (cols[c] <= cell_hi && cols[c] > cell_lo) ? '*' : ' ';
+    }
+    out += '\n';
+  }
+  out += format("%12s +%s\n", "", std::string(width, '-').c_str());
+  return out;
+}
+
+}  // namespace mm::core

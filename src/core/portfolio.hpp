@@ -1,0 +1,75 @@
+// Portfolio accounting: positions, cash, mark-to-market equity.
+//
+// The backtester produces per-pair trade lists; Portfolio aggregates them
+// into the book a trading desk actually holds — net position per symbol,
+// cash, gross/net exposure and an interval-by-interval equity curve — which
+// is what the paper's master process would report upward ("risk management
+// and liquidity provisioning", Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/strategy.hpp"
+#include "stats/sym_matrix.hpp"
+
+namespace mm::core {
+
+class Portfolio {
+ public:
+  explicit Portfolio(double initial_cash);
+
+  // Execute a fill: buy (shares > 0) consumes cash, sell frees it. Also
+  // marks the symbol at the fill price.
+  void apply_fill(std::uint32_t symbol, double shares, double price);
+
+  // Update a symbol's mark without trading.
+  void mark(std::uint32_t symbol, double price);
+
+  double cash() const { return cash_; }
+  double position(std::uint32_t symbol) const;
+  double last_price(std::uint32_t symbol) const;
+
+  // cash + sum of position x last mark.
+  double equity() const;
+  // sum over symbols of |position| x last mark.
+  double gross_exposure() const;
+  // sum over symbols of position x last mark (signed).
+  double net_exposure() const;
+
+  bool flat() const;
+
+ private:
+  double cash_;
+  std::map<std::uint32_t, double> positions_;
+  std::map<std::uint32_t, double> marks_;
+};
+
+// One point of an equity curve.
+struct EquityPoint {
+  std::int64_t interval = 0;
+  double equity = 0.0;
+  double gross_exposure = 0.0;
+};
+
+// A trade tagged with the pair it belongs to (the backtester returns trades
+// per pair; aggregation needs the symbols back).
+struct TaggedTrade {
+  stats::PairIndex pair{};
+  Trade trade;
+};
+
+// Replay a day: apply every trade's entry and exit fills in interval order
+// against `initial_cash`, marking all symbols to the BAM grid each interval.
+// Returns the per-interval equity curve (one point per interval of the day).
+std::vector<EquityPoint> simulate_portfolio(
+    const std::vector<TaggedTrade>& trades,
+    const std::vector<std::vector<double>>& bam, double initial_cash);
+
+// Render an equity curve as an ASCII chart (rows x width) with axis labels.
+std::string render_equity_curve(const std::vector<EquityPoint>& curve,
+                                std::size_t width = 70, std::size_t rows = 16);
+
+}  // namespace mm::core

@@ -1,0 +1,59 @@
+#include "core/significance.hpp"
+
+#include "common/strings.hpp"
+
+namespace mm::core {
+
+std::array<TreatmentComparison, 3> compare_treatments(const ExperimentResult& result,
+                                                      Measure measure) {
+  // The paper's column order: Maronna, Pearson, Combined.
+  constexpr stats::Ctype order[] = {stats::Ctype::maronna, stats::Ctype::pearson,
+                                    stats::Ctype::combined};
+  std::array<TreatmentComparison, 3> out;
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      TreatmentComparison cmp;
+      cmp.a = order[i];
+      cmp.b = order[j];
+      cmp.measure = measure;
+      const auto& xa = sample_of(result, measure, static_cast<std::size_t>(order[i]));
+      const auto& xb = sample_of(result, measure, static_cast<std::size_t>(order[j]));
+      cmp.t_test = stats::paired_t_test(xa, xb);
+      cmp.wilcoxon = stats::wilcoxon_signed_rank(xa, xb);
+      cmp.bootstrap = stats::bootstrap_mean_diff_ci(xa, xb, /*resamples=*/1000);
+      out[slot++] = cmp;
+    }
+  }
+  return out;
+}
+
+std::string render_significance_report(const ExperimentResult& result, double alpha) {
+  std::string out = format(
+      "treatment significance (paired tests over %zu pairs, alpha = %.2f)\n",
+      result.pair_count, alpha);
+  for (const Measure measure : {Measure::monthly_return, Measure::max_daily_drawdown,
+                                Measure::win_loss}) {
+    out += format("\n%s:\n", measure_name(measure));
+    out += format("  %-22s %12s %10s %10s %10s %23s %6s\n", "comparison",
+                  "mean diff", "t-stat", "t p-val", "wilcoxon p", "bootstrap 95% CI",
+                  "sig?");
+    for (const auto& cmp : compare_treatments(result, measure)) {
+      const bool significant = cmp.t_test.significant(alpha) &&
+                               cmp.wilcoxon.significant(alpha) &&
+                               cmp.bootstrap.excludes_zero();
+      out += format("  %-10s vs %-8s %12.5f %10.3f %10.4f %10.4f [%9.5f, %9.5f] %6s\n",
+                    stats::to_string(cmp.a), stats::to_string(cmp.b),
+                    cmp.t_test.effect, cmp.t_test.statistic, cmp.t_test.p_value,
+                    cmp.wilcoxon.p_value, cmp.bootstrap.lo, cmp.bootstrap.hi,
+                    significant ? "ALL" : "-");
+    }
+  }
+  out += "\npaper context: §V stresses its table comparisons are not yet tested\n"
+         "for significance; this report supplies the paired t and Wilcoxon\n"
+         "signed-rank tests it proposes plus a percentile-bootstrap CI on the\n"
+         "mean difference (flagged only when all three agree).\n";
+  return out;
+}
+
+}  // namespace mm::core

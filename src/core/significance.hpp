@@ -1,0 +1,35 @@
+// Treatment significance analysis — implements the "few simple inferential
+// statistical tests" §V sketches: the three populations are the per-pair,
+// level-averaged measures under Pearson / Maronna / Combined correlation
+// (1830 paired samples at full scale). Since every pair receives every
+// treatment, paired tests apply.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/inference.hpp"
+
+namespace mm::core {
+
+struct TreatmentComparison {
+  stats::Ctype a;
+  stats::Ctype b;
+  Measure measure;
+  stats::TestResult t_test;
+  stats::TestResult wilcoxon;
+  stats::BootstrapInterval bootstrap;  // percentile CI for the mean difference
+};
+
+// All three pairwise comparisons for one measure.
+std::array<TreatmentComparison, 3> compare_treatments(const ExperimentResult& result,
+                                                      Measure measure);
+
+// Plain-text report block across all measures.
+std::string render_significance_report(const ExperimentResult& result,
+                                       double alpha = 0.05);
+
+}  // namespace mm::core

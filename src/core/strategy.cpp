@@ -1,0 +1,213 @@
+#include "core/strategy.hpp"
+
+#include <cmath>
+
+namespace mm::core {
+
+const char* to_string(ExitReason reason) {
+  switch (reason) {
+    case ExitReason::retracement: return "retracement";
+    case ExitReason::max_holding: return "max_holding";
+    case ExitReason::end_of_day: return "end_of_day";
+    case ExitReason::stop_loss: return "stop_loss";
+    case ExitReason::correlation_reversion: return "correlation_reversion";
+  }
+  return "?";
+}
+
+ShareRatio size_position(double price_i, double price_j, bool long_i) {
+  MM_ASSERT_MSG(price_i > 0.0 && price_j > 0.0, "size_position: non-positive price");
+  // The paper states the rule for Pi > Pj; by symmetry we express it as: one
+  // share of the higher-priced leg, x shares of the cheaper leg, with x
+  // rounded *down* when the expensive leg is long (so the long side still
+  // edges ahead) and *up* when the cheap leg is long.
+  const bool i_expensive = price_i >= price_j;
+  const double ratio = i_expensive ? price_i / price_j : price_j / price_i;
+  const bool long_expensive = (long_i == i_expensive);
+  const double x = long_expensive ? std::floor(ratio) : std::ceil(ratio);
+  const double x_clamped = x < 1.0 ? 1.0 : x;
+
+  double ni, nj;
+  if (i_expensive) {
+    ni = 1.0;
+    nj = x_clamped;
+  } else {
+    ni = x_clamped;
+    nj = 1.0;
+  }
+  if (!long_i) ni = -ni;
+  if (long_i) nj = -nj;
+  return {ni, nj};
+}
+
+PairStrategy::PairStrategy(const StrategyParams& params, std::int64_t smax)
+    : params_(params),
+      smax_(smax),
+      corr_mean_(static_cast<std::size_t>(params.avg_window)),
+      price_hist_i_(static_cast<std::size_t>(params.avg_window) + 1),
+      price_hist_j_(static_cast<std::size_t>(params.avg_window) + 1),
+      spread_extremes_(static_cast<std::size_t>(params.spread_window)),
+      spread_mean_(static_cast<std::size_t>(params.spread_window)) {
+  MM_ASSERT_MSG(params.validate().has_value(), "invalid StrategyParams");
+  MM_ASSERT_MSG(smax > 0, "smax must be positive");
+}
+
+void PairStrategy::step(std::int64_t s, double price_i, double price_j, double corr,
+                        bool corr_valid) {
+  MM_ASSERT_MSG(s > last_s_, "intervals must be strictly increasing");
+  MM_ASSERT_MSG(price_i > 0.0 && price_j > 0.0, "non-positive price");
+  last_s_ = s;
+  last_price_i_ = price_i;
+  last_price_j_ = price_j;
+
+  // Update price/spread windows every interval.
+  price_hist_i_.push(price_i);
+  price_hist_j_.push(price_j);
+  const double spread = price_i - price_j;
+  spread_extremes_.update(spread);
+  spread_mean_.update(spread);
+
+  // Update the correlation signal (step 1) and divergence freshness (step 2).
+  // The average C̄ used for decisions at interval s is the trailing mean over
+  // the W intervals before s (computed before pushing C(s)).
+  bool fresh_divergence = false;
+  bool avg_ready = false;
+  double avg_corr = 0.0;
+  if (corr_valid) {
+    avg_ready = corr_mean_.full();
+    if (avg_ready) {
+      avg_corr = corr_mean_.mean();
+      const bool diverged = corr < avg_corr * (1.0 - params_.divergence);
+      diverged_streak_ = diverged ? diverged_streak_ + 1 : 0;
+      fresh_divergence =
+          diverged && diverged_streak_ <= params_.divergence_window;
+    }
+    corr_mean_.update(corr);
+  } else {
+    diverged_streak_ = 0;
+  }
+
+  if (open_) {
+    check_exit(s, price_i, price_j, corr, corr_valid && avg_ready, avg_corr);
+    return;
+  }
+
+  // Entry gate (steps 2-3): all windows warm, signal fired, threshold met,
+  // and enough time left in the session (ST).
+  if (!fresh_divergence) return;
+  if (avg_corr <= params_.min_correlation) return;
+  if (!price_hist_i_.full() || !spread_mean_.full()) return;
+  if (s >= smax_ - params_.no_entry_before_close) return;  // the ST rule
+
+  try_enter(s, price_i, price_j);
+}
+
+void PairStrategy::try_enter(std::int64_t s, double price_i, double price_j) {
+  // Direction (step 3): the over-performer has the higher W-interval return.
+  const double ret_i = price_i / price_hist_i_.oldest() - 1.0;
+  const double ret_j = price_j / price_hist_j_.oldest() - 1.0;
+  const bool long_i = ret_i < ret_j;  // long the under-performer
+
+  const auto shares = size_position(price_i, price_j, long_i);
+
+  // Retracement level (step 5), fixed at entry from the RT-window spread.
+  const double spread_high = spread_extremes_.max();
+  const double spread_low = spread_extremes_.min();
+  const double spread_avg = spread_mean_.mean();
+  const double entry_spread = price_i - price_j;
+  const double range = spread_high - spread_low;
+  if (entry_spread <= spread_avg) {
+    retrace_level_ = spread_low + params_.retracement * range;
+    exit_when_spread_above_ = true;
+  } else {
+    retrace_level_ = spread_high - params_.retracement * range;
+    exit_when_spread_above_ = false;
+  }
+
+  open_ = true;
+  entry_s_ = s;
+  // Slippage: each leg is filled at a price worsened in the direction traded.
+  const double slip = params_.slippage_frac;
+  entry_price_i_ = price_i * (shares.shares_i > 0 ? 1.0 + slip : 1.0 - slip);
+  entry_price_j_ = price_j * (shares.shares_j > 0 ? 1.0 + slip : 1.0 - slip);
+  shares_i_ = shares.shares_i * params_.lot_size;
+  shares_j_ = shares.shares_j * params_.lot_size;
+  gross_basis_ = std::abs(shares_i_) * entry_price_i_ + std::abs(shares_j_) * entry_price_j_;
+}
+
+double PairStrategy::mark_to_market_return(double price_i, double price_j) const {
+  const double pnl = shares_i_ * (price_i - entry_price_i_) +
+                     shares_j_ * (price_j - entry_price_j_);
+  return pnl / gross_basis_;
+}
+
+void PairStrategy::check_exit(std::int64_t s, double price_i, double price_j,
+                              double corr, bool corr_valid, double avg_corr) {
+  // Retracement cross (step 5).
+  const double spread = price_i - price_j;
+  if (exit_when_spread_above_ ? spread >= retrace_level_ : spread <= retrace_level_) {
+    close_position(s, price_i, price_j, ExitReason::retracement);
+    return;
+  }
+
+  // Optional absolute stop-loss.
+  if (params_.stop_loss > 0.0 &&
+      mark_to_market_return(price_i, price_j) <= -params_.stop_loss) {
+    close_position(s, price_i, price_j, ExitReason::stop_loss);
+    return;
+  }
+
+  // Optional correlation reversion: C back inside [C̄(1-d), C̄].
+  if (params_.correlation_reversion_exit && corr_valid) {
+    const double avg = avg_corr;
+    if (corr >= avg * (1.0 - params_.divergence) && corr <= avg) {
+      close_position(s, price_i, price_j, ExitReason::correlation_reversion);
+      return;
+    }
+  }
+
+  // Maximum holding period HP.
+  if (s - entry_s_ >= params_.max_holding) {
+    close_position(s, price_i, price_j, ExitReason::max_holding);
+    return;
+  }
+}
+
+void PairStrategy::close_position(std::int64_t s, double price_i, double price_j,
+                                  ExitReason reason) {
+  MM_ASSERT(open_);
+  const double slip = params_.slippage_frac;
+  // Exit fills are worsened opposite to the held direction (selling longs
+  // lower, buying back shorts higher).
+  const double exit_i = price_i * (shares_i_ > 0 ? 1.0 - slip : 1.0 + slip);
+  const double exit_j = price_j * (shares_j_ > 0 ? 1.0 - slip : 1.0 + slip);
+
+  Trade t;
+  t.entry_interval = entry_s_;
+  t.exit_interval = s;
+  t.entry_price_i = entry_price_i_;
+  t.entry_price_j = entry_price_j_;
+  t.exit_price_i = exit_i;
+  t.exit_price_j = exit_j;
+  t.shares_i = shares_i_;
+  t.shares_j = shares_j_;
+  t.gross_basis = gross_basis_;
+  const double costs =
+      params_.cost_per_share * 2.0 * (std::abs(shares_i_) + std::abs(shares_j_));
+  t.pnl = shares_i_ * (exit_i - entry_price_i_) + shares_j_ * (exit_j - entry_price_j_) -
+          costs;
+  t.trade_return = t.pnl / t.gross_basis;
+  t.exit_reason = reason;
+  trades_.push_back(t);
+
+  open_ = false;
+  // A divergence that is still running must not instantly re-trigger.
+  diverged_streak_ = params_.divergence_window + 1;
+}
+
+void PairStrategy::finish() {
+  if (!open_) return;
+  close_position(last_s_, last_price_i_, last_price_j_, ExitReason::end_of_day);
+}
+
+}  // namespace mm::core

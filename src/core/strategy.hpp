@@ -1,0 +1,132 @@
+// The canonical pair trading strategy of §III, as a per-pair state machine.
+//
+// Feed one step per ∆s interval: the two legs' prices and the pair's current
+// correlation coefficient (computed elsewhere over the last M log-returns).
+// The machine implements the paper's six steps:
+//   1. average correlation C̄ over the last W intervals;
+//   2. entry check — C̄ > A and the correlation freshly diverged more than
+//      d (fraction) below C̄ within the last Y intervals;
+//   3. direction — long the under-performer / short the over-performer by
+//      W-interval return;
+//   4. cash-neutral-but-slightly-long share ratio via the floor/ceil price
+//      ratio rule;
+//   5. exit — spread retracement to level L (ℓ between the RT-window spread
+//      extremes, side chosen by where the entry spread sat relative to the
+//      window average), a maximum holding period HP, end of day, and the
+//      optional extensions (absolute stop-loss, correlation reversion);
+//   6. trade return = pnl / (Pi·Ni + Pj·Nj) at entry.
+//
+// Interpretation note (the paper leaves this implicit): "diverged within the
+// last Y intervals" is read as *freshness* — the streak of consecutive
+// diverged intervals must be at most Y long, so a pair stuck in a stale
+// divergence does not re-trigger all day.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "stats/rolling.hpp"
+
+namespace mm::core {
+
+enum class ExitReason : std::uint8_t {
+  retracement,
+  max_holding,
+  end_of_day,
+  stop_loss,
+  correlation_reversion,
+};
+
+const char* to_string(ExitReason reason);
+
+// A completed round trip on one pair. Shares are signed (+long / -short).
+struct Trade {
+  std::int64_t entry_interval = 0;
+  std::int64_t exit_interval = 0;
+  double entry_price_i = 0.0;
+  double entry_price_j = 0.0;
+  double exit_price_i = 0.0;
+  double exit_price_j = 0.0;
+  double shares_i = 0.0;
+  double shares_j = 0.0;
+  double pnl = 0.0;           // dollars, net of configured costs
+  double gross_basis = 0.0;   // |Ni|·Pi + |Nj|·Pj at entry (the paper's Eq. 6 denom)
+  double trade_return = 0.0;  // pnl / gross_basis
+  ExitReason exit_reason = ExitReason::end_of_day;
+};
+
+class PairStrategy {
+ public:
+  // `smax` is the number of intervals in the trading day; the ST rule (no new
+  // positions within ST intervals of the close) is enforced against it.
+  PairStrategy(const StrategyParams& params, std::int64_t smax);
+
+  // Advance one interval. `corr_valid` is false until the upstream window has
+  // M returns. Prices are the legs' BAM at the close of interval s; s must be
+  // strictly increasing across calls.
+  void step(std::int64_t s, double price_i, double price_j, double corr,
+            bool corr_valid);
+
+  // End of trading day: close any open position at the last seen prices
+  // (§III step 5: "reverse all positions at the end of the trading day").
+  void finish();
+
+  bool in_position() const { return open_; }
+  const std::vector<Trade>& trades() const { return trades_; }
+  std::vector<Trade> take_trades() { return std::move(trades_); }
+
+  // Introspection for tests and for the pipeline's order emission.
+  bool correlation_ready() const { return corr_mean_.full(); }
+  double average_correlation() const { return corr_mean_.mean(); }
+  std::int64_t entry_interval() const { return entry_s_; }
+  double position_shares_i() const { return shares_i_; }
+  double position_shares_j() const { return shares_j_; }
+  double position_entry_price_i() const { return entry_price_i_; }
+  double position_entry_price_j() const { return entry_price_j_; }
+
+ private:
+  void try_enter(std::int64_t s, double price_i, double price_j);
+  void check_exit(std::int64_t s, double price_i, double price_j, double corr,
+                  bool corr_valid, double avg_corr);
+  void close_position(std::int64_t s, double price_i, double price_j,
+                      ExitReason reason);
+  double mark_to_market_return(double price_i, double price_j) const;
+
+  StrategyParams params_;
+  std::int64_t smax_;
+
+  // Signal state.
+  stats::RollingMean corr_mean_;            // C̄ over W
+  std::int64_t diverged_streak_ = 0;        // consecutive intervals below C̄(1-d)
+
+  // Price/spread state.
+  stats::RollingWindow<double> price_hist_i_;  // last W+1 prices for W-return
+  stats::RollingWindow<double> price_hist_j_;
+  stats::RollingMinMax spread_extremes_;       // over RT
+  stats::RollingMean spread_mean_;             // over RT
+
+  // Position state.
+  bool open_ = false;
+  std::int64_t entry_s_ = 0;
+  double entry_price_i_ = 0.0, entry_price_j_ = 0.0;
+  double shares_i_ = 0.0, shares_j_ = 0.0;  // signed
+  double gross_basis_ = 0.0;
+  double retrace_level_ = 0.0;
+  bool exit_when_spread_above_ = false;  // direction of the retracement cross
+
+  std::int64_t last_s_ = -1;
+  double last_price_i_ = 0.0, last_price_j_ = 0.0;
+
+  std::vector<Trade> trades_;
+};
+
+// Cash-neutral-but-slightly-long sizing (§III step 4). Returns signed share
+// counts for legs i and j given the entry prices and which leg goes long.
+struct ShareRatio {
+  double shares_i;
+  double shares_j;
+};
+ShareRatio size_position(double price_i, double price_j, bool long_i);
+
+}  // namespace mm::core

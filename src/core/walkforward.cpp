@@ -1,0 +1,124 @@
+#include "core/walkforward.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "stats/descriptive.hpp"
+
+namespace mm::core {
+namespace {
+
+// Per (ctype, level) objective score from one single-day experiment.
+using DayScores = std::array<std::vector<double>, 3>;  // [ctype][level]
+
+double level_score(const ExperimentResult& result, std::size_t c, std::size_t l,
+                   Objective objective) {
+  const auto& returns = result.level_monthly_return_plus1[c][l];
+  switch (objective) {
+    case Objective::mean_return:
+      return stats::mean(returns);
+    case Objective::sharpe: {
+      const double sd = returns.size() >= 2 ? stats::stddev(returns) : 0.0;
+      return sd > 0.0 ? stats::mean(returns) / sd : 0.0;
+    }
+    case Objective::drawdown:
+      return -stats::mean(result.level_max_daily_drawdown[c][l]);
+    case Objective::win_loss:
+      return stats::mean(result.level_win_loss[c][l]);
+  }
+  MM_ASSERT_MSG(false, "unreachable Objective");
+  return 0.0;
+}
+
+}  // namespace
+
+WalkForwardResult walk_forward(const WalkForwardConfig& config) {
+  const int days = config.experiment.days;
+  const int f = config.formation_days;
+  MM_ASSERT_MSG(f >= 1, "formation_days must be >= 1");
+  MM_ASSERT_MSG(days >= 2 * f, "need at least two blocks of days");
+
+  const std::size_t n_levels = config.experiment.grid.levels().size();
+
+  // One single-day experiment per day, retaining level detail.
+  std::vector<DayScores> per_day(static_cast<std::size_t>(days));
+  for (int d = 0; d < days; ++d) {
+    ExperimentConfig day_cfg = config.experiment;
+    day_cfg.days = 1;
+    day_cfg.first_day_index = config.experiment.first_day_index + d;
+    day_cfg.keep_level_detail = true;
+    const auto result = run_experiment(day_cfg);
+    for (std::size_t c = 0; c < 3; ++c) {
+      per_day[static_cast<std::size_t>(d)][c].resize(n_levels);
+      for (std::size_t l = 0; l < n_levels; ++l)
+        per_day[static_cast<std::size_t>(d)][c][l] =
+            level_score(result, c, l, config.objective);
+    }
+  }
+
+  const auto block_mean = [&](std::size_t c, std::size_t l, int first,
+                              int count) {
+    double sum = 0.0;
+    for (int d = first; d < first + count; ++d)
+      sum += per_day[static_cast<std::size_t>(d)][c][l];
+    return sum / static_cast<double>(count);
+  };
+
+  WalkForwardResult out;
+  std::array<double, 3> sum_in{}, sum_out{};
+  for (int start = 0; start + 2 * f <= days; start += f) {
+    WalkForwardFold fold;
+    fold.formation_first_day = start;
+    fold.evaluation_first_day = start + f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      std::size_t best = 0;
+      double best_score = block_mean(c, 0, start, f);
+      for (std::size_t l = 1; l < n_levels; ++l) {
+        const double score = block_mean(c, l, start, f);
+        if (score > best_score) {
+          best_score = score;
+          best = l;
+        }
+      }
+      fold.chosen_level[c] = best;
+      fold.in_sample_score[c] = best_score;
+      fold.out_of_sample_score[c] = block_mean(c, best, start + f, f);
+      sum_in[c] += best_score;
+      sum_out[c] += fold.out_of_sample_score[c];
+    }
+    out.folds.push_back(fold);
+  }
+  MM_ASSERT(!out.folds.empty());
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto nf = static_cast<double>(out.folds.size());
+    out.mean_in_sample[c] = sum_in[c] / nf;
+    out.mean_out_of_sample[c] = sum_out[c] / nf;
+  }
+  return out;
+}
+
+std::string render_walk_forward(const WalkForwardResult& result,
+                                const WalkForwardConfig& config) {
+  std::string out = format(
+      "walk-forward evaluation (objective %s, %d-day formation blocks, %zu folds)\n",
+      to_string(config.objective), config.formation_days, result.folds.size());
+  for (std::size_t c = 0; c < 3; ++c) {
+    out += format("\n%s:\n", stats::to_string(stats::all_ctypes[c]));
+    for (const auto& fold : result.folds) {
+      out += format("  days %d-%d pick k'%zu: in-sample %8.3f -> "
+                    "out-of-sample %8.3f on days %d-%d\n",
+                    fold.formation_first_day,
+                    fold.formation_first_day + config.formation_days - 1,
+                    fold.chosen_level[c] + 1, fold.in_sample_score[c],
+                    fold.out_of_sample_score[c], fold.evaluation_first_day,
+                    fold.evaluation_first_day + config.formation_days - 1);
+    }
+    out += format("  mean: in-sample %8.3f, out-of-sample %8.3f "
+                  "(overfitting penalty %.3f)\n",
+                  result.mean_in_sample[c], result.mean_out_of_sample[c],
+                  result.mean_in_sample[c] - result.mean_out_of_sample[c]);
+  }
+  return out;
+}
+
+}  // namespace mm::core

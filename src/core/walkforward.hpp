@@ -1,0 +1,48 @@
+// Walk-forward evaluation — the §VI parameter-identification program done
+// without look-ahead bias: select the best factor level on a formation block
+// of days, then evaluate it out-of-sample on the following block, rolling
+// forward through the month. The gap between in-sample and out-of-sample
+// scores is the overfitting penalty a practitioner actually pays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/optimizer.hpp"
+
+namespace mm::core {
+
+struct WalkForwardConfig {
+  ExperimentConfig experiment{};
+  // Days in each selection block (out-of-sample block is the same length).
+  int formation_days = 3;
+  Objective objective = Objective::sharpe;
+};
+
+struct WalkForwardFold {
+  int formation_first_day = 0;  // day indexes into the experiment's days
+  int evaluation_first_day = 0;
+  // Per treatment: level chosen on the formation block and its scores.
+  std::array<std::size_t, 3> chosen_level{};
+  std::array<double, 3> in_sample_score{};
+  std::array<double, 3> out_of_sample_score{};
+};
+
+struct WalkForwardResult {
+  std::vector<WalkForwardFold> folds;
+  // Mean out-of-sample score of the walk-forward-chosen level, vs the score
+  // of (a) the in-sample-best level evaluated in-sample (the overfit view)
+  // and (b) the single best fixed level in hindsight.
+  std::array<double, 3> mean_out_of_sample{};
+  std::array<double, 3> mean_in_sample{};
+};
+
+// Runs one experiment per day (keeping per-level detail) and rolls the
+// selection forward. config.experiment.days must be >= 2 * formation_days.
+WalkForwardResult walk_forward(const WalkForwardConfig& config);
+
+std::string render_walk_forward(const WalkForwardResult& result,
+                                const WalkForwardConfig& config);
+
+}  // namespace mm::core

@@ -1,0 +1,125 @@
+#include "dagflow/context.hpp"
+
+#include "common/error.hpp"
+#include "dagflow/graph.hpp"
+
+namespace mm::dag {
+namespace {
+
+constexpr std::uint8_t kind_data = 0;
+constexpr std::uint8_t kind_eos = 1;
+
+}  // namespace
+
+Context::Context(mpi::Comm& comm, int node, std::string name,
+                 const std::vector<Edge>& edges, const std::vector<int>& leader_ranks)
+    : comm_(comm), node_(node), name_(std::move(name)) {
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const Edge& edge = edges[e];
+    if (edge.to_node == node) {
+      inputs_.push_back({static_cast<int>(e),
+                         leader_ranks[static_cast<std::size_t>(edge.from_node)],
+                         edge.to_port, true});
+    }
+    if (edge.from_node == node) {
+      outputs_.push_back({static_cast<int>(e),
+                          leader_ranks[static_cast<std::size_t>(edge.to_node)],
+                          edge.from_port, edge.capacity, true});
+    }
+  }
+}
+
+bool Context::all_inputs_closed() const {
+  for (const auto& in : inputs_)
+    if (in.open) return false;
+  return true;
+}
+
+void Context::pump() {
+  mpi::RecvStatus status;
+  auto payload = comm_.recv(mpi::any_source, mpi::any_tag, &status);
+
+  // Credit for one of my output edges?
+  for (auto& out : outputs_) {
+    if (credit_tag(out.edge_id) == status.tag && out.peer_node == status.source) {
+      ++out.credits;
+      return;
+    }
+  }
+
+  // Data or EOS on one of my input edges.
+  for (auto& in : inputs_) {
+    if (data_tag(in.edge_id) == status.tag && in.peer_node == status.source) {
+      MM_ASSERT_MSG(!payload.empty(), "dagflow: empty transport frame");
+      const std::uint8_t kind = payload.front();
+      if (kind == kind_eos) {
+        in.open = false;
+        return;
+      }
+      MM_ASSERT_MSG(kind == kind_data, "dagflow: unknown frame kind");
+      payload.erase(payload.begin());
+      ready_.push_back({in.port, std::move(payload)});
+      pending_credits_.push_back(in.edge_id);
+      return;
+    }
+  }
+  MM_ASSERT_MSG(false, "dagflow: message for an unknown edge");
+}
+
+std::optional<InMessage> Context::recv() {
+  while (ready_.empty() && !all_inputs_closed()) pump();
+  if (ready_.empty()) return std::nullopt;
+
+  InMessage msg = std::move(ready_.front());
+  ready_.pop_front();
+  // Return one credit to the producer of this message.
+  MM_ASSERT(!pending_credits_.empty());
+  const int edge_id = pending_credits_.front();
+  pending_credits_.pop_front();
+  for (const auto& in : inputs_) {
+    if (in.edge_id == edge_id) {
+      comm_.send(in.peer_node, credit_tag(edge_id), {});
+      break;
+    }
+  }
+  ++messages_in_;
+  return msg;
+}
+
+void Context::emit(int port, std::vector<std::uint8_t> bytes) {
+  OutputEdge* target = nullptr;
+  for (auto& out : outputs_)
+    if (out.port == port) target = &out;
+  MM_ASSERT_MSG(target != nullptr, "emit on an unconnected output port");
+  MM_ASSERT_MSG(target->open, "emit on a closed output port");
+
+  // Backpressure: service the transport until a credit frees capacity.
+  while (target->credits == 0) pump();
+
+  bytes.insert(bytes.begin(), kind_data);
+  comm_.send(target->peer_node, data_tag(target->edge_id), std::move(bytes));
+  --target->credits;
+  ++messages_out_;
+}
+
+void Context::close_output(int port) {
+  for (auto& out : outputs_) {
+    if (out.port == port && out.open) {
+      // EOS bypasses flow control: it is a zero-payload frame and the only
+      // message allowed to exceed capacity by one.
+      comm_.send(out.peer_node, data_tag(out.edge_id), {kind_eos});
+      out.open = false;
+    }
+  }
+}
+
+void Context::close_all_outputs() {
+  for (auto& out : outputs_) {
+    if (out.open) {
+      comm_.send(out.peer_node, data_tag(out.edge_id), {kind_eos});
+      out.open = false;
+    }
+  }
+}
+
+}  // namespace mm::dag

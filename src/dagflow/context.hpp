@@ -1,0 +1,87 @@
+// Per-node execution context: the API a dagflow component programs against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpmini/comm.hpp"
+
+namespace mm::dag {
+
+struct Edge;
+
+// A message received on one of the node's input ports.
+struct InMessage {
+  int port = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class Context {
+ public:
+  // Built by Graph::run; user code only consumes it. `leader_ranks` maps a
+  // node id to the world rank that owns its edges (identity when every node
+  // is single-rank; group nodes put their leader there).
+  Context(mpi::Comm& comm, int node, std::string name, const std::vector<Edge>& edges,
+          const std::vector<int>& leader_ranks);
+
+  const std::string& name() const { return name_; }
+  int node() const { return node_; }
+  std::size_t input_count() const { return inputs_.size(); }
+  std::size_t output_count() const { return outputs_.size(); }
+
+  // Next message from any input port, in arrival order. Returns nullopt once
+  // every input has reached end-of-stream. Consuming a message returns one
+  // flow-control credit to its sender.
+  std::optional<InMessage> recv();
+
+  // Send on an output port. Blocks while the edge is at capacity (credit
+  // exhausted), servicing incoming data/credits meanwhile.
+  void emit(int port, std::vector<std::uint8_t> bytes);
+
+  // Close one output port early (EOS). Idempotent. All still-open outputs
+  // are closed automatically when the node function returns.
+  void close_output(int port);
+  void close_all_outputs();
+
+  // Totals for throughput reporting.
+  std::uint64_t messages_in() const { return messages_in_; }
+  std::uint64_t messages_out() const { return messages_out_; }
+
+ private:
+  struct InputEdge {
+    int edge_id;
+    int peer_node;  // rank of the producer
+    int port;
+    bool open = true;
+  };
+  struct OutputEdge {
+    int edge_id;
+    int peer_node;  // rank of the consumer
+    int port;
+    int credits;
+    bool open = true;
+  };
+
+  // Block for one incoming transport message and dispatch it (data -> queue,
+  // EOS -> mark closed, credit -> top up).
+  void pump();
+  bool all_inputs_closed() const;
+
+  static int data_tag(int edge_id) { return 2 * edge_id; }
+  static int credit_tag(int edge_id) { return 2 * edge_id + 1; }
+
+  mpi::Comm& comm_;
+  int node_;
+  std::string name_;
+  std::vector<InputEdge> inputs_;
+  std::vector<OutputEdge> outputs_;
+  std::deque<InMessage> ready_;  // data already pumped but not yet recv()ed
+  std::deque<int> pending_credits_;  // edge ids whose credit we owe on recv()
+  std::uint64_t messages_in_ = 0;
+  std::uint64_t messages_out_ = 0;
+};
+
+}  // namespace mm::dag

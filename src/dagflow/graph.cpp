@@ -1,0 +1,144 @@
+#include "dagflow/graph.hpp"
+
+#include <set>
+
+#include "common/strings.hpp"
+#include "dagflow/context.hpp"
+#include "mpmini/environment.hpp"
+
+namespace mm::dag {
+
+int Graph::add_node(std::string name, NodeFn fn) {
+  MM_ASSERT_MSG(fn != nullptr, "node function must not be null");
+  Node node;
+  node.name = std::move(name);
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Graph::add_group_node(std::string name, GroupNodeFn fn, int replicas) {
+  MM_ASSERT_MSG(fn != nullptr, "node function must not be null");
+  MM_ASSERT_MSG(replicas >= 1, "group node needs at least one replica");
+  Node node;
+  node.name = std::move(name);
+  node.group_fn = std::move(fn);
+  node.replicas = replicas;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Graph::rank_count() const {
+  int total = 0;
+  for (const auto& node : nodes_) total += node.replicas;
+  return total;
+}
+
+void Graph::connect(int from_node, int from_port, int to_node, int to_port,
+                    int capacity) {
+  edges_.push_back({from_node, from_port, to_node, to_port, capacity});
+}
+
+const std::string& Graph::node_name(int node) const {
+  MM_ASSERT(node >= 0 && node < static_cast<int>(nodes_.size()));
+  return nodes_[static_cast<std::size_t>(node)].name;
+}
+
+Status Graph::validate() const {
+  const int n = static_cast<int>(nodes_.size());
+  if (n == 0) return Error(Errc::invalid_argument, "graph has no nodes");
+
+  std::set<std::pair<int, int>> seen_inputs, seen_outputs;
+  for (const auto& e : edges_) {
+    if (e.from_node < 0 || e.from_node >= n || e.to_node < 0 || e.to_node >= n)
+      return Error(Errc::invalid_argument, "edge endpoint out of range");
+    if (e.from_node == e.to_node)
+      return Error(Errc::invalid_argument,
+                   "self-loop on node " + nodes_[static_cast<std::size_t>(e.from_node)].name);
+    if (e.capacity <= 0) return Error(Errc::invalid_argument, "edge capacity must be positive");
+    if (!seen_inputs.insert({e.to_node, e.to_port}).second)
+      return Error(Errc::invalid_argument,
+                   format("duplicate input port %d on node %s", e.to_port,
+                          nodes_[static_cast<std::size_t>(e.to_node)].name.c_str()));
+    if (!seen_outputs.insert({e.from_node, e.from_port}).second)
+      return Error(Errc::invalid_argument,
+                   format("duplicate output port %d on node %s", e.from_port,
+                          nodes_[static_cast<std::size_t>(e.from_node)].name.c_str()));
+  }
+
+  // Kahn's algorithm for acyclicity.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const auto& e : edges_) ++indegree[static_cast<std::size_t>(e.to_node)];
+  std::vector<int> queue;
+  for (int i = 0; i < n; ++i)
+    if (indegree[static_cast<std::size_t>(i)] == 0) queue.push_back(i);
+  int visited = 0;
+  while (!queue.empty()) {
+    const int u = queue.back();
+    queue.pop_back();
+    ++visited;
+    for (const auto& e : edges_) {
+      if (e.from_node != u) continue;
+      if (--indegree[static_cast<std::size_t>(e.to_node)] == 0)
+        queue.push_back(e.to_node);
+    }
+  }
+  if (visited != n) return Error(Errc::invalid_argument, "graph contains a cycle");
+  return {};
+}
+
+std::string Graph::to_dot() const {
+  std::string out = "digraph dagflow {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    out += format("  n%zu [label=\"%s\"];\n", i, nodes_[i].name.c_str());
+  for (const auto& e : edges_) {
+    out += format("  n%d -> n%d [label=\"%d->%d cap=%d\"];\n", e.from_node, e.to_node,
+                  e.from_port, e.to_port, e.capacity);
+  }
+  out += "}\n";
+  return out;
+}
+
+void Graph::run() {
+  if (auto st = validate(); !st)
+    throw std::runtime_error("dagflow: invalid graph: " + st.error().message);
+
+  // Rank layout: each node occupies a contiguous block of `replicas` ranks;
+  // the first rank of the block is the node's leader and owns its edges.
+  std::vector<int> node_of_rank;
+  std::vector<int> leader_rank(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    leader_rank[i] = static_cast<int>(node_of_rank.size());
+    for (int r = 0; r < nodes_[i].replicas; ++r)
+      node_of_rank.push_back(static_cast<int>(i));
+  }
+
+  mpi::Environment::run(rank_count(), [&](mpi::Comm& comm) {
+    const int node = node_of_rank[static_cast<std::size_t>(comm.rank())];
+    const Node& spec = nodes_[static_cast<std::size_t>(node)];
+    // Private group communicator per node (collective over the world).
+    mpi::Comm group = comm.split(node, comm.rank());
+
+    const bool leader = comm.rank() == leader_rank[static_cast<std::size_t>(node)];
+    if (spec.fn) {
+      MM_ASSERT(leader);  // single-rank nodes have exactly one member
+      Context ctx(comm, node, spec.name, edges_, leader_rank);
+      spec.fn(ctx);
+      // Automatic EOS on anything the node left open, then drain remaining
+      // input so upstream emitters blocked on credits can always finish.
+      ctx.close_all_outputs();
+      while (ctx.recv()) {
+      }
+    } else if (leader) {
+      Context ctx(comm, node, spec.name, edges_, leader_rank);
+      spec.group_fn(&ctx, group);
+      ctx.close_all_outputs();
+      while (ctx.recv()) {
+      }
+    } else {
+      spec.group_fn(nullptr, group);
+    }
+  });
+}
+
+}  // namespace mm::dag

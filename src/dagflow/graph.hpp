@@ -1,0 +1,92 @@
+// dagflow: directed-acyclic-graph stream processing over mpmini.
+//
+// MarketMiner "has since been extended to support arbitrary directed acyclic
+// graph (DAG) stream processing workflows" (§II). dagflow is that layer:
+//
+//   * a Graph of named nodes (components), each a user function run on its
+//     own rank, connected by directed edges between numbered ports;
+//   * validation — edges well-formed, graph acyclic;
+//   * execution — one mpmini rank per node, edges carried as tagged messages;
+//   * bounded channels — every edge has a capacity and uses credit-based flow
+//     control, so a slow stage exerts backpressure instead of letting queues
+//     grow without bound (critical when the correlation stage is slower than
+//     a live feed);
+//   * end-of-stream propagation — a node's outputs are closed automatically
+//     when its function returns; Context::recv() drains inputs until all
+//     upstream nodes have closed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpmini/comm.hpp"
+
+namespace mm::dag {
+
+class Context;
+
+using NodeFn = std::function<void(Context&)>;
+
+// A node backed by a GROUP of ranks (Fig. 1's "Parallel Correlation Engine"
+// is such a box). The group's rank 0 (the leader) owns the node's edges and
+// receives a Context; every member (leader included) receives the group's
+// private communicator for internal collectives. Non-leaders get ctx ==
+// nullptr.
+using GroupNodeFn = std::function<void(Context* ctx, mpi::Comm& group)>;
+
+struct Edge {
+  int from_node = -1;
+  int from_port = 0;
+  int to_node = -1;
+  int to_port = 0;
+  int capacity = 64;  // in-flight messages before the sender blocks
+};
+
+class Graph {
+ public:
+  // Returns the node id. Nodes execute fn on their own rank when run() is
+  // called.
+  int add_node(std::string name, NodeFn fn);
+
+  // A node backed by `replicas` ranks; see GroupNodeFn.
+  int add_group_node(std::string name, GroupNodeFn fn, int replicas);
+
+  // Connect from_node's output port to to_node's input port. Ports are
+  // small integers chosen by the caller; a node may have several inputs and
+  // outputs. capacity bounds in-flight messages on this edge.
+  void connect(int from_node, int from_port, int to_node, int to_port,
+               int capacity = 64);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(int node) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Well-formed endpoints, positive capacities, no duplicate input port on a
+  // node, acyclic.
+  Status validate() const;
+
+  // Execute: spawns one rank per node and blocks until every node function
+  // has returned and all streams have drained.
+  void run();
+
+  // Graphviz rendering of the topology (node names, port labels, capacities)
+  // for documentation and debugging.
+  std::string to_dot() const;
+
+  // Total ranks required (sum of replica counts).
+  int rank_count() const;
+
+ private:
+  struct Node {
+    std::string name;
+    NodeFn fn;               // exactly one of fn / group_fn is set
+    GroupNodeFn group_fn;
+    int replicas = 1;
+  };
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace mm::dag

@@ -1,0 +1,495 @@
+#include "engine/components.hpp"
+
+#include <cmath>
+
+#include "core/strategy.hpp"
+#include "dagflow/context.hpp"
+#include "engine/messages.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/tickdb.hpp"
+#include "stats/cluster.hpp"
+#include "stats/windows.hpp"
+
+namespace mm::engine {
+namespace {
+
+void bump(StageStats* stats, std::uint64_t rec_in, std::uint64_t rec_out,
+          std::uint64_t it_in, std::uint64_t it_out) {
+  if (stats == nullptr) return;
+  stats->records_in += rec_in;
+  stats->records_out += rec_out;
+  stats->items_in += it_in;
+  stats->items_out += it_out;
+}
+
+void emit_quotes(dag::Context& ctx, const std::vector<md::Quote>& quotes,
+                 std::size_t batch_size, StageStats* stats) {
+  QuoteBatch batch;
+  batch.quotes.reserve(batch_size);
+  for (const auto& q : quotes) {
+    batch.quotes.push_back(q);
+    if (batch.quotes.size() == batch_size) {
+      ctx.emit(0, batch.pack());
+      bump(stats, 0, 1, 0, batch.quotes.size());
+      batch.quotes.clear();
+    }
+  }
+  if (!batch.quotes.empty()) {
+    ctx.emit(0, batch.pack());
+    bump(stats, 0, 1, 0, batch.quotes.size());
+  }
+}
+
+}  // namespace
+
+dag::NodeFn make_file_collector(std::vector<md::Quote> quotes, std::size_t batch_size,
+                                StageStats* stats) {
+  MM_ASSERT(batch_size > 0);
+  return [quotes = std::move(quotes), batch_size, stats](dag::Context& ctx) {
+    emit_quotes(ctx, quotes, batch_size, stats);
+  };
+}
+
+dag::NodeFn make_db_collector(std::string tickdb_root, md::Date date,
+                              std::size_t batch_size, StageStats* stats) {
+  MM_ASSERT(batch_size > 0);
+  return [root = std::move(tickdb_root), date, batch_size, stats](dag::Context& ctx) {
+    auto db = md::TickDb::open(root);
+    MM_ASSERT_MSG(db.has_value(), "db collector: cannot open tickdb");
+    auto quotes = db->read_day(date);
+    MM_ASSERT_MSG(quotes.has_value(), "db collector: cannot read day");
+    emit_quotes(ctx, *quotes, batch_size, stats);
+  };
+}
+
+dag::NodeFn make_cleaner(std::size_t symbols, md::CleanerConfig config,
+                         StageStats* stats) {
+  return [symbols, config, stats](dag::Context& ctx) {
+    md::QuoteCleaner cleaner(symbols, config);
+    while (auto msg = ctx.recv()) {
+      mpi::Unpacker u(msg->bytes);
+      MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
+                RecordType::quote_batch);
+      auto batch = QuoteBatch::unpack(u);
+      const std::size_t in_count = batch.quotes.size();
+
+      QuoteBatch out;
+      out.quotes.reserve(batch.quotes.size());
+      for (const auto& q : batch.quotes)
+        if (cleaner.accept(q)) out.quotes.push_back(q);
+      if (!out.quotes.empty()) {
+        const std::size_t out_count = out.quotes.size();
+        ctx.emit(0, out.pack());
+        bump(stats, 1, 1, in_count, out_count);
+      } else {
+        bump(stats, 1, 0, in_count, 0);
+      }
+    }
+  };
+}
+
+dag::NodeFn make_snapshot_stage(std::size_t symbols, md::Session session,
+                                std::int64_t delta_s, std::vector<double> seed_prices,
+                                StageStats* stats) {
+  MM_ASSERT(seed_prices.size() == symbols);
+  return [symbols, session, delta_s, seed = std::move(seed_prices),
+          stats](dag::Context& ctx) {
+    const std::int64_t smax = session.interval_count(delta_s);
+    std::vector<double> last_bam = seed;
+    std::vector<double> prev_prices = seed;
+    std::int64_t next_emit = 0;  // first interval not yet snapshotted
+
+    const auto emit_through = [&](std::int64_t limit) {
+      // Emit snapshots for every interval strictly below `limit`.
+      for (; next_emit < limit && next_emit < smax; ++next_emit) {
+        Snapshot snap;
+        snap.interval = next_emit;
+        snap.prices = last_bam;
+        if (next_emit > 0) {
+          snap.returns.resize(symbols);
+          for (std::size_t i = 0; i < symbols; ++i)
+            snap.returns[i] = std::log(last_bam[i] / prev_prices[i]);
+        }
+        prev_prices = last_bam;
+        ctx.emit(0, snap.pack());
+        bump(stats, 0, 1, 0, 1);
+      }
+    };
+
+    while (auto msg = ctx.recv()) {
+      mpi::Unpacker u(msg->bytes);
+      MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
+                RecordType::quote_batch);
+      const auto batch = QuoteBatch::unpack(u);
+      bump(stats, 1, 0, batch.quotes.size(), 0);
+      for (const auto& q : batch.quotes) {
+        const std::int64_t s = session.interval_of(q.ts_ms, delta_s);
+        if (s < 0 || q.symbol >= symbols) continue;
+        // A quote in interval s means intervals < s are complete.
+        emit_through(s);
+        last_bam[q.symbol] = q.bam();
+      }
+    }
+    // End of stream: flush the remaining intervals of the session.
+    emit_through(smax);
+  };
+}
+
+dag::NodeFn make_correlation_stage(std::size_t symbols, std::int64_t corr_window,
+                                   bool need_maronna,
+                                   stats::MaronnaConfig maronna_config, int fan_out,
+                                   StageStats* stats) {
+  MM_ASSERT(fan_out >= 1);
+  return [symbols, corr_window, need_maronna, maronna_config, fan_out,
+          stats](dag::Context& ctx) {
+    const auto pairs = stats::all_pairs(symbols);
+    stats::ReturnWindows windows(symbols, static_cast<std::size_t>(corr_window),
+                                 /*track_cross_sums=*/true);
+    std::vector<double> wx(static_cast<std::size_t>(corr_window));
+    std::vector<double> wy(static_cast<std::size_t>(corr_window));
+
+    while (auto msg = ctx.recv()) {
+      mpi::Unpacker u(msg->bytes);
+      MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) == RecordType::snapshot);
+      auto snap = Snapshot::unpack(u);
+      bump(stats, 1, 0, 1, 0);
+
+      if (!snap.returns.empty()) windows.push(snap.returns);
+
+      CorrFrame frame;
+      frame.interval = snap.interval;
+      frame.prices = std::move(snap.prices);
+      frame.valid = windows.ready() && snap.interval >= corr_window;
+      if (frame.valid) {
+        frame.pearson.resize(pairs.size());
+        if (need_maronna) frame.maronna.resize(pairs.size());
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+          frame.pearson[k] = windows.pearson(pairs[k].i, pairs[k].j);
+          if (need_maronna) {
+            windows.copy_window(pairs[k].i, wx.data());
+            windows.copy_window(pairs[k].j, wy.data());
+            frame.maronna[k] =
+                stats::maronna(wx.data(), wy.data(), wx.size(), maronna_config);
+          }
+        }
+      }
+      const auto packed = frame.pack();
+      for (int port = 0; port < fan_out; ++port) ctx.emit(port, packed);
+      bump(stats, 0, static_cast<std::uint64_t>(fan_out), 0, 1);
+    }
+  };
+}
+
+dag::NodeFn make_cluster_stage(std::size_t symbols, int target_clusters,
+                               std::int64_t cadence, StageStats* stats) {
+  MM_ASSERT(cadence >= 1);
+  return [symbols, target_clusters, cadence, stats](dag::Context& ctx) {
+    const auto pairs = stats::all_pairs(symbols);
+    while (auto msg = ctx.recv()) {
+      mpi::Unpacker u(msg->bytes);
+      MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
+                RecordType::corr_frame);
+      const auto frame = CorrFrame::unpack(u);
+      bump(stats, 1, 0, 1, 0);
+      if (!frame.valid || frame.interval % cadence != 0) continue;
+
+      stats::SymMatrix matrix(symbols, 0.0);
+      matrix.fill_diagonal(1.0);
+      for (std::size_t k = 0; k < pairs.size(); ++k)
+        matrix.set(pairs[k].i, pairs[k].j, frame.pearson[k]);
+      const auto clusters = stats::single_linkage_clusters(matrix, target_clusters);
+
+      ClusterSnapshot snapshot;
+      snapshot.interval = frame.interval;
+      snapshot.cluster_count = clusters.cluster_count;
+      snapshot.assignment.assign(clusters.assignment.begin(),
+                                 clusters.assignment.end());
+      ctx.emit(0, snapshot.pack());
+      bump(stats, 0, 1, 0, 1);
+    }
+  };
+}
+
+dag::GroupNodeFn make_parallel_correlation_stage(std::size_t symbols,
+                                                 std::int64_t corr_window,
+                                                 bool need_maronna,
+                                                 stats::MaronnaConfig maronna_config,
+                                                 int fan_out, StageStats* stats) {
+  MM_ASSERT(fan_out >= 1);
+  return [symbols, corr_window, need_maronna, maronna_config, fan_out,
+          stats](dag::Context* ctx, mpi::Comm& group) {
+    const auto all = stats::all_pairs(symbols);
+    // Static shard: pair k -> group rank k % size.
+    std::vector<stats::PairIndex> mine;
+    std::vector<std::size_t> shard_sizes(static_cast<std::size_t>(group.size()), 0);
+    for (std::size_t k = 0; k < all.size(); ++k) {
+      const auto owner = k % static_cast<std::size_t>(group.size());
+      ++shard_sizes[owner];
+      if (static_cast<int>(owner) == group.rank()) mine.push_back(all[k]);
+    }
+
+    stats::ReturnWindows windows(symbols, static_cast<std::size_t>(corr_window),
+                                 /*track_cross_sums=*/true);
+    std::vector<double> wx(static_cast<std::size_t>(corr_window));
+    std::vector<double> wy(static_cast<std::size_t>(corr_window));
+
+    // Group protocol, one round per snapshot: leader broadcasts
+    // {kind, interval, returns}; kind 0 terminates the group.
+    constexpr std::uint8_t round_step = 1;
+    constexpr std::uint8_t round_done = 0;
+
+    while (true) {
+      mpi::Packer round;
+      Snapshot snap;
+      if (group.rank() == 0) {
+        auto msg = ctx->recv();
+        if (!msg) {
+          round.put<std::uint8_t>(round_done);
+        } else {
+          mpi::Unpacker u(msg->bytes);
+          MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
+                    RecordType::snapshot);
+          snap = Snapshot::unpack(u);
+          bump(stats, 1, 0, 1, 0);
+          round.put<std::uint8_t>(round_step);
+          round.put<std::int64_t>(snap.interval);
+          round.put_vector(snap.returns);
+        }
+      }
+      auto bytes = round.take();
+      group.bcast_bytes(bytes, 0);
+      mpi::Unpacker u(bytes);
+      if (u.get<std::uint8_t>() == round_done) return;
+
+      std::int64_t interval = 0;
+      std::vector<double> returns;
+      if (group.rank() == 0) {
+        interval = snap.interval;
+        returns = snap.returns;
+      } else {
+        interval = u.get<std::int64_t>();
+        returns = u.get_vector<double>();
+      }
+      if (!returns.empty()) windows.push(returns);
+      const bool valid = windows.ready() && interval >= corr_window;
+
+      // Shard estimation.
+      mpi::Packer shard;
+      if (valid) {
+        for (const auto& p : mine) {
+          shard.put<double>(windows.pearson(p.i, p.j));
+          if (need_maronna) {
+            windows.copy_window(p.i, wx.data());
+            windows.copy_window(p.j, wy.data());
+            shard.put<double>(
+                stats::maronna(wx.data(), wy.data(), wx.size(), maronna_config));
+          }
+        }
+      }
+      auto gathered = group.gather_bytes(shard.take(), 0);
+      if (group.rank() != 0) continue;
+
+      // Leader: assemble the canonical-order frame and emit.
+      CorrFrame frame;
+      frame.interval = interval;
+      frame.prices = std::move(snap.prices);
+      frame.valid = valid;
+      if (valid) {
+        frame.pearson.resize(all.size());
+        if (need_maronna) frame.maronna.resize(all.size());
+        std::vector<mpi::Unpacker> unpackers;
+        unpackers.reserve(gathered.size());
+        for (const auto& g : gathered) unpackers.emplace_back(g);
+        for (std::size_t k = 0; k < all.size(); ++k) {
+          const auto owner = k % static_cast<std::size_t>(group.size());
+          frame.pearson[k] = unpackers[owner].get<double>();
+          if (need_maronna) frame.maronna[k] = unpackers[owner].get<double>();
+        }
+      }
+      const auto packed = frame.pack();
+      for (int port = 0; port < fan_out; ++port) ctx->emit(port, packed);
+      bump(stats, 0, static_cast<std::uint64_t>(fan_out), 0, 1);
+    }
+  };
+}
+
+dag::NodeFn make_strategy_stage(core::StrategyParams params,
+                                std::vector<stats::PairIndex> pairs,
+                                std::int32_t strategy_id, std::int64_t smax,
+                                StageStats* stats) {
+  return [params, pairs = std::move(pairs), strategy_id, smax,
+          stats](dag::Context& ctx) {
+    std::vector<core::PairStrategy> machines;
+    machines.reserve(pairs.size());
+    for (std::size_t k = 0; k < pairs.size(); ++k) machines.emplace_back(params, smax);
+
+    // Map each of my pairs to its index in the canonical all-pairs order the
+    // CorrFrame vectors use.
+    std::vector<std::size_t> frame_index(pairs.size());
+
+    const auto emit_order = [&](std::int64_t s, const stats::PairIndex& pr, double di,
+                                double dj, double pi, double pj, bool entry) {
+      Order order;
+      order.interval = s;
+      order.strategy_id = strategy_id;
+      order.symbol_i = pr.i;
+      order.symbol_j = pr.j;
+      order.shares_i = di;
+      order.shares_j = dj;
+      order.price_i = pi;
+      order.price_j = pj;
+      order.is_entry = entry ? 1 : 0;
+      ctx.emit(0, order.pack());
+      bump(stats, 0, 1, 0, 1);
+    };
+
+    bool indexed = false;
+    std::vector<double> held_i(pairs.size(), 0.0), held_j(pairs.size(), 0.0);
+    std::vector<double> last_pi(pairs.size(), 0.0), last_pj(pairs.size(), 0.0);
+    std::int64_t last_interval = -1;
+
+    while (auto msg = ctx.recv()) {
+      mpi::Unpacker u(msg->bytes);
+      MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
+                RecordType::corr_frame);
+      const auto frame = CorrFrame::unpack(u);
+      bump(stats, 1, 0, 1, 0);
+      last_interval = frame.interval;
+
+      if (!indexed) {
+        const std::size_t n = frame.prices.size();
+        const auto canonical = stats::all_pairs(n);
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+          std::size_t found = canonical.size();
+          for (std::size_t c = 0; c < canonical.size(); ++c)
+            if (canonical[c].i == pairs[k].i && canonical[c].j == pairs[k].j) found = c;
+          MM_ASSERT_MSG(found < canonical.size(), "pair not in universe");
+          frame_index[k] = found;
+        }
+        indexed = true;
+      }
+
+      for (std::size_t k = 0; k < pairs.size(); ++k) {
+        auto& machine = machines[k];
+        const double pi = frame.prices[pairs[k].i];
+        const double pj = frame.prices[pairs[k].j];
+        last_pi[k] = pi;
+        last_pj[k] = pj;
+
+        double corr = 0.0;
+        if (frame.valid) {
+          const double pearson_r = frame.pearson[frame_index[k]];
+          switch (params.ctype) {
+            case stats::Ctype::pearson:
+              corr = pearson_r;
+              break;
+            case stats::Ctype::maronna:
+              corr = frame.maronna[frame_index[k]];
+              break;
+            case stats::Ctype::combined:
+              corr = stats::combine(pearson_r, frame.maronna[frame_index[k]]);
+              break;
+          }
+        }
+
+        const bool was_open = machine.in_position();
+        const std::size_t trades_before = machine.trades().size();
+        machine.step(frame.interval, pi, pj, corr, frame.valid);
+
+        if (!was_open && machine.in_position()) {
+          held_i[k] = machine.position_shares_i();
+          held_j[k] = machine.position_shares_j();
+          emit_order(frame.interval, pairs[k], held_i[k], held_j[k],
+                     machine.position_entry_price_i(),
+                     machine.position_entry_price_j(), true);
+        }
+        if (machine.trades().size() > trades_before) {
+          const auto& t = machine.trades().back();
+          emit_order(frame.interval, pairs[k], -t.shares_i, -t.shares_j,
+                     t.exit_price_i, t.exit_price_j, false);
+          held_i[k] = held_j[k] = 0.0;
+        }
+      }
+    }
+
+    // End of day: flatten and summarize.
+    StrategySummary summary;
+    summary.strategy_id = strategy_id;
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      auto& machine = machines[k];
+      const std::size_t trades_before = machine.trades().size();
+      machine.finish();
+      if (machine.trades().size() > trades_before) {
+        const auto& t = machine.trades().back();
+        emit_order(last_interval, pairs[k], -t.shares_i, -t.shares_j, t.exit_price_i,
+                   t.exit_price_j, false);
+      }
+      for (const auto& t : machine.trades()) {
+        ++summary.trades;
+        summary.total_pnl += t.pnl;
+        summary.trade_returns.push_back(t.trade_return);
+      }
+    }
+    ctx.emit(0, summary.pack());
+    bump(stats, 0, 1, 0, 0);
+  };
+}
+
+dag::NodeFn make_master(MasterReport* report, RiskConfig risk, StageStats* stats) {
+  MM_ASSERT(report != nullptr);
+  return [report, risk, stats](dag::Context& ctx) {
+    std::map<std::int64_t, std::uint64_t> baskets;  // interval -> orders netted
+    // Per-(interval, symbol) signed share flow for netting accounting.
+    std::map<std::int64_t, std::map<std::uint32_t, double>> basket_flow;
+    std::map<std::uint32_t, double> last_price;
+
+    const auto apply_leg = [&](const Order& order, std::uint32_t symbol,
+                               double shares, double price) {
+      report->net_shares[symbol] += shares;
+      last_price[symbol] = price;
+      report->raw_order_shares += std::abs(shares);
+      basket_flow[order.interval][symbol] += shares;
+      if (risk.max_symbol_shares > 0.0 &&
+          std::abs(report->net_shares[symbol]) > risk.max_symbol_shares)
+        ++report->symbol_limit_breaches;
+    };
+
+    while (auto msg = ctx.recv()) {
+      mpi::Unpacker u(msg->bytes);
+      const auto type = static_cast<RecordType>(u.get<std::uint8_t>());
+      bump(stats, 1, 0, 0, 0);
+      if (type == RecordType::order) {
+        const auto order = Order::unpack(u);
+        ++report->orders;
+        report->order_log.push_back(order);
+        if (order.is_entry) ++report->entries;
+        else ++report->exits;
+        apply_leg(order, order.symbol_i, order.shares_i, order.price_i);
+        apply_leg(order, order.symbol_j, order.shares_j, order.price_j);
+        ++baskets[order.interval];
+
+        double gross = 0.0;
+        for (const auto& [symbol, net] : report->net_shares)
+          gross += std::abs(net) * last_price[symbol];
+        report->peak_gross_notional = std::max(report->peak_gross_notional, gross);
+        if (risk.max_gross_notional > 0.0 && gross > risk.max_gross_notional)
+          ++report->gross_limit_breaches;
+      } else if (type == RecordType::strategy_summary) {
+        const auto summary = StrategySummary::unpack(u);
+        report->trades += summary.trades;
+        report->total_pnl += summary.total_pnl;
+        report->trade_returns.insert(report->trade_returns.end(),
+                                     summary.trade_returns.begin(),
+                                     summary.trade_returns.end());
+      } else {
+        MM_ASSERT_MSG(false, "master: unexpected record type");
+      }
+    }
+    report->basket_count = baskets.size();
+    for (const auto& [interval, flows] : basket_flow)
+      for (const auto& [symbol, net] : flows)
+        report->netted_order_shares += std::abs(net);
+  };
+}
+
+}  // namespace mm::engine

@@ -1,0 +1,146 @@
+// Fig. 1 pipeline components as dagflow node factories.
+//
+// Each factory returns a NodeFn that runs on its own rank. The wiring (who
+// feeds whom) lives in pipeline.hpp; this header is the component library:
+//
+//   collectors  — File Collector (in-memory day or TAQ CSV), DB Collector
+//                 (tickdb), each emitting QuoteBatch records;
+//   cleaner     — structural checks + the TCP-like band filter;
+//   snapshot    — OHLC-bar / technical-analysis stage: turns the quote stream
+//                 into one end-of-interval Snapshot (BAM prices + log
+//                 returns) per ∆s;
+//   correlation — the (single-rank) correlation engine: incremental Pearson
+//                 plus optional per-pair Maronna over the sliding M-window,
+//                 fanned out to every strategy node;
+//   strategy    — one parameter set across a set of pairs, emitting Order
+//                 records and an end-of-day StrategySummary;
+//   master      — order aggregation (netting into baskets), risk accounting,
+//                 and the run report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "dagflow/graph.hpp"
+#include "engine/messages.hpp"
+#include "marketdata/calendar.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/symbols.hpp"
+#include "marketdata/types.hpp"
+#include "stats/sym_matrix.hpp"
+
+namespace mm::engine {
+
+// Shared (in-process) counters a component fills in as it runs; the pipeline
+// report reads them after Graph::run returns. This is a harness-side shortcut
+// available because mpmini ranks share an address space — a cluster build
+// would ship these in messages instead.
+struct StageStats {
+  std::atomic<std::uint64_t> records_in{0};
+  std::atomic<std::uint64_t> records_out{0};
+  std::atomic<std::uint64_t> items_in{0};   // e.g. quotes, intervals
+  std::atomic<std::uint64_t> items_out{0};
+};
+
+// Risk limits enforced (observationally) by the master: Fig. 1's master
+// performs "additional tasks such as risk management and liquidity
+// provisioning". Limits of 0 disable the corresponding check.
+struct RiskConfig {
+  // Maximum absolute net shares held per symbol across all strategies.
+  double max_symbol_shares = 0.0;
+  // Maximum gross notional (sum over symbols of |position| x last price).
+  double max_gross_notional = 0.0;
+};
+
+// End-of-run report assembled by the master node.
+struct MasterReport {
+  std::uint64_t orders = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t exits = 0;
+  std::uint64_t trades = 0;
+  double total_pnl = 0.0;
+  std::vector<double> trade_returns;
+  // Net signed shares per symbol after all orders (≈0 everywhere if every
+  // position was flattened by end of day).
+  std::map<std::uint32_t, double> net_shares;
+  // Baskets: number of distinct intervals in which orders were aggregated.
+  std::uint64_t basket_count = 0;
+
+  // Risk accounting.
+  std::uint64_t symbol_limit_breaches = 0;  // orders that pushed a symbol past
+                                            // its per-symbol share limit
+  std::uint64_t gross_limit_breaches = 0;
+  double peak_gross_notional = 0.0;
+
+  // Every order, in arrival order (feeds the execution simulator).
+  std::vector<Order> order_log;
+
+  // Basket netting: total |shares| across raw orders vs after netting
+  // opposite-side orders within each (interval, symbol) basket — the saving a
+  // list-based execution algorithm would capture.
+  double raw_order_shares = 0.0;
+  double netted_order_shares = 0.0;
+  double netting_savings_fraction() const {
+    return raw_order_shares > 0.0
+               ? 1.0 - netted_order_shares / raw_order_shares
+               : 0.0;
+  }
+};
+
+// --- collectors ---------------------------------------------------------
+dag::NodeFn make_file_collector(std::vector<md::Quote> quotes, std::size_t batch_size,
+                                StageStats* stats = nullptr);
+dag::NodeFn make_db_collector(std::string tickdb_root, md::Date date,
+                              std::size_t batch_size, StageStats* stats = nullptr);
+
+// --- cleaning ------------------------------------------------------------
+dag::NodeFn make_cleaner(std::size_t symbols, md::CleanerConfig config,
+                         StageStats* stats = nullptr);
+
+// --- bars / technical analysis -------------------------------------------
+// `seed_prices` provides a pre-open price per symbol so early intervals have
+// a defined BAM before a symbol's first quote.
+dag::NodeFn make_snapshot_stage(std::size_t symbols, md::Session session,
+                                std::int64_t delta_s, std::vector<double> seed_prices,
+                                StageStats* stats = nullptr);
+
+// --- correlation engine ----------------------------------------------------
+// Emits one CorrFrame per Snapshot on every output port [0, fan_out).
+dag::NodeFn make_correlation_stage(std::size_t symbols, std::int64_t corr_window,
+                                   bool need_maronna,
+                                   stats::MaronnaConfig maronna_config, int fan_out,
+                                   StageStats* stats = nullptr);
+
+// Multi-rank variant: Fig. 1's "Parallel Correlation Engine" as a dagflow
+// group node. The leader receives snapshots and broadcasts the return vector
+// to the group; every member mirrors the sliding windows and estimates its
+// static shard of the n(n-1)/2 pairs; shards gather back at the leader, which
+// emits frames identical to the single-rank stage.
+dag::GroupNodeFn make_parallel_correlation_stage(std::size_t symbols,
+                                                 std::int64_t corr_window,
+                                                 bool need_maronna,
+                                                 stats::MaronnaConfig maronna_config,
+                                                 int fan_out,
+                                                 StageStats* stats = nullptr);
+
+// --- clustering --------------------------------------------------------------
+// The [12] companion workload: consume CorrFrames and, every
+// `cadence` intervals, emit a ClusterSnapshot of the market's co-movement
+// groups (single-linkage to `target_clusters`). Plugs in as an extra consumer
+// of the correlation engine's fan-out.
+dag::NodeFn make_cluster_stage(std::size_t symbols, int target_clusters,
+                               std::int64_t cadence, StageStats* stats = nullptr);
+dag::NodeFn make_strategy_stage(core::StrategyParams params,
+                                std::vector<stats::PairIndex> pairs,
+                                std::int32_t strategy_id, std::int64_t smax,
+                                StageStats* stats = nullptr);
+
+// --- master ------------------------------------------------------------------
+dag::NodeFn make_master(MasterReport* report, RiskConfig risk = {},
+                        StageStats* stats = nullptr);
+
+}  // namespace mm::engine

@@ -1,0 +1,102 @@
+#include "engine/execution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mm::engine {
+namespace {
+
+// Book state per symbol replayed from the quote stream.
+struct Book {
+  double bid = 0.0;
+  double ask = 0.0;
+  md::TimeMs last_update = -1;
+  bool valid() const { return last_update >= 0 && bid > 0.0 && ask >= bid; }
+};
+
+}  // namespace
+
+ExecutionResult simulate_execution(const std::vector<Order>& orders_in,
+                                   const std::vector<md::Quote>& quotes,
+                                   std::size_t symbol_count,
+                                   const ExecutionConfig& config) {
+  // The master's log interleaves strategy nodes; replay in decision order.
+  std::vector<Order> orders = orders_in;
+  std::stable_sort(orders.begin(), orders.end(),
+                   [](const Order& a, const Order& b) { return a.interval < b.interval; });
+
+  ExecutionResult result;
+  std::vector<Book> books(symbol_count);
+  std::size_t qi = 0;
+
+  const auto advance_books_to = [&](md::TimeMs when) {
+    for (; qi < quotes.size() && quotes[qi].ts_ms <= when; ++qi) {
+      const auto& q = quotes[qi];
+      if (q.symbol >= symbol_count) continue;
+      Book& book = books[q.symbol];
+      book.bid = q.bid;
+      book.ask = q.ask;
+      book.last_update = q.ts_ms;
+    }
+  };
+
+  const auto leg_fill = [&](std::uint32_t symbol, double shares,
+                            double decision_price) -> LegFill {
+    LegFill fill;
+    fill.symbol = symbol;
+    fill.shares = shares;
+    fill.decision_price = decision_price;
+
+    const Book& book = books[symbol];
+    double price;
+    if (!config.cross_spread) {
+      price = book.valid() ? 0.5 * (book.bid + book.ask) : decision_price;
+    } else if (book.valid()) {
+      price = shares > 0 ? book.ask : book.bid;
+    } else {
+      price = decision_price;
+    }
+    // Linear impact: concession grows with order size (per 100 shares).
+    const double lots = std::abs(shares) / 100.0;
+    const double impact = price * config.impact_frac_per_lot * lots;
+    price += shares > 0 ? impact : -impact;
+
+    fill.fill_price = price;
+    // Positive shortfall = execution worse than decision: paid more on buys,
+    // received less on sells.
+    fill.shortfall_dollars = (price - decision_price) * shares;
+    return fill;
+  };
+
+  for (const auto& order : orders) {
+    const md::TimeMs decision_time =
+        config.session.interval_end(order.interval, config.delta_s);
+    const md::TimeMs fill_time = decision_time + config.latency_ms;
+    advance_books_to(fill_time);
+
+    // Lost opportunity: a leg with no (cleaned) quote near the fill time.
+    const auto usable = [&](std::uint32_t symbol) {
+      const Book& book = books[symbol];
+      return book.valid() &&
+             fill_time - book.last_update <= config.fill_horizon_ms;
+    };
+    if (!usable(order.symbol_i) || !usable(order.symbol_j)) {
+      ++result.orders_lost;
+      continue;
+    }
+
+    const auto fill_i = leg_fill(order.symbol_i, order.shares_i, order.price_i);
+    const auto fill_j = leg_fill(order.symbol_j, order.shares_j, order.price_j);
+    result.fills.push_back(fill_i);
+    result.fills.push_back(fill_j);
+    ++result.orders_filled;
+    result.decision_notional += std::abs(fill_i.shares) * fill_i.decision_price +
+                                std::abs(fill_j.shares) * fill_j.decision_price;
+    result.shortfall_dollars += fill_i.shortfall_dollars + fill_j.shortfall_dollars;
+  }
+  return result;
+}
+
+}  // namespace mm::engine

@@ -1,0 +1,74 @@
+// Execution simulation and implementation shortfall.
+//
+// The paper's §VI: "Future studies would also benefit from considering
+// various 'implementation shortfalls' that occur in practice such as
+// transaction costs, moving the market (on big orders) and lost opportunity
+// (inability to fill an order)." This module implements that study: it takes
+// the master's decision log (orders priced at the bid-ask midpoint the
+// strategy saw) and re-executes it against the actual quote stream under a
+// configurable friction model:
+//
+//   * spread crossing — buys lift the ask, sells hit the bid;
+//   * decision-to-fill latency — fills use the book as of decision time + L;
+//   * market impact — an extra price concession proportional to order size;
+//   * lost opportunity — orders with no quote within the fill horizon are
+//     dropped (entry legs) and the trade never happens.
+//
+// The shortfall report compares realized fills against decision prices, per
+// leg and in aggregate (dollars and basis points of traded notional).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/messages.hpp"
+#include "marketdata/calendar.hpp"
+#include "marketdata/types.hpp"
+
+namespace mm::engine {
+
+struct ExecutionConfig {
+  // Fills cross the spread (false books at BAM — the frictionless baseline).
+  bool cross_spread = true;
+  // Delay between the decision (end of the order's interval) and execution.
+  md::TimeMs latency_ms = 0;
+  // Extra price concession per leg, as a fraction of price per 100 shares
+  // (crude linear market impact).
+  double impact_frac_per_lot = 0.0;
+  // How long after decision+latency a quote must exist for the fill to
+  // happen; beyond it the order is "lost opportunity".
+  md::TimeMs fill_horizon_ms = 5 * 60 * 1000;
+  // The strategy's interval width (to convert order intervals to times).
+  std::int64_t delta_s = 30;
+  md::Session session{};
+};
+
+struct LegFill {
+  std::uint32_t symbol = 0;
+  double shares = 0.0;         // signed
+  double decision_price = 0.0;
+  double fill_price = 0.0;
+  // Signed cost: positive = worse than decision (paid more / received less).
+  double shortfall_dollars = 0.0;
+};
+
+struct ExecutionResult {
+  std::vector<LegFill> fills;
+  std::uint64_t orders_filled = 0;
+  std::uint64_t orders_lost = 0;    // no quote inside the horizon
+  double decision_notional = 0.0;   // Σ |shares| x decision price over fills
+  double shortfall_dollars = 0.0;   // Σ leg shortfalls
+  double shortfall_bps() const {
+    return decision_notional > 0.0 ? 1e4 * shortfall_dollars / decision_notional : 0.0;
+  }
+};
+
+// Re-execute `orders` (time-ordered by interval) against the (time-sorted)
+// quote stream. Quotes should be the CLEANED stream — real routers do not
+// fill against bad prints either.
+ExecutionResult simulate_execution(const std::vector<Order>& orders,
+                                   const std::vector<md::Quote>& quotes,
+                                   std::size_t symbol_count,
+                                   const ExecutionConfig& config);
+
+}  // namespace mm::engine

@@ -1,0 +1,161 @@
+#include "engine/pipeline.hpp"
+
+#include <memory>
+
+#include "common/timer.hpp"
+#include "dagflow/context.hpp"
+#include "dagflow/graph.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::engine {
+
+PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& universe,
+                            std::vector<md::Quote> quotes) {
+  MM_ASSERT_MSG(!config.strategies.empty(), "pipeline needs at least one strategy");
+  const auto& base = config.strategies.front();
+  for (const auto& s : config.strategies) {
+    MM_ASSERT_MSG(s.delta_s == base.delta_s && s.corr_window == base.corr_window,
+                  "all pipeline strategies must share (delta_s, M); see DESIGN.md");
+    MM_ASSERT(s.validate().has_value());
+  }
+  MM_ASSERT(universe.table.size() == config.symbols);
+
+  const md::Session session;
+  const std::int64_t smax = session.interval_count(base.delta_s);
+  bool need_maronna = false;
+  for (const auto& s : config.strategies)
+    if (s.ctype != stats::Ctype::pearson) need_maronna = true;
+
+  const auto quotes_in = static_cast<std::uint64_t>(quotes.size());
+  const int k = static_cast<int>(config.strategies.size());
+  const bool clustering = config.cluster_every > 0;
+  // Correlation fan-out: one port per strategy, plus the clustering branch.
+  const int corr_fan_out = k + (clustering ? 1 : 0);
+
+  // Shared stage counters (in-process; see components.hpp).
+  const std::size_t n_stages = 4 + static_cast<std::size_t>(k) + 1;
+  std::vector<std::unique_ptr<StageStats>> stats(n_stages);
+  for (auto& s : stats) s = std::make_unique<StageStats>();
+
+  MasterReport master;
+
+  dag::Graph graph;
+  int node = 0;
+  const int collector =
+      config.tickdb_root.empty()
+          ? graph.add_node("collector",
+                           make_file_collector(std::move(quotes), config.batch_size,
+                                               stats[0].get()))
+          : graph.add_node("collector",
+                           make_db_collector(config.tickdb_root, config.date,
+                                             config.batch_size, stats[0].get()));
+  const int cleaner = graph.add_node(
+      "cleaner", make_cleaner(config.symbols, config.cleaner, stats[1].get()));
+  const int snapshot = graph.add_node(
+      "snapshot", make_snapshot_stage(config.symbols, session, base.delta_s,
+                                      universe.base_price, stats[2].get()));
+  const int corr =
+      config.correlation_replicas > 1
+          ? graph.add_group_node(
+                "correlation",
+                make_parallel_correlation_stage(config.symbols, base.corr_window,
+                                                need_maronna, config.maronna,
+                                                corr_fan_out, stats[3].get()),
+                config.correlation_replicas)
+          : graph.add_node(
+                "correlation",
+                make_correlation_stage(config.symbols, base.corr_window, need_maronna,
+                                       config.maronna, corr_fan_out, stats[3].get()));
+
+  // Optional clustering branch: corr port k -> cluster stage -> snapshot sink.
+  std::vector<ClusterSnapshot> cluster_log;
+  int cluster_node = -1, cluster_sink = -1;
+  if (clustering) {
+    cluster_node = graph.add_node(
+        "cluster", make_cluster_stage(config.symbols, config.cluster_count,
+                                      config.cluster_every));
+    cluster_sink = graph.add_node("cluster-sink", [&cluster_log](dag::Context& ctx) {
+      while (auto msg = ctx.recv()) {
+        mpi::Unpacker u(msg->bytes);
+        MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
+                  RecordType::cluster_snapshot);
+        cluster_log.push_back(ClusterSnapshot::unpack(u));
+      }
+    });
+  }
+  std::vector<int> workers;
+  const auto pairs = stats::all_pairs(config.symbols);
+  for (int w = 0; w < k; ++w) {
+    workers.push_back(graph.add_node(
+        "strategy-" + std::to_string(w),
+        make_strategy_stage(config.strategies[static_cast<std::size_t>(w)], pairs, w,
+                            smax, stats[4 + static_cast<std::size_t>(w)].get())));
+  }
+  const int master_node = graph.add_node(
+      "master", make_master(&master, config.risk, stats[n_stages - 1].get()));
+  (void)node;
+
+  graph.connect(collector, 0, cleaner, 0, config.channel_capacity);
+  graph.connect(cleaner, 0, snapshot, 0, config.channel_capacity);
+  graph.connect(snapshot, 0, corr, 0, config.channel_capacity);
+  for (int w = 0; w < k; ++w) {
+    graph.connect(corr, w, workers[static_cast<std::size_t>(w)], 0,
+                  config.channel_capacity);
+    graph.connect(workers[static_cast<std::size_t>(w)], 0, master_node, w,
+                  config.channel_capacity);
+  }
+  if (clustering) {
+    graph.connect(corr, k, cluster_node, 0, config.channel_capacity);
+    graph.connect(cluster_node, 0, cluster_sink, 0, config.channel_capacity);
+  }
+
+  Stopwatch watch;
+  graph.run();
+
+  PipelineResult result;
+  result.master = std::move(master);
+  result.clusters = std::move(cluster_log);
+  result.wall_seconds = watch.elapsed_seconds();
+  result.quotes_in = quotes_in;
+  result.quotes_per_second =
+      result.wall_seconds > 0.0 ? static_cast<double>(quotes_in) / result.wall_seconds
+                                : 0.0;
+  const char* names[] = {"collector", "cleaner", "snapshot", "correlation"};
+  for (std::size_t i = 0; i < 4; ++i)
+    result.stages.push_back({names[i], stats[i]->records_in.load(),
+                             stats[i]->records_out.load(), stats[i]->items_in.load(),
+                             stats[i]->items_out.load()});
+  for (int w = 0; w < k; ++w) {
+    const auto& s = *stats[4 + static_cast<std::size_t>(w)];
+    result.stages.push_back({"strategy-" + std::to_string(w), s.records_in.load(),
+                             s.records_out.load(), s.items_in.load(),
+                             s.items_out.load()});
+  }
+  const auto& ms = *stats[n_stages - 1];
+  result.stages.push_back({"master", ms.records_in.load(), ms.records_out.load(),
+                           ms.items_in.load(), ms.items_out.load()});
+  return result;
+}
+
+SessionResult run_pipeline_session(const PipelineConfig& config,
+                                   const md::Universe& universe,
+                                   const md::GeneratorConfig& generator,
+                                   int day_count) {
+  MM_ASSERT_MSG(day_count >= 1, "session needs at least one day");
+  Stopwatch watch;
+  SessionResult session;
+  session.days.reserve(static_cast<std::size_t>(day_count));
+  for (int d = 0; d < day_count; ++d) {
+    const md::SyntheticDay day(universe, generator, d);
+    auto result = run_pipeline(config, universe, day.quotes());
+    session.total_trades += result.master.trades;
+    session.total_orders += result.master.orders;
+    session.total_pnl += result.master.total_pnl;
+    session.daily_pnl.push_back(result.master.total_pnl);
+    session.days.push_back(std::move(result));
+  }
+  session.wall_seconds = watch.elapsed_seconds();
+  return session;
+}
+
+}  // namespace mm::engine

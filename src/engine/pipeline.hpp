@@ -1,0 +1,84 @@
+// The integrated MarketMiner pair trading pipeline (the paper's Figure 1).
+//
+// Wires the component library into the published topology:
+//
+//   collector --> cleaner --> snapshot (OHLC bars + 1-interval returns)
+//        --> correlation engine --> strategy worker x K --> master
+//
+// Each box runs on its own mpmini rank; edges are bounded dagflow channels.
+// run_pipeline() streams one trading day through the graph and returns the
+// master's report plus per-stage throughput.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "engine/components.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::engine {
+
+struct PipelineConfig {
+  std::size_t symbols = 10;
+  // Strategies to run in parallel (each gets its own worker rank). All must
+  // share delta_s and corr_window — the single correlation engine of Fig. 1
+  // serves one (∆s, M); see DESIGN.md.
+  std::vector<core::StrategyParams> strategies;
+  md::CleanerConfig cleaner{};
+  stats::MaronnaConfig maronna{};
+  std::size_t batch_size = 256;
+  int channel_capacity = 64;
+  RiskConfig risk{};
+  // Ranks backing the correlation engine (>1 uses the parallel group stage).
+  int correlation_replicas = 1;
+  // >0 adds the clustering branch ([12]): a snapshot of the market's
+  // co-movement groups every `cluster_every` intervals.
+  std::int64_t cluster_every = 0;
+  int cluster_count = 4;
+  // Optional tickdb source; when empty the in-memory quote vector is used.
+  std::string tickdb_root;
+  md::Date date{2008, 3, 3};
+};
+
+struct StageReport {
+  std::string name;
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t items_in = 0;
+  std::uint64_t items_out = 0;
+};
+
+struct PipelineResult {
+  MasterReport master;
+  std::vector<StageReport> stages;
+  // Cluster snapshots (empty unless cluster_every > 0).
+  std::vector<ClusterSnapshot> clusters;
+  double wall_seconds = 0.0;
+  std::uint64_t quotes_in = 0;
+  double quotes_per_second = 0.0;
+};
+
+// Stream `quotes` (one day, time-sorted) through the Fig. 1 graph.
+PipelineResult run_pipeline(const PipelineConfig& config,
+                            const md::Universe& universe,
+                            std::vector<md::Quote> quotes);
+
+// Multi-day session: generate and stream `day_count` consecutive synthetic
+// trading days through fresh pipeline instances (state resets at the close,
+// as the strategy's EOD-flatten mandates) and aggregate the master reports.
+struct SessionResult {
+  std::vector<PipelineResult> days;
+  std::uint64_t total_trades = 0;
+  std::uint64_t total_orders = 0;
+  double total_pnl = 0.0;
+  std::vector<double> daily_pnl;
+  double wall_seconds = 0.0;
+};
+
+SessionResult run_pipeline_session(const PipelineConfig& config,
+                                   const md::Universe& universe,
+                                   const md::GeneratorConfig& generator,
+                                   int day_count);
+
+}  // namespace mm::engine

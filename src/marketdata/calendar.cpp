@@ -1,0 +1,117 @@
+#include "marketdata/calendar.hpp"
+
+#include <array>
+
+#include "common/strings.hpp"
+
+namespace mm::md {
+namespace {
+
+bool is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) {
+  static constexpr std::array<int, 12> lengths = {31, 28, 31, 30, 31, 30,
+                                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return lengths[static_cast<std::size_t>(month - 1)];
+}
+
+}  // namespace
+
+bool Date::valid() const {
+  return year >= 1900 && year <= 2200 && month >= 1 && month <= 12 && day >= 1 &&
+         day <= days_in_month(year, month);
+}
+
+int Date::weekday() const {
+  // Sakamoto's algorithm, shifted so 0 = Monday.
+  static constexpr std::array<int, 12> t = {0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4};
+  int y = year;
+  if (month < 3) y -= 1;
+  const int dow_sunday0 =
+      (y + y / 4 - y / 100 + y / 400 + t[static_cast<std::size_t>(month - 1)] + day) % 7;
+  return (dow_sunday0 + 6) % 7;
+}
+
+Date Date::next_day() const {
+  Date d = *this;
+  d.day += 1;
+  if (d.day > days_in_month(d.year, d.month)) {
+    d.day = 1;
+    d.month += 1;
+    if (d.month > 12) {
+      d.month = 1;
+      d.year += 1;
+    }
+  }
+  return d;
+}
+
+Date Date::next_business_day() const {
+  Date d = next_day();
+  while (d.is_weekend() || is_holiday(d)) d = d.next_day();
+  return d;
+}
+
+std::string Date::iso() const { return format("%04d-%02d-%02d", year, month, day); }
+
+bool is_holiday(const Date& d) {
+  // 2008 NYSE holidays (the paper's data is March 2008; Good Friday fell on
+  // March 21). Extend as experiments need.
+  static constexpr std::array<Date, 9> holidays = {{
+      {2008, 1, 1},   // New Year's Day
+      {2008, 1, 21},  // MLK Day
+      {2008, 2, 18},  // Washington's Birthday
+      {2008, 3, 21},  // Good Friday
+      {2008, 5, 26},  // Memorial Day
+      {2008, 7, 4},   // Independence Day
+      {2008, 9, 1},   // Labor Day
+      {2008, 11, 27}, // Thanksgiving
+      {2008, 12, 25}, // Christmas
+  }};
+  for (const auto& h : holidays)
+    if (h == d) return true;
+  return false;
+}
+
+Session::Session(TimeMs open_ms, TimeMs close_ms) : open_ms_(open_ms), close_ms_(close_ms) {
+  MM_ASSERT_MSG(close_ms_ > open_ms_, "session close must follow open");
+}
+
+std::int64_t Session::interval_count(std::int64_t delta_s_seconds) const {
+  MM_ASSERT_MSG(delta_s_seconds > 0, "delta_s must be positive");
+  return duration_seconds() / delta_s_seconds;
+}
+
+std::int64_t Session::interval_of(TimeMs ts, std::int64_t delta_s_seconds) const {
+  if (!contains(ts)) return -1;
+  const std::int64_t s = (ts - open_ms_) / (delta_s_seconds * ms_per_second);
+  return s < interval_count(delta_s_seconds) ? s : -1;
+}
+
+TimeMs Session::interval_start(std::int64_t s, std::int64_t delta_s_seconds) const {
+  MM_ASSERT(s >= 0 && s < interval_count(delta_s_seconds));
+  return open_ms_ + s * delta_s_seconds * ms_per_second;
+}
+
+TimeMs Session::interval_end(std::int64_t s, std::int64_t delta_s_seconds) const {
+  return interval_start(s, delta_s_seconds) + delta_s_seconds * ms_per_second;
+}
+
+std::vector<Date> business_days(Date first, int count) {
+  MM_ASSERT(first.valid());
+  MM_ASSERT(count >= 0);
+  std::vector<Date> out;
+  out.reserve(static_cast<std::size_t>(count));
+  Date d = first;
+  while (d.is_weekend() || is_holiday(d)) d = d.next_day();
+  while (static_cast<int>(out.size()) < count) {
+    out.push_back(d);
+    d = d.next_business_day();
+  }
+  return out;
+}
+
+}  // namespace mm::md

@@ -1,0 +1,78 @@
+// Trading calendar: session times, interval indexing, and business days.
+//
+// The paper's strategy discretizes the 9:30–16:00 session (23400 seconds)
+// into intervals of width ∆s, indexed s = 0..smax-1; e.g. ∆s = 30 s gives
+// smax = 780 (§III). Calendar owns that mapping plus a simple Gregorian
+// business-day sequence for multi-day experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "marketdata/types.hpp"
+
+namespace mm::md {
+
+// A calendar date. Only what the experiments need: construction, validity,
+// weekday, business-day stepping and ISO formatting.
+struct Date {
+  int year = 2008;
+  int month = 3;  // 1..12
+  int day = 3;    // 1..31
+
+  bool operator==(const Date&) const = default;
+  auto operator<=>(const Date&) const = default;
+
+  bool valid() const;
+  // 0 = Monday .. 6 = Sunday.
+  int weekday() const;
+  bool is_weekend() const { return weekday() >= 5; }
+  Date next_day() const;
+  Date next_business_day() const;
+  std::string iso() const;  // "2008-03-03"
+};
+
+// Session definition and ∆s interval arithmetic.
+class Session {
+ public:
+  // NYSE regular session: 09:30–16:00.
+  static constexpr TimeMs default_open_ms = 9 * ms_per_hour + 30 * ms_per_minute;
+  static constexpr TimeMs default_close_ms = 16 * ms_per_hour;
+
+  Session() : Session(default_open_ms, default_close_ms) {}
+  Session(TimeMs open_ms, TimeMs close_ms);
+
+  TimeMs open_ms() const { return open_ms_; }
+  TimeMs close_ms() const { return close_ms_; }
+  TimeMs duration_ms() const { return close_ms_ - open_ms_; }
+  std::int64_t duration_seconds() const { return duration_ms() / ms_per_second; }
+
+  bool contains(TimeMs ts) const { return ts >= open_ms_ && ts < close_ms_; }
+
+  // Number of whole ∆s intervals in the session (the paper's smax).
+  std::int64_t interval_count(std::int64_t delta_s_seconds) const;
+
+  // Index of the interval containing ts, or -1 if outside the session.
+  std::int64_t interval_of(TimeMs ts, std::int64_t delta_s_seconds) const;
+
+  // [start, end) of interval s.
+  TimeMs interval_start(std::int64_t s, std::int64_t delta_s_seconds) const;
+  TimeMs interval_end(std::int64_t s, std::int64_t delta_s_seconds) const;
+
+ private:
+  TimeMs open_ms_;
+  TimeMs close_ms_;
+};
+
+// `count` consecutive business days starting at `first` (itself rolled
+// forward to a business day if needed). Weekends are skipped; the experiments
+// use March 2008 which had no NYSE holidays after Mar 21 (Good Friday), which
+// we do include in the holiday set for fidelity.
+std::vector<Date> business_days(Date first, int count);
+
+// True if `d` is a NYSE holiday covered by our (small) 2008 table.
+bool is_holiday(const Date& d);
+
+}  // namespace mm::md

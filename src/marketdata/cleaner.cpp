@@ -1,0 +1,72 @@
+#include "marketdata/cleaner.hpp"
+
+#include <cmath>
+
+namespace mm::md {
+
+bool SymbolFilter::accept(const Quote& quote) {
+  const double x = quote.bam();
+  if (seen_ < config_.warmup_ticks) {
+    // Warmup: seed the estimators.
+    if (seen_ == 0) {
+      mean_ = x;
+      dev_ = x * config_.min_dev_frac;
+    } else {
+      const double err = x - mean_;
+      mean_ += config_.mean_gain * err;
+      dev_ += config_.dev_gain * (std::abs(err) - dev_);
+    }
+    ++seen_;
+    return true;
+  }
+
+  const double floor_dev = mean_ * config_.min_dev_frac;
+  const double band = config_.band_k * std::max(dev_, floor_dev);
+  const double err = x - mean_;
+  if (std::abs(err) > band) {
+    if (++consecutive_rejects_ >= config_.level_shift_ticks) {
+      // Persistent disagreement: the market really moved. Re-seed here.
+      mean_ = x;
+      dev_ = x * config_.min_dev_frac;
+      consecutive_rejects_ = 0;
+      ++seen_;
+      return true;
+    }
+    return false;
+  }
+
+  consecutive_rejects_ = 0;
+  mean_ += config_.mean_gain * err;
+  dev_ += config_.dev_gain * (std::abs(err) - dev_);
+  ++seen_;
+  return true;
+}
+
+QuoteCleaner::QuoteCleaner(std::size_t symbol_count, const CleanerConfig& config) {
+  filters_.reserve(symbol_count);
+  for (std::size_t i = 0; i < symbol_count; ++i) filters_.emplace_back(config);
+}
+
+bool QuoteCleaner::accept(const Quote& quote) {
+  MM_ASSERT_MSG(quote.symbol < filters_.size(), "cleaner: unknown symbol id");
+  if (!quote.plausible()) {
+    ++dropped_structural_;
+    return false;
+  }
+  if (!filters_[quote.symbol].accept(quote)) {
+    ++dropped_band_;
+    return false;
+  }
+  ++accepted_;
+  return true;
+}
+
+std::vector<Quote> QuoteCleaner::clean(const std::vector<Quote>& quotes) {
+  std::vector<Quote> out;
+  out.reserve(quotes.size());
+  for (const auto& q : quotes)
+    if (accept(q)) out.push_back(q);
+  return out;
+}
+
+}  // namespace mm::md

@@ -1,0 +1,82 @@
+// Tick cleaning: the paper's "TCP-like" outlier filter (§III).
+//
+// Raw TAQ-style quote streams contain typing errors, test quotes and far-out
+// limit orders. The paper eliminates prices "more than a few standard
+// deviations from their corresponding moving average and deviation" with a
+// simple TCP-like filter — i.e. the exponentially weighted mean/deviation
+// estimators TCP uses for RTT (SRTT/RTTVAR) — and lets the robust correlation
+// downweight whatever survives. QuoteCleaner implements exactly that, plus
+// structural checks (crossed or non-positive quotes are always dropped).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "marketdata/types.hpp"
+
+namespace mm::md {
+
+struct CleanerConfig {
+  // EWMA gains, mirroring TCP's alpha (mean) and beta (deviation).
+  double mean_gain = 1.0 / 8.0;
+  double dev_gain = 1.0 / 4.0;
+  // Reject when |bam - mean| > band_k * deviation ("a few standard
+  // deviations" in the paper). Real return distributions are fat-tailed, so
+  // the band is wider than a Gaussian rule of thumb would suggest.
+  double band_k = 5.0;
+  // Quotes accepted unconditionally while the estimators warm up.
+  int warmup_ticks = 8;
+  // Deviation floor as a fraction of price, so a quiet stretch cannot shrink
+  // the band to zero and start rejecting good ticks.
+  double min_dev_frac = 5e-4;
+  // Level-shift recovery: after this many consecutive band rejections the
+  // filter concludes the price genuinely moved (it is not a burst of bad
+  // ticks), re-seeds its estimators at the current quote and accepts it.
+  // Without this, one fast move freezes the stale mean and the filter
+  // rejects every quote until the price happens to come back.
+  int level_shift_ticks = 8;
+};
+
+// Per-symbol streaming filter state.
+class SymbolFilter {
+ public:
+  explicit SymbolFilter(const CleanerConfig& config) : config_(config) {}
+
+  // True if the quote passes; passing quotes update the estimators.
+  bool accept(const Quote& quote);
+
+  double mean() const { return mean_; }
+  double deviation() const { return dev_; }
+  int seen() const { return seen_; }
+  int consecutive_rejects() const { return consecutive_rejects_; }
+
+ private:
+  CleanerConfig config_;
+  double mean_ = 0.0;
+  double dev_ = 0.0;
+  int seen_ = 0;
+  int consecutive_rejects_ = 0;
+};
+
+// Multi-symbol streaming cleaner with drop accounting.
+class QuoteCleaner {
+ public:
+  QuoteCleaner(std::size_t symbol_count, const CleanerConfig& config);
+
+  bool accept(const Quote& quote);
+
+  // Batch convenience: returns the surviving quotes in order.
+  std::vector<Quote> clean(const std::vector<Quote>& quotes);
+
+  std::size_t accepted() const { return accepted_; }
+  std::size_t dropped_structural() const { return dropped_structural_; }
+  std::size_t dropped_band() const { return dropped_band_; }
+
+ private:
+  std::vector<SymbolFilter> filters_;
+  std::size_t accepted_ = 0;
+  std::size_t dropped_structural_ = 0;
+  std::size_t dropped_band_ = 0;
+};
+
+}  // namespace mm::md

@@ -1,0 +1,63 @@
+#include "marketdata/feed.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace mm::md {
+
+MergingFeed::MergingFeed(std::vector<std::unique_ptr<QuoteFeed>> feeds)
+    : feeds_(std::move(feeds)) {
+  heads_.reserve(feeds_.size());
+  for (auto& feed : feeds_) {
+    MM_ASSERT(feed != nullptr);
+    heads_.push_back(feed->next());
+  }
+}
+
+std::optional<Quote> MergingFeed::next() {
+  std::size_t best = heads_.size();
+  for (std::size_t i = 0; i < heads_.size(); ++i) {
+    if (!heads_[i]) continue;
+    if (best == heads_.size() || heads_[i]->ts_ms < heads_[best]->ts_ms) best = i;
+  }
+  if (best == heads_.size()) return std::nullopt;
+  Quote q = *heads_[best];
+  heads_[best] = feeds_[best]->next();
+  return q;
+}
+
+ThrottledFeed::ThrottledFeed(std::unique_ptr<QuoteFeed> inner, double speedup)
+    : inner_(std::move(inner)), speedup_(speedup) {
+  MM_ASSERT(inner_ != nullptr);
+  MM_ASSERT_MSG(speedup_ > 0.0, "speedup must be positive");
+}
+
+std::optional<Quote> ThrottledFeed::next() {
+  auto q = inner_->next();
+  if (!q) return std::nullopt;
+
+  using clock = std::chrono::steady_clock;
+  const auto now_us = [&] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               clock::now().time_since_epoch())
+        .count();
+  };
+
+  if (!started_) {
+    started_ = true;
+    first_ts_ = q->ts_ms;
+    start_wall_us_ = now_us();
+    return q;
+  }
+
+  const double stream_elapsed_us = static_cast<double>(q->ts_ms - first_ts_) * 1000.0;
+  const auto due_us =
+      start_wall_us_ + static_cast<std::int64_t>(stream_elapsed_us / speedup_);
+  const auto wait = due_us - now_us();
+  if (wait > 0) std::this_thread::sleep_for(std::chrono::microseconds(wait));
+  return q;
+}
+
+}  // namespace mm::md

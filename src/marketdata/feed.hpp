@@ -1,0 +1,71 @@
+// Quote feeds: the pipeline's data-adapter abstraction (Fig. 1's collectors).
+//
+// A QuoteFeed yields time-ordered quotes one at a time. Implementations:
+//   * VectorFeed   — replay an in-memory day (what the Live Collector sees);
+//   * MergingFeed  — k-way merge of several feeds by timestamp, modelling the
+//                    consolidated view across "Live Data Feed 1 / 2 / files";
+//   * ThrottledFeed— wraps a feed and simulates wall-clock pacing at a given
+//                    speedup (for the live-pipeline example).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "marketdata/types.hpp"
+
+namespace mm::md {
+
+class QuoteFeed {
+ public:
+  virtual ~QuoteFeed() = default;
+
+  // Next quote in time order, or nullopt at end of stream.
+  virtual std::optional<Quote> next() = 0;
+};
+
+class VectorFeed final : public QuoteFeed {
+ public:
+  explicit VectorFeed(std::vector<Quote> quotes) : quotes_(std::move(quotes)) {}
+
+  std::optional<Quote> next() override {
+    if (index_ >= quotes_.size()) return std::nullopt;
+    return quotes_[index_++];
+  }
+
+ private:
+  std::vector<Quote> quotes_;
+  std::size_t index_ = 0;
+};
+
+// Merges several time-ordered feeds into one time-ordered stream. Ties are
+// broken by feed index (stable).
+class MergingFeed final : public QuoteFeed {
+ public:
+  explicit MergingFeed(std::vector<std::unique_ptr<QuoteFeed>> feeds);
+
+  std::optional<Quote> next() override;
+
+ private:
+  std::vector<std::unique_ptr<QuoteFeed>> feeds_;
+  std::vector<std::optional<Quote>> heads_;
+};
+
+// Replays an underlying feed paced to quote timestamps divided by `speedup`
+// (e.g. speedup = 390 plays a full session in one minute). Pacing is relative
+// to the first quote.
+class ThrottledFeed final : public QuoteFeed {
+ public:
+  ThrottledFeed(std::unique_ptr<QuoteFeed> inner, double speedup);
+
+  std::optional<Quote> next() override;
+
+ private:
+  std::unique_ptr<QuoteFeed> inner_;
+  double speedup_;
+  bool started_ = false;
+  TimeMs first_ts_ = 0;
+  std::int64_t start_wall_us_ = 0;
+};
+
+}  // namespace mm::md

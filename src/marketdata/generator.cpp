@@ -1,0 +1,261 @@
+#include "marketdata/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mm::md {
+
+double u_shape(double x) {
+  // Quadratic smile normalized to integrate to ~1 on [0,1]:
+  // u(x) = a + b(2x-1)^2 with a + b/3 = 1.
+  constexpr double b = 1.8;
+  constexpr double a = 1.0 - b / 3.0;
+  const double t = 2.0 * x - 1.0;
+  return a + b * t * t;
+}
+
+SyntheticDay::SyntheticDay(const Universe& universe, const GeneratorConfig& config,
+                           int day_index)
+    : session_(config.session) {
+  build(universe, config, day_index, universe.base_price);
+}
+
+SyntheticDay::SyntheticDay(const Universe& universe, const GeneratorConfig& config,
+                           int day_index, const std::vector<double>& open_prices)
+    : session_(config.session) {
+  MM_ASSERT_MSG(open_prices.size() == universe.table.size(),
+                "one open price per symbol required");
+  build(universe, config, day_index, open_prices);
+}
+
+void SyntheticDay::build(const Universe& universe, const GeneratorConfig& config,
+                         int day_index, const std::vector<double>& open_prices) {
+  seconds_ = session_.duration_seconds();
+  // Independent stream per (seed, day): expand via splitmix64.
+  std::uint64_t sm = config.seed;
+  (void)splitmix64(sm);
+  sm ^= 0x51ed2700b1a3c492ULL * static_cast<std::uint64_t>(day_index + 1);
+  Rng rng(splitmix64(sm));
+
+  open_prices_ = open_prices;
+  build_paths(universe, config, rng);
+  emit_quotes(universe, config, rng);
+  emit_trades(universe, config, rng);
+}
+
+std::vector<double> SyntheticDay::closing_prices() const {
+  std::vector<double> out;
+  out.reserve(paths_.size());
+  for (const auto& path : paths_) out.push_back(path.back());
+  return out;
+}
+
+void SyntheticDay::emit_trades(const Universe& universe, const GeneratorConfig& config,
+                               Rng& rng) {
+  const auto n = universe.table.size();
+  const auto steps = static_cast<std::size_t>(seconds_);
+  trades_.clear();
+  if (config.trade_rate <= 0.0) return;
+  trades_.reserve(static_cast<std::size_t>(static_cast<double>(n * steps) *
+                                           config.trade_rate * 1.1) + 64);
+
+  for (SymbolId i = 0; i < n; ++i) {
+    const double u_max = std::max(u_shape(0.0), 1.0);
+    const double peak_rate = config.trade_rate * u_max;
+    double t = rng.exponential(peak_rate);
+    while (t < static_cast<double>(seconds_)) {
+      const double x = t / static_cast<double>(seconds_);
+      if (rng.uniform() < u_shape(x) / u_max) {
+        const auto sec = std::min(static_cast<std::size_t>(t), steps - 1);
+        const double mid = paths_[i][sec];
+        const double half_spread = std::max(0.005, mid * config.half_spread_frac);
+        Trade trade;
+        trade.ts_ms = session_.open_ms() + static_cast<TimeMs>(t * 1000.0);
+        trade.symbol = i;
+        // Executions lift the ask or hit the bid with equal probability.
+        trade.price = mid + (rng.bernoulli(0.5) ? half_spread : -half_spread);
+        trade.price = std::max(0.01, std::round(trade.price * 100.0) / 100.0);
+        // Round lots, geometric-ish size distribution.
+        trade.size = 100 * (1 + static_cast<std::int32_t>(rng.exponential(0.7)));
+        trades_.push_back(trade);
+      }
+      t += rng.exponential(peak_rate);
+    }
+  }
+  std::stable_sort(trades_.begin(), trades_.end(),
+                   [](const Trade& a, const Trade& b) { return a.ts_ms < b.ts_ms; });
+}
+
+void SyntheticDay::build_paths(const Universe& universe, const GeneratorConfig& config,
+                               Rng& rng) {
+  const auto n = universe.table.size();
+  const auto n_sectors = universe.sector_names.size();
+  const auto steps = static_cast<std::size_t>(seconds_);
+
+  paths_.assign(n, std::vector<double>(steps));
+
+  // Per-symbol factor loadings: stable but heterogeneous, derived from the
+  // rng so different universes differ.
+  std::vector<double> beta(n), gamma(n), sigma(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    beta[i] = 0.8 + 0.4 * rng.uniform();   // market loading in [0.8, 1.2]
+    gamma[i] = 0.8 + 0.4 * rng.uniform();  // sector loading
+    sigma[i] = 0.75 + 0.5 * rng.uniform(); // idio vol multiplier
+  }
+
+  // Divergence episodes: piecewise drift per symbol per second. Episode
+  // intensity is heterogeneous across symbols but constant across days
+  // (multiplier derived from seed+symbol only), so the same pairs stay
+  // divergence-rich all month.
+  std::vector<double> episode_mult(n), drift_mult(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sm = config.seed ^ (0xa24baed4963ee407ULL * (i + 1));
+    Rng symbol_rng(splitmix64(sm));
+    episode_mult[i] = std::clamp(
+        config.episode_mult_median * std::exp(config.episode_mult_sigma *
+                                              symbol_rng.normal()),
+        config.episode_mult_min, config.episode_mult_max);
+    drift_mult[i] =
+        std::clamp(std::exp(config.episode_drift_sigma * symbol_rng.normal()),
+                   config.episode_drift_mult_min, config.episode_drift_mult_max);
+  }
+
+  std::vector<std::vector<double>> drift(n, std::vector<double>(steps, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = config.episodes_per_day * episode_mult[i];
+    // Poisson count via sequential Bernoulli thinning over minutes.
+    int episodes = 0;
+    {
+      // Knuth's method, bounded to avoid pathological configs.
+      const double l = std::exp(-expected);
+      double p = 1.0;
+      while (episodes < 40) {
+        p *= rng.uniform();
+        if (p <= l) break;
+        ++episodes;
+      }
+    }
+    for (int e = 0; e < episodes; ++e) {
+      const double minutes = rng.uniform(config.episode_min_minutes,
+                                         config.episode_max_minutes);
+      const auto len = static_cast<std::size_t>(minutes * 60.0);
+      if (len == 0 || 2 * len >= steps) continue;
+      const auto start = static_cast<std::size_t>(rng.uniform_int(steps - 2 * len));
+      const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      const double per_second =
+          sign * config.episode_drift * drift_mult[i] / static_cast<double>(len);
+      const double reversion =
+          -per_second * config.episode_reversion;  // opposite drift afterwards
+      for (std::size_t t = 0; t < len; ++t) drift[i][start + t] += per_second;
+      for (std::size_t t = 0; t < len; ++t) drift[i][start + len + t] += reversion;
+    }
+  }
+
+  std::vector<double> log_price(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MM_ASSERT_MSG(open_prices_[i] > 0.0, "open price must be positive");
+    log_price[i] = std::log(open_prices_[i]);
+  }
+
+  std::vector<double> sector_shock(n_sectors);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const double u = u_shape(static_cast<double>(t) / static_cast<double>(steps));
+    const double scale = std::sqrt(u);
+    const double market = config.market_vol * scale * rng.normal();
+    for (std::size_t g = 0; g < n_sectors; ++g)
+      sector_shock[g] = config.sector_vol * scale * rng.normal();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double idio = config.idio_vol * sigma[i] * scale *
+                          rng.student_t(config.idio_tail_df) /
+                          std::sqrt(config.idio_tail_df / (config.idio_tail_df - 2.0));
+      log_price[i] += beta[i] * market +
+                      gamma[i] * sector_shock[static_cast<std::size_t>(
+                                     universe.sector[i])] +
+                      idio + drift[i][t];
+      paths_[i][t] = std::exp(log_price[i]);
+    }
+  }
+}
+
+void SyntheticDay::emit_quotes(const Universe& universe, const GeneratorConfig& config,
+                               Rng& rng) {
+  const auto n = universe.table.size();
+  const auto steps = static_cast<std::size_t>(seconds_);
+  quotes_.clear();
+  // Expected total quotes: n * seconds * rate — reserve to avoid regrowth.
+  quotes_.reserve(static_cast<std::size_t>(static_cast<double>(n * steps) *
+                                           config.quote_rate * 1.1) + 64);
+
+  for (SymbolId i = 0; i < n; ++i) {
+    // Poisson arrivals via exponential gaps, with intensity modulated by the
+    // U-shape (thinning): draw at peak intensity, accept with u(t)/u_max.
+    const double u_max = std::max(u_shape(0.0), 1.0);
+    const double peak_rate = config.quote_rate * u_max;
+    double t = rng.exponential(peak_rate);
+    while (t < static_cast<double>(seconds_)) {
+      const double x = t / static_cast<double>(seconds_);
+      if (rng.uniform() < u_shape(x) / u_max) {
+        const auto sec = std::min(static_cast<std::size_t>(t), steps - 1);
+        const double mid =
+            paths_[i][sec] * (1.0 + config.quote_noise_frac * rng.normal());
+        const double half_spread =
+            std::max(0.01 / 2.0, mid * config.half_spread_frac);  // >= 1 cent wide
+
+        Quote q;
+        q.ts_ms = session_.open_ms() + static_cast<TimeMs>(t * 1000.0);
+        q.symbol = i;
+        q.bid = mid - half_spread;
+        q.ask = mid + half_spread;
+        q.bid_size = 1 + static_cast<std::int32_t>(rng.uniform_int(40));
+        q.ask_size = 1 + static_cast<std::int32_t>(rng.uniform_int(40));
+
+        // Dirty data injection.
+        if (rng.bernoulli(config.bad_tick_rate)) {
+          const double jump =
+              rng.uniform(config.bad_tick_min_jump, config.bad_tick_max_jump);
+          const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+          if (rng.bernoulli(0.5)) {
+            // Fat-finger: both sides displaced.
+            q.bid *= 1.0 + sign * jump;
+            q.ask *= 1.0 + sign * jump;
+          } else {
+            // Far-out limit / test quote on one side.
+            if (sign > 0)
+              q.ask *= 1.0 + jump * 4.0;
+            else
+              q.bid *= 1.0 - std::min(0.95, jump * 4.0);
+          }
+          ++corrupted_;
+        } else if (rng.bernoulli(config.crossed_rate)) {
+          std::swap(q.bid, q.ask);  // crossed market
+          ++corrupted_;
+        } else if (rng.bernoulli(config.minor_tick_rate)) {
+          // Small displacement that typically survives the band filter; the
+          // robust correlation is what defends against these.
+          const double jump =
+              rng.uniform(config.minor_tick_min_jump, config.minor_tick_max_jump);
+          const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+          q.bid *= 1.0 + sign * jump;
+          q.ask *= 1.0 + sign * jump;
+          ++corrupted_;
+        }
+
+        // Round to cents like real quote feeds.
+        q.bid = std::max(0.01, std::round(q.bid * 100.0) / 100.0);
+        q.ask = std::max(0.01, std::round(q.ask * 100.0) / 100.0);
+        quotes_.push_back(q);
+      }
+      t += rng.exponential(peak_rate);
+    }
+  }
+
+  std::stable_sort(quotes_.begin(), quotes_.end(),
+                   [](const Quote& a, const Quote& b) { return a.ts_ms < b.ts_ms; });
+}
+
+const std::vector<double>& SyntheticDay::true_path(SymbolId symbol) const {
+  MM_ASSERT(symbol < paths_.size());
+  return paths_[symbol];
+}
+
+}  // namespace mm::md

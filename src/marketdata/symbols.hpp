@@ -1,0 +1,59 @@
+// Symbol table: ticker string <-> dense SymbolId, plus the default universe.
+//
+// The paper backtests 61 highly liquid US stocks (unnamed). We ship a default
+// 61-ticker universe of large-cap names liquid in March 2008, grouped into
+// sectors — the synthetic generator uses the sector grouping to induce the
+// genuine co-movement structure pair trading exploits.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "marketdata/types.hpp"
+
+namespace mm::md {
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Adds `ticker` (idempotent) and returns its id.
+  SymbolId intern(const std::string& ticker);
+
+  // Id for a known ticker, or invalid_symbol.
+  SymbolId lookup(const std::string& ticker) const;
+
+  const std::string& name(SymbolId id) const;
+  std::size_t size() const { return names_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+// One entry of the built-in universe.
+struct UniverseEntry {
+  const char* ticker;
+  const char* sector;
+  double price_2008;  // plausible March-2008 price level, seeds the generator
+};
+
+// The full built-in 61-name universe (sector-grouped).
+const std::vector<UniverseEntry>& default_universe();
+
+// First `n` names of the default universe interned into a fresh table
+// (n <= 61). Returns the table and parallel sector-index / seed-price arrays.
+struct Universe {
+  SymbolTable table;
+  std::vector<int> sector;        // per symbol id
+  std::vector<double> base_price; // per symbol id
+  std::vector<std::string> sector_names;
+};
+
+Universe make_universe(std::size_t n);
+
+}  // namespace mm::md

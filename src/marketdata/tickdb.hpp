@@ -1,0 +1,71 @@
+// tickdb: an embedded, file-backed historical tick store.
+//
+// Stands in for the paper's MySQL historical database (Fig. 1's "DB
+// Collector" input). Layout on disk:
+//
+//   <root>/symbols.txt            one ticker per line, line number = SymbolId
+//   <root>/<DATE>/quotes.bin      all quotes of that trading day, time-sorted,
+//                                 in the binary block format from taq.hpp
+//
+// The store supports whole-day writes and filtered range reads (by symbol set
+// and time window), which is all the backtesting collectors need.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "marketdata/calendar.hpp"
+#include "marketdata/symbols.hpp"
+#include "marketdata/types.hpp"
+
+namespace mm::md {
+
+class TickDb {
+ public:
+  // Opens (creating the directory if needed) a store at `root`.
+  static Expected<TickDb> open(const std::string& root);
+
+  // Persist the symbol table (call once after interning the universe, before
+  // the first write_day).
+  Status put_symbols(const SymbolTable& symbols);
+  Expected<SymbolTable> get_symbols() const;
+
+  // Write a full day of quotes (must be time-sorted).
+  Status write_day(const Date& date, const std::vector<Quote>& quotes);
+
+  // Read a full day.
+  Expected<std::vector<Quote>> read_day(const Date& date) const;
+
+  // Trade prints for a day (optional per day; stored as trades.bin).
+  Status write_trades(const Date& date, const std::vector<Trade>& trades);
+  Expected<std::vector<Trade>> read_trades(const Date& date) const;
+  bool has_trades(const Date& date) const;
+
+  // Read a day filtered to a symbol subset and/or a [from, to) time window.
+  // Empty `symbols` means all symbols.
+  Expected<std::vector<Quote>> read_range(const Date& date,
+                                          const std::vector<SymbolId>& symbols,
+                                          std::optional<TimeMs> from,
+                                          std::optional<TimeMs> to) const;
+
+  // Days present in the store, sorted ascending.
+  std::vector<Date> days() const;
+
+  // True if the day has a time index (written alongside quotes.bin; lets
+  // read_range seek instead of scanning from the start of the day).
+  bool has_index(const Date& date) const;
+
+  bool has_day(const Date& date) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit TickDb(std::string root) : root_(std::move(root)) {}
+  std::string day_dir(const Date& date) const;
+
+  std::string root_;
+};
+
+}  // namespace mm::md

@@ -1,0 +1,206 @@
+// Typed collective operations over Comm's byte-level primitives.
+//
+// All functions are collective: every member of the communicator must call
+// them, in the same order. Reductions are deterministic — contributions are
+// combined in ascending rank order regardless of arrival order, so floating
+// point results are reproducible run to run.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "mpmini/comm.hpp"
+
+namespace mm::mpi {
+
+namespace detail {
+
+template <typename T>
+std::vector<std::uint8_t> to_bytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> buf(sizeof(T));
+  std::memcpy(buf.data(), &value, sizeof(T));
+  return buf;
+}
+
+template <typename T>
+T from_bytes(const std::vector<std::uint8_t>& buf) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  MM_ASSERT(buf.size() == sizeof(T));
+  T value;
+  std::memcpy(&value, buf.data(), sizeof(T));
+  return value;
+}
+
+template <typename T>
+std::vector<std::uint8_t> vec_to_bytes(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> buf(v.size() * sizeof(T));
+  std::memcpy(buf.data(), v.data(), buf.size());
+  return buf;
+}
+
+template <typename T>
+std::vector<T> vec_from_bytes(const std::vector<std::uint8_t>& buf) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  MM_ASSERT(buf.size() % sizeof(T) == 0);
+  std::vector<T> v(buf.size() / sizeof(T));
+  std::memcpy(v.data(), buf.data(), buf.size());
+  return v;
+}
+
+}  // namespace detail
+
+// Reduction functors.
+struct Sum {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a + b; }
+};
+struct Max {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a > b ? a : b; }
+};
+struct Min {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a < b ? a : b; }
+};
+
+// Broadcast a single trivially copyable value from root.
+template <typename T>
+T bcast_value(Comm& comm, T value, int root) {
+  auto buf = detail::to_bytes(value);
+  comm.bcast_bytes(buf, root);
+  return detail::from_bytes<T>(buf);
+}
+
+// Broadcast a vector (size included) from root.
+template <typename T>
+std::vector<T> bcast_vector(Comm& comm, std::vector<T> v, int root) {
+  auto buf = detail::vec_to_bytes(v);
+  comm.bcast_bytes(buf, root);
+  return detail::vec_from_bytes<T>(buf);
+}
+
+// Gather one value per rank to root (rank order). Non-roots get {}.
+template <typename T>
+std::vector<T> gather_values(Comm& comm, const T& mine, int root) {
+  auto parts = comm.gather_bytes(detail::to_bytes(mine), root);
+  std::vector<T> out;
+  if (comm.rank() == root) {
+    out.reserve(parts.size());
+    for (const auto& p : parts) out.push_back(detail::from_bytes<T>(p));
+  }
+  return out;
+}
+
+// All ranks receive every rank's value, in rank order.
+template <typename T>
+std::vector<T> allgather_values(Comm& comm, const T& mine) {
+  auto parts = comm.allgather_bytes(detail::to_bytes(mine));
+  std::vector<T> out;
+  out.reserve(parts.size());
+  for (const auto& p : parts) out.push_back(detail::from_bytes<T>(p));
+  return out;
+}
+
+// Variable-length allgather of element vectors.
+template <typename T>
+std::vector<std::vector<T>> allgather_vectors(Comm& comm, const std::vector<T>& mine) {
+  auto parts = comm.allgather_bytes(detail::vec_to_bytes(mine));
+  std::vector<std::vector<T>> out;
+  out.reserve(parts.size());
+  for (const auto& p : parts) out.push_back(detail::vec_from_bytes<T>(p));
+  return out;
+}
+
+// Scatter one value per rank from root.
+template <typename T>
+T scatter_values(Comm& comm, const std::vector<T>& values, int root) {
+  std::vector<std::vector<std::uint8_t>> parts;
+  if (comm.rank() == root) {
+    MM_ASSERT(static_cast<int>(values.size()) == comm.size());
+    parts.reserve(values.size());
+    for (const auto& v : values) parts.push_back(detail::to_bytes(v));
+  }
+  return detail::from_bytes<T>(comm.scatter_bytes(parts, root));
+}
+
+// Element-wise reduction of equal-length vectors to root, combining in
+// ascending rank order (deterministic for floating point). Non-roots get {}.
+template <typename T, typename Op>
+std::vector<T> reduce_vectors(Comm& comm, const std::vector<T>& mine, Op op, int root) {
+  auto parts = comm.gather_bytes(detail::vec_to_bytes(mine), root);
+  std::vector<T> out;
+  if (comm.rank() == root) {
+    for (std::size_t r = 0; r < parts.size(); ++r) {
+      auto v = detail::vec_from_bytes<T>(parts[r]);
+      if (r == 0) {
+        out = std::move(v);
+      } else {
+        MM_ASSERT_MSG(v.size() == out.size(), "reduce: vector length mismatch");
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] = op(out[i], v[i]);
+      }
+    }
+  }
+  return out;
+}
+
+// Scalar reduction to root.
+template <typename T, typename Op>
+T reduce_value(Comm& comm, const T& mine, Op op, int root) {
+  auto out = reduce_vectors(comm, std::vector<T>{mine}, op, root);
+  return comm.rank() == root ? out[0] : T{};
+}
+
+// Reduction delivered to every rank.
+template <typename T, typename Op>
+T allreduce_value(Comm& comm, const T& mine, Op op) {
+  T result = reduce_value(comm, mine, op, 0);
+  return bcast_value(comm, result, 0);
+}
+
+template <typename T, typename Op>
+std::vector<T> allreduce_vectors(Comm& comm, const std::vector<T>& mine, Op op) {
+  auto result = reduce_vectors(comm, mine, op, 0);
+  return bcast_vector(comm, std::move(result), 0);
+}
+
+// Inclusive prefix reduction: rank r receives op(x_0, ..., x_r), mirroring
+// MPI_Scan. Combination order is ascending rank (deterministic).
+template <typename T, typename Op>
+T scan_value(Comm& comm, const T& mine, Op op) {
+  const auto all = allgather_values(comm, mine);
+  T acc = all[0];
+  for (int r = 1; r <= comm.rank(); ++r)
+    acc = op(acc, all[static_cast<std::size_t>(r)]);
+  return acc;
+}
+
+// Exclusive prefix reduction: rank r receives op(x_0, ..., x_{r-1}); rank 0
+// receives `identity`, mirroring MPI_Exscan.
+template <typename T, typename Op>
+T exscan_value(Comm& comm, const T& mine, Op op, T identity) {
+  const auto all = allgather_values(comm, mine);
+  T acc = identity;
+  for (int r = 0; r < comm.rank(); ++r)
+    acc = op(acc, all[static_cast<std::size_t>(r)]);
+  return acc;
+}
+
+// Personalized all-to-all: `parts[d]` goes to rank d; the result's slot s
+// holds the value rank s addressed to this rank. Mirrors MPI_Alltoall.
+template <typename T>
+std::vector<T> alltoall_values(Comm& comm, const std::vector<T>& parts) {
+  MM_ASSERT_MSG(static_cast<int>(parts.size()) == comm.size(),
+                "alltoall: need one part per rank");
+  // Flatten through allgather: cheap and correct for the small worlds mpmini
+  // targets; a real-MPI port would use the native personalized exchange.
+  const auto matrix = allgather_vectors(comm, parts);
+  std::vector<T> out;
+  out.reserve(matrix.size());
+  for (const auto& row : matrix)
+    out.push_back(row[static_cast<std::size_t>(comm.rank())]);
+  return out;
+}
+
+}  // namespace mm::mpi

@@ -1,0 +1,266 @@
+#include "mpmini/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "mpmini/serde.hpp"
+
+namespace mm::mpi {
+
+World::World(int size) {
+  MM_ASSERT_MSG(size > 0, "World size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Mailbox& World::mailbox(int world_rank) {
+  MM_ASSERT(world_rank >= 0 && world_rank < size());
+  return *mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+Comm::Comm(World* world, std::uint64_t comm_id, int rank, std::vector<int> members)
+    : world_(world), comm_id_(comm_id), rank_(rank), members_(std::move(members)) {
+  MM_ASSERT(world_ != nullptr);
+  MM_ASSERT(rank_ >= 0 && rank_ < static_cast<int>(members_.size()));
+}
+
+int Comm::next_collective_tag() {
+  // 2^22 in-flight collective generations per communicator before wraparound;
+  // messages from generation g can never coexist with generation g + 2^22.
+  return reserved_tag_base + static_cast<int>(collective_seq_++ % (1u << 22));
+}
+
+void Comm::internal_send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  MM_ASSERT_MSG(dest >= 0 && dest < size(), "send: destination rank out of range");
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.comm_id = comm_id_;
+  msg.sequence = send_seq_++;
+  msg.payload = std::move(payload);
+  world_->mailbox(members_[static_cast<std::size_t>(dest)]).deliver(std::move(msg));
+}
+
+void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  MM_ASSERT_MSG(tag >= 0 && tag < reserved_tag_base,
+                "user tags must be in [0, reserved_tag_base)");
+  internal_send(dest, tag, std::move(payload));
+}
+
+Request Comm::isend(int dest, int tag, std::vector<std::uint8_t> payload) {
+  send(dest, tag, std::move(payload));
+  return Request::completed();
+}
+
+std::vector<std::uint8_t> Comm::recv(int source, int tag, RecvStatus* status) {
+  Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
+  auto ticket = box.post_recv(comm_id_, source, tag);
+  Message msg = box.wait(ticket);
+  if (status != nullptr) {
+    status->source = msg.source;
+    status->tag = msg.tag;
+    status->byte_count = msg.payload.size();
+  }
+  return std::move(msg.payload);
+}
+
+Request Comm::irecv(int source, int tag) {
+  Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
+  return Request::receiving(&box, box.post_recv(comm_id_, source, tag));
+}
+
+RecvStatus Comm::probe(int source, int tag) {
+  return world_->mailbox(members_[static_cast<std::size_t>(rank_)])
+      .probe(comm_id_, source, tag);
+}
+
+bool Comm::iprobe(int source, int tag, RecvStatus* status) {
+  return world_->mailbox(members_[static_cast<std::size_t>(rank_)])
+      .iprobe(comm_id_, source, tag, status);
+}
+
+std::vector<std::uint8_t> Comm::sendrecv(int dest, int send_tag,
+                                         std::vector<std::uint8_t> payload, int source,
+                                         int recv_tag, RecvStatus* status) {
+  send(dest, send_tag, std::move(payload));
+  return recv(source, recv_tag, status);
+}
+
+void Comm::barrier() {
+  const int tag = next_collective_tag();
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) (void)recv(any_source, tag);
+    for (int r = 1; r < size(); ++r) internal_send(r, tag, {});
+  } else {
+    internal_send(0, tag, {});
+    (void)recv(0, tag);
+  }
+}
+
+void Comm::bcast_bytes(std::vector<std::uint8_t>& buf, int root) {
+  MM_ASSERT(root >= 0 && root < size());
+  const int tag = next_collective_tag();
+  const int n = size();
+  if (n == 1) return;
+
+  // Binomial tree rooted at `root`: virtual rank v = (rank - root) mod n.
+  // Node v's parent clears v's lowest set bit; its children are v + bit for
+  // every bit strictly below that lowest set bit (all bits for the root).
+  const int v = (rank_ - root + n) % n;
+  if (v != 0) {
+    const int parent_v = v & (v - 1);
+    buf = recv((parent_v + root) % n, tag);
+  }
+  const int lsb = (v == 0) ? (1 << 30) : (v & -v);
+  int top = 1;
+  while ((top << 1) < n) top <<= 1;
+  for (int bit = top; bit >= 1; bit >>= 1) {
+    if (bit >= lsb) continue;
+    const int child_v = v | bit;
+    if (child_v >= n) continue;
+    internal_send((child_v + root) % n, tag, buf);
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Comm::gather_bytes(std::vector<std::uint8_t> mine,
+                                                          int root) {
+  MM_ASSERT(root >= 0 && root < size());
+  const int tag = next_collective_tag();
+  std::vector<std::vector<std::uint8_t>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)] = std::move(mine);
+    for (int i = 0; i < size() - 1; ++i) {
+      RecvStatus status;
+      auto payload = recv(any_source, tag, &status);
+      out[static_cast<std::size_t>(status.source)] = std::move(payload);
+    }
+  } else {
+    internal_send(root, tag, std::move(mine));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Comm::allgather_bytes(
+    std::vector<std::uint8_t> mine) {
+  auto gathered = gather_bytes(std::move(mine), 0);
+  // Frame the gathered buffers into one bcast payload.
+  Packer packer;
+  if (rank_ == 0) {
+    packer.put<std::uint64_t>(gathered.size());
+    for (const auto& part : gathered) packer.put_vector(part);
+  }
+  std::vector<std::uint8_t> framed = packer.take();
+  bcast_bytes(framed, 0);
+  if (rank_ == 0) return gathered;
+
+  Unpacker unpacker(framed);
+  const auto count = unpacker.get<std::uint64_t>();
+  std::vector<std::vector<std::uint8_t>> out(count);
+  for (auto& part : out) part = unpacker.get_vector<std::uint8_t>();
+  return out;
+}
+
+std::vector<std::uint8_t> Comm::scatter_bytes(
+    const std::vector<std::vector<std::uint8_t>>& parts, int root) {
+  MM_ASSERT(root >= 0 && root < size());
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    MM_ASSERT_MSG(static_cast<int>(parts.size()) == size(),
+                  "scatter: need one part per member");
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      internal_send(r, tag, parts[static_cast<std::size_t>(r)]);
+    }
+    return parts[static_cast<std::size_t>(rank_)];
+  }
+  return recv(root, tag);
+}
+
+Comm Comm::split(int color, int key) {
+  // Share (color, key) with every member.
+  Packer packer;
+  packer.put<int>(color);
+  packer.put<int>(key);
+  auto all = allgather_bytes(packer.take());
+
+  struct Entry {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(all.size());
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    Unpacker unpacker(all[r]);
+    Entry e;
+    e.color = unpacker.get<int>();
+    e.key = unpacker.get<int>();
+    e.parent_rank = static_cast<int>(r);
+    entries.push_back(e);
+  }
+
+  // Rank 0 allocates one fresh comm id per distinct color (ascending) so all
+  // members agree on ids without racing the world allocator.
+  std::map<int, std::uint64_t> color_ids;
+  Packer id_packer;
+  if (rank_ == 0) {
+    for (const auto& e : entries)
+      if (!color_ids.count(e.color)) color_ids[e.color] = 0;
+    id_packer.put<std::uint64_t>(color_ids.size());
+    for (auto& [c, id] : color_ids) {
+      id = world_->allocate_comm_id();
+      id_packer.put<int>(c);
+      id_packer.put<std::uint64_t>(id);
+    }
+  }
+  std::vector<std::uint8_t> id_buf = id_packer.take();
+  bcast_bytes(id_buf, 0);
+  if (rank_ != 0) {
+    Unpacker unpacker(id_buf);
+    const auto n = unpacker.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const int c = unpacker.get<int>();
+      const auto id = unpacker.get<std::uint64_t>();
+      color_ids[c] = id;
+    }
+  }
+
+  // My group, ordered by (key, parent rank).
+  std::vector<Entry> group;
+  for (const auto& e : entries)
+    if (e.color == entries[static_cast<std::size_t>(rank_)].color) group.push_back(e);
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.parent_rank < b.parent_rank;
+  });
+
+  std::vector<int> members;
+  members.reserve(group.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    members.push_back(members_[static_cast<std::size_t>(group[i].parent_rank)]);
+    if (group[i].parent_rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  MM_ASSERT(my_new_rank >= 0);
+  return Comm(world_, color_ids.at(entries[static_cast<std::size_t>(rank_)].color),
+              my_new_rank, std::move(members));
+}
+
+Comm Comm::duplicate() {
+  std::uint64_t new_id = 0;
+  Packer packer;
+  if (rank_ == 0) {
+    new_id = world_->allocate_comm_id();
+    packer.put<std::uint64_t>(new_id);
+  }
+  std::vector<std::uint8_t> buf = packer.take();
+  bcast_bytes(buf, 0);
+  if (rank_ != 0) {
+    Unpacker unpacker(buf);
+    new_id = unpacker.get<std::uint64_t>();
+  }
+  return Comm(world_, new_id, rank_, members_);
+}
+
+}  // namespace mm::mpi

@@ -1,0 +1,148 @@
+// Communicators and the shared world for the mpmini runtime.
+//
+// A World owns one mailbox per rank. A Comm is a view over a subset of world
+// ranks (the world communicator covers all of them) with its own id, so that
+// traffic in different communicators never cross-matches — the property the
+// DAG scheduler uses to give every edge and every collective group a private
+// channel namespace.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpmini/mailbox.hpp"
+#include "mpmini/message.hpp"
+#include "mpmini/request.hpp"
+
+namespace mm::mpi {
+
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int world_rank);
+  std::uint64_t allocate_comm_id() { return next_comm_id_.fetch_add(1); }
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> next_comm_id_{1};
+};
+
+// One rank's handle on a communicator. Each rank thread owns its own Comm
+// instance; instances are cheap to copy (they share the World).
+class Comm {
+ public:
+  // World communicator for `rank` (used by Environment).
+  Comm(World* world, std::uint64_t comm_id, int rank, std::vector<int> members);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+
+  // --- point to point -------------------------------------------------
+  // Buffered send: the payload is copied into dest's mailbox immediately.
+  void send(int dest, int tag, std::vector<std::uint8_t> payload);
+  Request isend(int dest, int tag, std::vector<std::uint8_t> payload);
+
+  // Blocking receive; source/tag may be wildcards. If status is non-null the
+  // actual envelope is reported (useful with wildcards).
+  std::vector<std::uint8_t> recv(int source = any_source, int tag = any_tag,
+                                 RecvStatus* status = nullptr);
+  Request irecv(int source = any_source, int tag = any_tag);
+
+  RecvStatus probe(int source = any_source, int tag = any_tag);
+  bool iprobe(int source = any_source, int tag = any_tag, RecvStatus* status = nullptr);
+
+  // Combined send+receive (deadlock-free even when both peers call it
+  // simultaneously, because sends are buffered).
+  std::vector<std::uint8_t> sendrecv(int dest, int send_tag,
+                                     std::vector<std::uint8_t> payload, int source,
+                                     int recv_tag, RecvStatus* status = nullptr);
+
+  // Typed conveniences for trivially copyable values / element vectors.
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> buf(sizeof(T));
+    std::memcpy(buf.data(), &value, sizeof(T));
+    send(dest, tag, std::move(buf));
+  }
+
+  template <typename T>
+  T recv_value(int source = any_source, int tag = any_tag, RecvStatus* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto buf = recv(source, tag, status);
+    MM_ASSERT_MSG(buf.size() == sizeof(T), "recv_value: payload size mismatch");
+    T value;
+    std::memcpy(&value, buf.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void send_span(int dest, int tag, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> buf(count * sizeof(T));
+    std::memcpy(buf.data(), data, buf.size());
+    send(dest, tag, std::move(buf));
+  }
+
+  template <typename T>
+  std::vector<T> recv_elems(int source = any_source, int tag = any_tag,
+                            RecvStatus* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto buf = recv(source, tag, status);
+    MM_ASSERT_MSG(buf.size() % sizeof(T) == 0, "recv_elems: payload not a whole count");
+    std::vector<T> out(buf.size() / sizeof(T));
+    std::memcpy(out.data(), buf.data(), buf.size());
+    return out;
+  }
+
+  // --- byte-level collectives ------------------------------------------
+  // All members must call each collective, in the same order. Typed wrappers
+  // (reduce/allreduce/gather/...) live in collectives.hpp.
+  void barrier();
+  // At root `buf` is the input; at every rank it holds root's bytes on return.
+  void bcast_bytes(std::vector<std::uint8_t>& buf, int root);
+  // Root receives all members' buffers, in rank order; non-roots get {}.
+  std::vector<std::vector<std::uint8_t>> gather_bytes(std::vector<std::uint8_t> mine,
+                                                      int root);
+  // Every rank receives all members' buffers, in rank order.
+  std::vector<std::vector<std::uint8_t>> allgather_bytes(std::vector<std::uint8_t> mine);
+  // Root supplies one buffer per member; each member gets its own.
+  std::vector<std::uint8_t> scatter_bytes(
+      const std::vector<std::vector<std::uint8_t>>& parts, int root);
+
+  // Partition members by color, order by (key, rank). Collective.
+  Comm split(int color, int key);
+
+  // Duplicate into a fresh communicator id (private channel namespace).
+  // Collective.
+  Comm duplicate();
+
+  World& world() const { return *world_; }
+  std::uint64_t id() const { return comm_id_; }
+
+ private:
+  // Next internal tag for collectives; each member advances identically
+  // because collectives must be invoked in the same order everywhere.
+  int next_collective_tag();
+
+  void internal_send(int dest, int tag, std::vector<std::uint8_t> payload);
+
+  World* world_ = nullptr;
+  std::uint64_t comm_id_ = 0;
+  int rank_ = 0;                // my rank within this communicator
+  std::vector<int> members_;    // comm rank -> world rank
+  std::uint64_t collective_seq_ = 0;
+  std::uint64_t send_seq_ = 0;
+};
+
+}  // namespace mm::mpi

@@ -1,0 +1,44 @@
+#include "mpmini/environment.hpp"
+
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace mm::mpi {
+
+void Environment::run(int world_size, const std::function<void(Comm&)>& rank_main) {
+  MM_ASSERT_MSG(world_size > 0, "world_size must be positive");
+
+  World world(world_size);
+  std::vector<int> members(static_cast<std::size_t>(world_size));
+  std::iota(members.begin(), members.end(), 0);
+  const std::uint64_t world_comm_id = world.allocate_comm_id();
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (int rank = 0; rank < world_size; ++rank) {
+    threads.emplace_back([&, rank] {
+      log::set_thread_label(format("rank %d", rank));
+      Comm comm(&world, world_comm_id, rank, members);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        MM_LOG_ERROR("rank " << rank << " terminated with an exception");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mm::mpi

@@ -1,0 +1,21 @@
+// Thread-per-rank launcher for mpmini programs.
+//
+// Environment::run(n, fn) plays the role of mpirun: it creates an n-rank
+// world, starts one thread per rank, hands each a world communicator, and
+// joins. A rank that throws poisons the run; the first exception is rethrown
+// to the caller after all ranks have finished.
+#pragma once
+
+#include <functional>
+
+#include "mpmini/comm.hpp"
+
+namespace mm::mpi {
+
+class Environment {
+ public:
+  // Runs `rank_main` on `world_size` ranks and blocks until all complete.
+  static void run(int world_size, const std::function<void(Comm&)>& rank_main);
+};
+
+}  // namespace mm::mpi

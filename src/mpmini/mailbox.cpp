@@ -1,0 +1,103 @@
+#include "mpmini/mailbox.hpp"
+
+#include "common/error.hpp"
+
+namespace mm::mpi {
+
+void Mailbox::deliver(Message msg) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Earliest-posted matching receive wins.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (!(*it)->done && matches(**it, msg)) {
+      (*it)->message = std::move(msg);
+      (*it)->done = true;
+      pending_.erase(it);
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+  }
+  queue_.push_back(std::move(msg));
+  lock.unlock();
+  cv_.notify_all();  // wake probers
+}
+
+std::shared_ptr<RecvTicket> Mailbox::post_recv(std::uint64_t comm_id, int source,
+                                               int tag) {
+  auto ticket = std::make_shared<RecvTicket>();
+  ticket->comm_id = comm_id;
+  ticket->source = source;
+  ticket->tag = tag;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Earliest-arrived matching message wins.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*ticket, *it)) {
+      ticket->message = std::move(*it);
+      ticket->done = true;
+      queue_.erase(it);
+      return ticket;
+    }
+  }
+  pending_.push_back(ticket);
+  return ticket;
+}
+
+Message Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return ticket->done; });
+  return std::move(ticket->message);
+}
+
+bool Mailbox::test(const std::shared_ptr<RecvTicket>& ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticket->done;
+}
+
+bool Mailbox::iprobe(std::uint64_t comm_id, int source, int tag, RecvStatus* status) {
+  RecvTicket probe_ticket;
+  probe_ticket.comm_id = comm_id;
+  probe_ticket.source = source;
+  probe_ticket.tag = tag;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& msg : queue_) {
+    if (matches(probe_ticket, msg)) {
+      if (status != nullptr) {
+        status->source = msg.source;
+        status->tag = msg.tag;
+        status->byte_count = msg.payload.size();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+RecvStatus Mailbox::probe(std::uint64_t comm_id, int source, int tag) {
+  RecvTicket probe_ticket;
+  probe_ticket.comm_id = comm_id;
+  probe_ticket.source = source;
+  probe_ticket.tag = tag;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    for (const auto& msg : queue_) {
+      if (matches(probe_ticket, msg)) {
+        RecvStatus status;
+        status.source = msg.source;
+        status.tag = msg.tag;
+        status.byte_count = msg.payload.size();
+        return status;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::size_t Mailbox::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace mm::mpi

@@ -1,0 +1,72 @@
+// Per-rank mailbox implementing MPI envelope matching.
+//
+// A mailbox holds messages delivered to one rank and the rank's posted
+// (pending) receives. Matching rules follow MPI:
+//   * a receive posted with (comm, source, tag) matches a message with the
+//     same comm, and source/tag equal or wildcard (any_source / any_tag);
+//   * among queued messages, the earliest-arrived match wins, which together
+//     with locked FIFO delivery preserves per-(source, comm) non-overtaking;
+//   * among posted receives, the earliest-posted match wins.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+
+#include "mpmini/message.hpp"
+
+namespace mm::mpi {
+
+// Shared completion state for one posted receive. Guarded by the owning
+// mailbox's mutex; waiters block on the mailbox's condition variable.
+struct RecvTicket {
+  std::uint64_t comm_id = 0;
+  int source = any_source;
+  int tag = any_tag;
+  bool done = false;
+  Message message;
+};
+
+class Mailbox {
+ public:
+  // Deliver a message to this rank. Called from the sending thread; wakes any
+  // matching posted receive, otherwise queues the message.
+  void deliver(Message msg);
+
+  // Post a receive. If a queued message already matches, the ticket completes
+  // immediately; otherwise it completes on a future deliver().
+  std::shared_ptr<RecvTicket> post_recv(std::uint64_t comm_id, int source, int tag);
+
+  // Block until the ticket completes, then return its message.
+  Message wait(const std::shared_ptr<RecvTicket>& ticket);
+
+  // Non-blocking completion check.
+  bool test(const std::shared_ptr<RecvTicket>& ticket);
+
+  // Non-blocking probe: reports the envelope of the earliest matching queued
+  // message without consuming it.
+  bool iprobe(std::uint64_t comm_id, int source, int tag, RecvStatus* status);
+
+  // Blocking probe.
+  RecvStatus probe(std::uint64_t comm_id, int source, int tag);
+
+  // Number of queued (undelivered-to-receiver) messages; for tests/stats.
+  std::size_t queued() const;
+
+ private:
+  static bool matches(const RecvTicket& ticket, const Message& msg) {
+    return ticket.comm_id == msg.comm_id &&
+           (ticket.source == any_source || ticket.source == msg.source) &&
+           (ticket.tag == any_tag || ticket.tag == msg.tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  std::list<std::shared_ptr<RecvTicket>> pending_;
+};
+
+}  // namespace mm::mpi

@@ -1,0 +1,25 @@
+#include "mpmini/request.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace mm::mpi {
+
+std::size_t wait_any(std::vector<Request>& requests, Message* message) {
+  MM_ASSERT_MSG(!requests.empty(), "wait_any on an empty request set");
+  int backoff_us = 1;
+  while (true) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!requests[i].valid()) continue;
+      if (requests[i].test()) {
+        Message msg = requests[i].wait();
+        if (message != nullptr) *message = std::move(msg);
+        return i;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    if (backoff_us < 256) backoff_us *= 2;
+  }
+}
+
+}  // namespace mm::mpi

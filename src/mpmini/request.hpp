@@ -1,0 +1,73 @@
+// Non-blocking operation handle, mirroring MPI_Request.
+//
+// isend in mpmini is buffered (the payload is copied into the destination
+// mailbox at call time), so send requests are born complete; receive requests
+// complete when a matching message is delivered.
+#pragma once
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "mpmini/mailbox.hpp"
+
+namespace mm::mpi {
+
+class Request {
+ public:
+  Request() = default;
+
+  // Born-complete request (isend).
+  static Request completed() {
+    Request r;
+    r.send_complete_ = true;
+    return r;
+  }
+
+  // Receive request backed by a mailbox ticket.
+  static Request receiving(Mailbox* mailbox, std::shared_ptr<RecvTicket> ticket) {
+    Request r;
+    r.mailbox_ = mailbox;
+    r.ticket_ = std::move(ticket);
+    return r;
+  }
+
+  bool valid() const { return send_complete_ || ticket_ != nullptr; }
+
+  // True once the operation has completed (always true for sends).
+  bool test() {
+    if (send_complete_) return true;
+    MM_ASSERT_MSG(ticket_ != nullptr, "test() on an empty Request");
+    return mailbox_->test(ticket_);
+  }
+
+  // Block until complete; returns the received message (empty for sends).
+  Message wait() {
+    if (send_complete_) return {};
+    MM_ASSERT_MSG(ticket_ != nullptr, "wait() on an empty Request");
+    Message msg = mailbox_->wait(ticket_);
+    send_complete_ = true;  // mark consumed
+    ticket_.reset();
+    return msg;
+  }
+
+ private:
+  Mailbox* mailbox_ = nullptr;
+  std::shared_ptr<RecvTicket> ticket_;
+  bool send_complete_ = false;
+};
+
+// Block until every request completes; returns their messages in order
+// (empty messages for sends), mirroring MPI_Waitall.
+inline std::vector<Message> wait_all(std::vector<Request>& requests) {
+  std::vector<Message> out;
+  out.reserve(requests.size());
+  for (auto& r : requests) out.push_back(r.wait());
+  return out;
+}
+
+// Block until at least one request completes; returns its index and message,
+// mirroring MPI_Waitany. Completed-and-consumed requests must not be passed
+// again. Polls with exponential backoff (mpmini has no unified wait queue).
+std::size_t wait_any(std::vector<Request>& requests, Message* message);
+
+}  // namespace mm::mpi

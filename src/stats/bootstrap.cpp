@@ -1,0 +1,57 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace mm::stats {
+namespace {
+
+BootstrapInterval finish(std::vector<double> stats_sample, double estimate,
+                         double confidence, int resamples) {
+  BootstrapInterval out;
+  out.estimate = estimate;
+  out.confidence = confidence;
+  out.resamples = resamples;
+  const double alpha = 1.0 - confidence;
+  out.lo = quantile(stats_sample, alpha / 2.0);
+  out.hi = quantile(std::move(stats_sample), 1.0 - alpha / 2.0);
+  return out;
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    int resamples, double confidence, std::uint64_t seed) {
+  MM_ASSERT_MSG(sample.size() >= 2, "bootstrap needs n >= 2");
+  MM_ASSERT_MSG(resamples >= 100, "bootstrap needs >= 100 resamples");
+  MM_ASSERT_MSG(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+
+  mm::Rng rng(seed);
+  std::vector<double> stats_sample;
+  stats_sample.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> draw(sample.size());
+  for (int b = 0; b < resamples; ++b) {
+    for (auto& x : draw)
+      x = sample[static_cast<std::size_t>(rng.uniform_int(sample.size()))];
+    stats_sample.push_back(statistic(draw));
+  }
+  return finish(std::move(stats_sample), statistic(sample), confidence, resamples);
+}
+
+BootstrapInterval bootstrap_mean_diff_ci(const std::vector<double>& x,
+                                         const std::vector<double>& y,
+                                         int resamples, double confidence,
+                                         std::uint64_t seed) {
+  MM_ASSERT_MSG(x.size() == y.size(), "bootstrap_mean_diff: length mismatch");
+  std::vector<double> diffs(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) diffs[i] = x[i] - y[i];
+  return bootstrap_ci(diffs, [](const std::vector<double>& d) { return mean(d); },
+                      resamples, confidence, seed);
+}
+
+}  // namespace mm::stats

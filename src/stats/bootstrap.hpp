@@ -1,0 +1,39 @@
+// Bootstrap resampling — nonparametric confidence intervals for the
+// treatment comparisons (§V's "more rigorous standard of statistical
+// significance" without distributional assumptions; the cross-pair samples
+// are heavy-tailed, so percentile intervals complement the t-test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mm::stats {
+
+struct BootstrapInterval {
+  double estimate = 0.0;  // statistic on the original sample
+  double lo = 0.0;        // percentile CI bounds
+  double hi = 0.0;
+  double confidence = 0.95;
+  int resamples = 0;
+
+  // A difference is "significant" at this confidence when 0 lies outside.
+  bool excludes_zero() const { return lo > 0.0 || hi < 0.0; }
+};
+
+// Percentile bootstrap of `statistic` over iid resamples of `sample`.
+// Deterministic in `seed`.
+BootstrapInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    int resamples = 2000, double confidence = 0.95, std::uint64_t seed = 1);
+
+// Convenience: CI for the mean of paired differences x - y (the effect the
+// significance report cares about). Resamples pairs jointly.
+BootstrapInterval bootstrap_mean_diff_ci(const std::vector<double>& x,
+                                         const std::vector<double>& y,
+                                         int resamples = 2000,
+                                         double confidence = 0.95,
+                                         std::uint64_t seed = 1);
+
+}  // namespace mm::stats

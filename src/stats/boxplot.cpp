@@ -1,0 +1,73 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace mm::stats {
+
+BoxPlot box_plot(std::vector<double> xs, double fence) {
+  MM_ASSERT_MSG(!xs.empty(), "box_plot of empty sample");
+  std::sort(xs.begin(), xs.end());
+
+  BoxPlot box;
+  box.q1 = quantile(xs, 0.25);
+  box.median = quantile(xs, 0.5);
+  box.q3 = quantile(xs, 0.75);
+  const double iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - fence * iqr;
+  const double hi_fence = box.q3 + fence * iqr;
+
+  box.whisker_low = box.q1;
+  box.whisker_high = box.q3;
+  for (double x : xs) {
+    if (x >= lo_fence) {
+      box.whisker_low = x;
+      break;
+    }
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    if (*it <= hi_fence) {
+      box.whisker_high = *it;
+      break;
+    }
+  }
+  for (double x : xs)
+    if (x < lo_fence || x > hi_fence) box.outliers.push_back(x);
+  return box;
+}
+
+std::string render_ascii(const BoxPlot& box, double axis_min, double axis_max,
+                         std::size_t width) {
+  MM_ASSERT(width >= 10);
+  MM_ASSERT(axis_max > axis_min);
+  std::string line(width, ' ');
+  const auto pos = [&](double x) -> std::size_t {
+    const double f = (x - axis_min) / (axis_max - axis_min);
+    const double clamped = std::clamp(f, 0.0, 1.0);
+    return static_cast<std::size_t>(std::lround(clamped * static_cast<double>(width - 1)));
+  };
+
+  const std::size_t wl = pos(box.whisker_low);
+  const std::size_t q1 = pos(box.q1);
+  const std::size_t md = pos(box.median);
+  const std::size_t q3 = pos(box.q3);
+  const std::size_t wh = pos(box.whisker_high);
+
+  for (std::size_t i = wl; i <= wh && i < width; ++i) line[i] = '-';
+  for (std::size_t i = q1; i <= q3 && i < width; ++i) line[i] = '=';
+  line[wl] = '|';
+  line[wh] = '|';
+  line[q1] = '[';
+  line[q3] = ']';
+  line[md] = '#';
+  for (double x : box.outliers) {
+    const std::size_t p = pos(x);
+    if (line[p] == ' ') line[p] = '*';
+  }
+  return line;
+}
+
+}  // namespace mm::stats

@@ -1,0 +1,30 @@
+// Box-plot statistics for Figure 2.
+//
+// Matches the paper's description: "the central mark is the median, the edges
+// of the box are the 25th and 75th percentiles, the whiskers extend to the
+// most extreme data points not considered outliers, and outliers are plotted
+// individually" — i.e. Tukey's convention with a 1.5 × IQR fence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mm::stats {
+
+struct BoxPlot {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_low = 0.0;   // smallest point >= q1 - 1.5 IQR
+  double whisker_high = 0.0;  // largest point <= q3 + 1.5 IQR
+  std::vector<double> outliers;
+};
+
+BoxPlot box_plot(std::vector<double> xs, double fence = 1.5);
+
+// Render a horizontal ASCII box plot scaled to [axis_min, axis_max] over
+// `width` characters:  |---[  =|=  ]-----|  * *
+std::string render_ascii(const BoxPlot& box, double axis_min, double axis_max,
+                         std::size_t width);
+
+}  // namespace mm::stats

@@ -1,0 +1,123 @@
+#include "stats/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mm::stats {
+namespace {
+
+// Union-find with path compression.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+Clustering densify(const std::vector<std::size_t>& roots) {
+  Clustering out;
+  out.assignment.resize(roots.size());
+  std::vector<std::size_t> seen;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const auto it = std::find(seen.begin(), seen.end(), roots[i]);
+    if (it == seen.end()) {
+      out.assignment[i] = static_cast<int>(seen.size());
+      seen.push_back(roots[i]);
+    } else {
+      out.assignment[i] = static_cast<int>(it - seen.begin());
+    }
+  }
+  out.cluster_count = static_cast<int>(seen.size());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> Clustering::groups() const {
+  std::vector<std::vector<std::uint32_t>> out(static_cast<std::size_t>(cluster_count));
+  for (std::size_t i = 0; i < assignment.size(); ++i)
+    out[static_cast<std::size_t>(assignment[i])].push_back(
+        static_cast<std::uint32_t>(i));
+  return out;
+}
+
+Clustering threshold_clusters(const SymMatrix& correlation, double threshold) {
+  const std::size_t n = correlation.size();
+  MM_ASSERT_MSG(n >= 1, "empty matrix");
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (correlation(i, j) >= threshold) sets.unite(i, j);
+
+  std::vector<std::size_t> roots(n);
+  for (std::size_t i = 0; i < n; ++i) roots[i] = sets.find(i);
+  return densify(roots);
+}
+
+Clustering single_linkage_clusters(const SymMatrix& correlation, int target_clusters) {
+  const std::size_t n = correlation.size();
+  MM_ASSERT_MSG(n >= 1, "empty matrix");
+  MM_ASSERT_MSG(target_clusters >= 1 && target_clusters <= static_cast<int>(n),
+                "target cluster count out of range");
+
+  // Single linkage == Kruskal on edges sorted by descending correlation,
+  // stopping when the component count reaches the target.
+  struct Link {
+    double corr;
+    std::uint32_t i, j;
+  };
+  std::vector<Link> links;
+  links.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      links.push_back({correlation(i, j), static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(j)});
+  std::stable_sort(links.begin(), links.end(),
+                   [](const Link& a, const Link& b) { return a.corr > b.corr; });
+
+  DisjointSets sets(n);
+  int components = static_cast<int>(n);
+  for (const auto& link : links) {
+    if (components <= target_clusters) break;
+    if (sets.find(link.i) != sets.find(link.j)) {
+      sets.unite(link.i, link.j);
+      --components;
+    }
+  }
+
+  std::vector<std::size_t> roots(n);
+  for (std::size_t i = 0; i < n; ++i) roots[i] = sets.find(i);
+  return densify(roots);
+}
+
+double rand_index(const std::vector<int>& a, const std::vector<int>& b) {
+  MM_ASSERT_MSG(a.size() == b.size(), "rand_index: partition size mismatch");
+  MM_ASSERT_MSG(a.size() >= 2, "rand_index needs >= 2 elements");
+  std::int64_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace mm::stats

@@ -1,0 +1,44 @@
+// Correlation clustering — the other half of the MarketMiner workload.
+//
+// The platform the paper builds on ([12], Rostoker/Wagner/Hoos) does
+// "real-time correlation AND clustering of high-frequency stock market data":
+// the same market-wide matrix that feeds the pair strategy also feeds a
+// clustering stage that discovers co-moving groups (de-facto sectors). This
+// module provides the two standard flavours on a SymMatrix:
+//
+//   * threshold graph components — connect i~j when C(i,j) >= threshold and
+//     take connected components (the online-friendly method [12] uses);
+//   * agglomerative single-linkage — merge closest clusters by maximum
+//     pairwise correlation until `cluster_count` remain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/sym_matrix.hpp"
+
+namespace mm::stats {
+
+struct Clustering {
+  // cluster id per symbol, 0-based, dense.
+  std::vector<int> assignment;
+  int cluster_count = 0;
+
+  // Members per cluster, each sorted ascending.
+  std::vector<std::vector<std::uint32_t>> groups() const;
+};
+
+// Connected components of the graph {i ~ j : C(i,j) >= threshold}.
+Clustering threshold_clusters(const SymMatrix& correlation, double threshold);
+
+// Single-linkage agglomeration down to `target_clusters` (similarity =
+// correlation; merges the pair of clusters with the highest single link).
+Clustering single_linkage_clusters(const SymMatrix& correlation,
+                                   int target_clusters);
+
+// Quality of a clustering against ground truth (e.g. the generator's
+// sectors): the Rand index in [0, 1], 1 = identical partitions.
+double rand_index(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace mm::stats

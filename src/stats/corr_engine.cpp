@@ -1,0 +1,93 @@
+#include "stats/corr_engine.hpp"
+
+#include "mpmini/collectives.hpp"
+#include "stats/psd.hpp"
+
+namespace mm::stats {
+
+CorrelationCalculator::CorrelationCalculator(const CorrEngineConfig& config,
+                                             std::size_t symbols)
+    : config_(config),
+      // Cross sums are only needed for Pearson (and Combined's Pearson half).
+      windows_(symbols, config.window, config.type != Ctype::maronna),
+      scratch_x_(config.window),
+      scratch_y_(config.window) {}
+
+void CorrelationCalculator::push(const std::vector<double>& returns) {
+  windows_.push(returns);
+}
+
+double CorrelationCalculator::pair(std::size_t i, std::size_t j) const {
+  MM_ASSERT_MSG(ready(), "correlation requested before window is full");
+  switch (config_.type) {
+    case Ctype::pearson:
+      return windows_.pearson(i, j);
+    case Ctype::maronna: {
+      windows_.copy_window(i, scratch_x_.data());
+      windows_.copy_window(j, scratch_y_.data());
+      return maronna(scratch_x_.data(), scratch_y_.data(), windows_.window(),
+                     config_.maronna);
+    }
+    case Ctype::combined: {
+      windows_.copy_window(i, scratch_x_.data());
+      windows_.copy_window(j, scratch_y_.data());
+      const double robust = maronna(scratch_x_.data(), scratch_y_.data(),
+                                    windows_.window(), config_.maronna);
+      return combine(windows_.pearson(i, j), robust);
+    }
+  }
+  MM_ASSERT_MSG(false, "unreachable Ctype");
+  return 0.0;
+}
+
+SymMatrix CorrelationCalculator::matrix() const {
+  const std::size_t n = symbols();
+  SymMatrix m(n, 0.0);
+  m.fill_diagonal(1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) m.set(i, j, pair(i, j));
+  if (config_.repair_psd && !is_psd(m)) m = nearest_psd_correlation(m);
+  return m;
+}
+
+ParallelCorrelationEngine::ParallelCorrelationEngine(mpi::Comm& comm,
+                                                     const CorrEngineConfig& config,
+                                                     std::size_t symbols)
+    : comm_(comm), calc_(config, symbols) {
+  const auto pairs = all_pairs(symbols);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    if (static_cast<int>(k % static_cast<std::size_t>(comm.size())) == comm.rank())
+      my_pairs_.push_back(pairs[k]);
+  }
+}
+
+SymMatrix ParallelCorrelationEngine::step(const std::vector<double>& returns) {
+  // Rank 0's return vector is authoritative; everyone mirrors the windows so
+  // no window state ever needs to move.
+  auto r = mpi::bcast_vector(comm_, returns, 0);
+  calc_.push(r);
+
+  const std::size_t n = calc_.symbols();
+  if (!calc_.ready()) return SymMatrix{};
+
+  // Compute my shard.
+  std::vector<double> mine;
+  mine.reserve(my_pairs_.size());
+  for (const auto& p : my_pairs_) mine.push_back(calc_.pair(p.i, p.j));
+
+  // Exchange shards; every rank assembles the full matrix.
+  auto shards = mpi::allgather_vectors(comm_, mine);
+  SymMatrix m(n, 0.0);
+  m.fill_diagonal(1.0);
+  const auto pairs = all_pairs(n);
+  const auto world = static_cast<std::size_t>(comm_.size());
+  std::vector<std::size_t> cursor(world, 0);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const std::size_t owner = k % world;
+    m.set(pairs[k].i, pairs[k].j, shards[owner][cursor[owner]++]);
+  }
+  if (calc_.config().repair_psd && !is_psd(m)) m = nearest_psd_correlation(m);
+  return m;
+}
+
+}  // namespace mm::stats

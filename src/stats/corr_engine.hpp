@@ -1,0 +1,77 @@
+// Market-wide correlation engines: serial and parallel.
+//
+// This is the enabling component of the paper (§II): producing the full
+// n × n correlation matrix over a sliding M-return window, every ∆s interval,
+// in an online fashion. Pearson entries come from ReturnWindows' O(1)
+// incremental sums; Maronna entries re-estimate each pair's 2×2 robust
+// scatter over the window (the expensive part the paper parallelizes [14]).
+//
+// ParallelCorrelationEngine shards the n(n-1)/2 pairs across the ranks of an
+// mpmini communicator — the "Parallel Correlation Engine" box of Fig. 1.
+#pragma once
+
+#include <vector>
+
+#include "mpmini/comm.hpp"
+#include "stats/correlation.hpp"
+#include "stats/sym_matrix.hpp"
+#include "stats/windows.hpp"
+
+namespace mm::stats {
+
+struct CorrEngineConfig {
+  Ctype type = Ctype::pearson;
+  std::size_t window = 100;  // the paper's M
+  MaronnaConfig maronna{};
+  // Repair the assembled matrix to PSD (meaningful for Maronna/Combined;
+  // costs an O(n³) eigendecomposition per step).
+  bool repair_psd = false;
+};
+
+// Single-threaded engine: push one return per symbol per interval, then read
+// correlations or the full matrix.
+class CorrelationCalculator {
+ public:
+  CorrelationCalculator(const CorrEngineConfig& config, std::size_t symbols);
+
+  void push(const std::vector<double>& returns);
+  bool ready() const { return windows_.ready(); }
+  std::size_t symbols() const { return windows_.symbols(); }
+  const CorrEngineConfig& config() const { return config_; }
+
+  // Correlation of one pair at the current step (requires ready()).
+  double pair(std::size_t i, std::size_t j) const;
+
+  // Full matrix at the current step, unit diagonal.
+  SymMatrix matrix() const;
+
+ private:
+  CorrEngineConfig config_;
+  ReturnWindows windows_;
+  mutable std::vector<double> scratch_x_, scratch_y_;
+};
+
+// Pair-sharded parallel engine. All ranks of `comm` construct it with the
+// same arguments, then call step() collectively once per interval; rank 0
+// passes the market-wide return vector (other ranks' argument is ignored)
+// and every rank receives the assembled matrix (empty until windows fill).
+//
+// Shards are static and balanced: pair k goes to rank k % size.
+class ParallelCorrelationEngine {
+ public:
+  ParallelCorrelationEngine(mpi::Comm& comm, const CorrEngineConfig& config,
+                            std::size_t symbols);
+
+  // Collective. Returns the matrix once windows are full, else an empty one.
+  SymMatrix step(const std::vector<double>& returns);
+
+  bool ready() const { return calc_.ready(); }
+  std::size_t local_pair_count() const { return my_pairs_.size(); }
+
+ private:
+  mpi::Comm& comm_;
+  CorrelationCalculator calc_;
+  std::vector<PairIndex> my_pairs_;
+};
+
+}  // namespace mm::stats

@@ -1,0 +1,35 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+
+namespace mm::stats {
+
+Expected<Ctype> parse_ctype(const std::string& name) {
+  if (name == "pearson" || name == "Pearson") return Ctype::pearson;
+  if (name == "maronna" || name == "Maronna") return Ctype::maronna;
+  if (name == "combined" || name == "Combined") return Ctype::combined;
+  return Error(Errc::invalid_argument, "unknown correlation type: " + name);
+}
+
+double combine(double pearson_r, double maronna_r) {
+  if (pearson_r == 0.0 || maronna_r == 0.0) return 0.0;
+  if ((pearson_r > 0.0) != (maronna_r > 0.0)) return 0.0;
+  const double sign = pearson_r > 0.0 ? 1.0 : -1.0;
+  return sign * std::min(std::abs(pearson_r), std::abs(maronna_r));
+}
+
+double correlation(Ctype type, const double* x, const double* y, std::size_t n,
+                   const MaronnaConfig& maronna_config) {
+  switch (type) {
+    case Ctype::pearson:
+      return pearson(x, y, n);
+    case Ctype::maronna:
+      return maronna(x, y, n, maronna_config);
+    case Ctype::combined:
+      return combine(pearson(x, y, n), maronna(x, y, n, maronna_config));
+  }
+  MM_ASSERT_MSG(false, "unreachable Ctype");
+  return 0.0;
+}
+
+}  // namespace mm::stats

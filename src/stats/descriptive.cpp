@@ -1,0 +1,110 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mm::stats {
+
+double mean(const std::vector<double>& xs) {
+  MM_ASSERT_MSG(!xs.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  MM_ASSERT_MSG(xs.size() >= 2, "variance needs n >= 2");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  MM_ASSERT_MSG(!xs.empty(), "median of empty sample");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double quantile(std::vector<double> xs, double q) {
+  MM_ASSERT_MSG(!xs.empty(), "quantile of empty sample");
+  MM_ASSERT_MSG(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double h = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+namespace {
+
+// Central moments m2, m3, m4 (population, n denominator).
+struct Moments {
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+};
+
+Moments central_moments(const std::vector<double>& xs) {
+  const double m = mean(xs);
+  Moments out;
+  for (double x : xs) {
+    const double d = x - m;
+    const double d2 = d * d;
+    out.m2 += d2;
+    out.m3 += d2 * d;
+    out.m4 += d2 * d2;
+  }
+  const auto n = static_cast<double>(xs.size());
+  out.m2 /= n;
+  out.m3 /= n;
+  out.m4 /= n;
+  return out;
+}
+
+}  // namespace
+
+double skewness(const std::vector<double>& xs) {
+  MM_ASSERT_MSG(xs.size() >= 2, "skewness needs n >= 2");
+  const auto m = central_moments(xs);
+  MM_ASSERT_MSG(m.m2 > 0.0, "skewness of a constant sample");
+  return m.m3 / std::pow(m.m2, 1.5);
+}
+
+double kurtosis(const std::vector<double>& xs) {
+  MM_ASSERT_MSG(xs.size() >= 2, "kurtosis needs n >= 2");
+  const auto m = central_moments(xs);
+  MM_ASSERT_MSG(m.m2 > 0.0, "kurtosis of a constant sample");
+  return m.m4 / (m.m2 * m.m2);
+}
+
+double sharpe_ratio(const std::vector<double>& xs) {
+  const double sd = stddev(xs);
+  MM_ASSERT_MSG(sd > 0.0, "sharpe of a constant sample");
+  return mean(xs) / sd;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  MM_ASSERT_MSG(xs.size() >= 2, "summarize needs n >= 2");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.median = median(xs);
+  s.stddev = stddev(xs);
+  s.sharpe = s.stddev > 0.0 ? s.mean / s.stddev : 0.0;
+  const auto m = central_moments(xs);
+  s.skewness = m.m2 > 0.0 ? m.m3 / std::pow(m.m2, 1.5) : 0.0;
+  s.kurtosis = m.m2 > 0.0 ? m.m4 / (m.m2 * m.m2) : 0.0;
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *lo;
+  s.max = *hi;
+  return s;
+}
+
+}  // namespace mm::stats

@@ -1,0 +1,51 @@
+// Descriptive statistics used throughout the evaluation (Tables III–V).
+//
+// Conventions match the paper's reporting: sample standard deviation
+// (n-1 denominator), moment-based skewness and (raw, non-excess) kurtosis —
+// the paper's normal-reference kurtosis is 3 — and Sharpe ratio defined as
+// mean / stddev of the return sample (§V).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm::stats {
+
+double mean(const std::vector<double>& xs);
+// Sample variance (n-1). Requires n >= 2.
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+// Median via partial sort; does not modify the input.
+double median(std::vector<double> xs);
+
+// Quantile q in [0,1] with linear interpolation between order statistics
+// (type-7, the R/NumPy default). Does not modify the input.
+double quantile(std::vector<double> xs, double q);
+
+// Moment skewness g1 = m3 / m2^{3/2}. Requires n >= 2 and non-zero variance.
+double skewness(const std::vector<double>& xs);
+
+// Raw kurtosis m4 / m2^2 (normal = 3).
+double kurtosis(const std::vector<double>& xs);
+
+// Sharpe ratio as defined in §V: mean / sqrt(variance).
+double sharpe_ratio(const std::vector<double>& xs);
+
+// All of the above in one pass over a sample (the row set of Tables III–V).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double sharpe = 0.0;
+  double skewness = 0.0;
+  double kurtosis = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace mm::stats

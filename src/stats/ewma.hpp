@@ -1,0 +1,92 @@
+// Exponentially weighted moving-average statistics: the RiskMetrics-style
+// online covariance/correlation estimator — a further "correlation measure"
+// in the §VI sense, and a useful contrast to the sliding rectangular window:
+// EWMA never drops observations abruptly, so its correlation series is
+// smoother but reacts to breaks with a lag set by lambda.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace mm::stats {
+
+// Online EWMA mean/variance of one stream.
+class EwmaVariance {
+ public:
+  // lambda in (0, 1): weight retained per step (RiskMetrics daily = 0.94).
+  explicit EwmaVariance(double lambda) : lambda_(lambda) {
+    MM_ASSERT_MSG(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1)");
+  }
+
+  void push(double x) {
+    if (count_ == 0) {
+      mean_ = x;
+      var_ = 0.0;
+    } else {
+      const double prev_mean = mean_;
+      mean_ = lambda_ * mean_ + (1.0 - lambda_) * x;
+      var_ = lambda_ * var_ + (1.0 - lambda_) * (x - prev_mean) * (x - mean_);
+    }
+    ++count_;
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const { return var_ > 0.0 ? var_ : 0.0; }
+
+ private:
+  double lambda_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+// Online EWMA correlation of a pair of streams.
+class EwmaCorrelation {
+ public:
+  explicit EwmaCorrelation(double lambda) : lambda_(lambda) {
+    MM_ASSERT_MSG(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1)");
+  }
+
+  void push(double x, double y) {
+    if (count_ == 0) {
+      mean_x_ = x;
+      mean_y_ = y;
+      var_x_ = var_y_ = cov_ = 0.0;
+    } else {
+      const double prev_x = mean_x_;
+      const double prev_y = mean_y_;
+      mean_x_ = lambda_ * mean_x_ + (1.0 - lambda_) * x;
+      mean_y_ = lambda_ * mean_y_ + (1.0 - lambda_) * y;
+      var_x_ = lambda_ * var_x_ + (1.0 - lambda_) * (x - prev_x) * (x - mean_x_);
+      var_y_ = lambda_ * var_y_ + (1.0 - lambda_) * (y - prev_y) * (y - mean_y_);
+      cov_ = lambda_ * cov_ + (1.0 - lambda_) * (x - prev_x) * (y - mean_y_);
+    }
+    ++count_;
+  }
+
+  std::size_t count() const { return count_; }
+  bool ready() const { return count_ >= 2; }
+
+  double correlation() const {
+    MM_ASSERT_MSG(ready(), "EWMA correlation before two observations");
+    const double denom = std::sqrt(var_x_ * var_y_);
+    if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
+    const double r = cov_ / denom;
+    return r < -1.0 ? -1.0 : (r > 1.0 ? 1.0 : r);
+  }
+
+  // Effective window length: 1 / (1 - lambda) observations carry ~63% of the
+  // weight — the knob comparable to the paper's M.
+  double effective_window() const { return 1.0 / (1.0 - lambda_); }
+
+ private:
+  double lambda_;
+  double mean_x_ = 0.0, mean_y_ = 0.0;
+  double var_x_ = 0.0, var_y_ = 0.0, cov_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mm::stats

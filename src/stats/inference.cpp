@@ -1,0 +1,158 @@
+#include "stats/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/rank_corr.hpp"
+
+namespace mm::stats {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+namespace {
+
+// Lentz's continued fraction for the incomplete beta function.
+double beta_cf(double a, double b, double x) {
+  constexpr int max_iterations = 300;
+  constexpr double eps = 3e-14;
+  constexpr double fpmin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < fpmin) d = fpmin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= max_iterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < fpmin) d = fpmin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < fpmin) c = fpmin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < fpmin) d = fpmin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < fpmin) c = fpmin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < eps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  MM_ASSERT_MSG(a > 0.0 && b > 0.0, "incomplete_beta: a, b must be positive");
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction on the convergent side.
+  if (x < (a + 1.0) / (a + b + 2.0)) return front * beta_cf(a, b, x) / a;
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double nu) {
+  MM_ASSERT_MSG(nu > 0.0, "student_t_cdf: nu must be positive");
+  const double x = nu / (nu + t * t);
+  const double tail = 0.5 * incomplete_beta(nu / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+TestResult paired_t_test(const std::vector<double>& x, const std::vector<double>& y) {
+  MM_ASSERT_MSG(x.size() == y.size(), "paired_t_test: length mismatch");
+  MM_ASSERT_MSG(x.size() >= 2, "paired_t_test needs n >= 2");
+  const auto n = x.size();
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += x[i] - y[i];
+  const double mean_diff = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = (x[i] - y[i]) - mean_diff;
+    ss += d * d;
+  }
+  const double sd = std::sqrt(ss / static_cast<double>(n - 1));
+
+  TestResult result;
+  result.n = n;
+  result.effect = mean_diff;
+  if (sd <= 0.0) {
+    result.statistic = 0.0;
+    result.p_value = mean_diff == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.statistic = mean_diff / (sd / std::sqrt(static_cast<double>(n)));
+  const double nu = static_cast<double>(n - 1);
+  const double one_sided = 1.0 - student_t_cdf(std::abs(result.statistic), nu);
+  result.p_value = std::min(1.0, 2.0 * one_sided);
+  return result;
+}
+
+TestResult wilcoxon_signed_rank(const std::vector<double>& x,
+                                const std::vector<double>& y) {
+  MM_ASSERT_MSG(x.size() == y.size(), "wilcoxon: length mismatch");
+  std::vector<double> diffs;
+  diffs.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+
+  TestResult result;
+  result.n = diffs.size();
+  if (diffs.size() < 2) {
+    result.p_value = 1.0;
+    return result;
+  }
+
+  // Rank |d| with average ranks for ties.
+  std::vector<double> abs_d(diffs.size());
+  for (std::size_t i = 0; i < diffs.size(); ++i) abs_d[i] = std::abs(diffs[i]);
+  const auto ranks = average_ranks(abs_d.data(), abs_d.size());
+
+  double w_plus = 0.0;
+  double median_proxy = 0.0;
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    if (diffs[i] > 0.0) w_plus += ranks[i];
+    median_proxy += diffs[i];
+  }
+  result.effect = median_proxy / static_cast<double>(diffs.size());
+
+  const auto n = static_cast<double>(diffs.size());
+  const double mean_w = n * (n + 1.0) / 4.0;
+  // Tie correction on the variance.
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted = abs_d;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double var_w = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_term / 48.0;
+  MM_ASSERT(var_w > 0.0);
+  // Continuity correction.
+  const double num = w_plus - mean_w;
+  const double z = (num - (num > 0 ? 0.5 : num < 0 ? -0.5 : 0.0)) / std::sqrt(var_w);
+  result.statistic = z;
+  result.p_value = std::min(1.0, 2.0 * (1.0 - normal_cdf(std::abs(z))));
+  return result;
+}
+
+}  // namespace mm::stats

@@ -1,0 +1,45 @@
+// Inferential statistics for treatment comparisons.
+//
+// §V closes with: "all of these simple comparisons between values in the
+// tables need to be examined on a more rigorous standard of statistical
+// significance … we may consider a few simple inferential statistical tests"
+// over the three per-treatment populations of per-pair measures. This module
+// provides those tests: the paired t-test and the Wilcoxon signed-rank test
+// (the samples are paired — the same 1830 pairs receive each treatment),
+// plus the special functions they need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mm::stats {
+
+// Φ(x), the standard normal CDF.
+double normal_cdf(double x);
+
+// Regularized incomplete beta function I_x(a, b) (continued fraction).
+double incomplete_beta(double a, double b, double x);
+
+// Student-t CDF with nu degrees of freedom.
+double student_t_cdf(double t, double nu);
+
+struct TestResult {
+  double statistic = 0.0;  // t or z
+  double p_value = 1.0;    // two-sided
+  double effect = 0.0;     // mean difference (t-test) / median difference proxy
+  std::size_t n = 0;
+
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+// Paired two-sided t-test on x - y. Requires equal lengths, n >= 2. A zero-
+// variance difference vector yields p = 1 (no evidence) unless the mean
+// difference is exactly 0 too.
+TestResult paired_t_test(const std::vector<double>& x, const std::vector<double>& y);
+
+// Wilcoxon signed-rank test (normal approximation with tie correction;
+// zero differences dropped per Wilcoxon's original treatment).
+TestResult wilcoxon_signed_rank(const std::vector<double>& x,
+                                const std::vector<double>& y);
+
+}  // namespace mm::stats

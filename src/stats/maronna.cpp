@@ -1,0 +1,136 @@
+#include "stats/maronna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm::stats {
+namespace {
+
+double median_of(std::vector<double> v) {
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+// Median absolute deviation scaled to be consistent for the normal.
+double mad(const std::vector<double>& v, double center) {
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::abs(x - center));
+  return 1.4826 * median_of(std::move(dev));
+}
+
+// Huber weight on squared Mahalanobis distance: 1 inside the k² ball,
+// k²/d² outside — bounded influence.
+double weight(double d2, double k2) { return d2 <= k2 ? 1.0 : k2 / d2; }
+
+}  // namespace
+
+MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
+                               const MaronnaConfig& config) {
+  MM_ASSERT_MSG(n >= 2, "maronna needs n >= 2");
+  MaronnaResult out;
+
+  // Robust initialization: coordinatewise medians and MADs, zero covariance.
+  std::vector<double> xs(x, x + n), ys(y, y + n);
+  double mx = median_of(xs);
+  double my = median_of(ys);
+  double sx = mad(xs, mx);
+  double sy = mad(ys, my);
+
+  // Degenerate dispersion (e.g. a constant return window): fall back to a
+  // tiny floor so the iteration is defined; if both are flat, report 0.
+  if (sx <= 0.0 && sy <= 0.0) {
+    out.location_x = mx;
+    out.location_y = my;
+    return out;
+  }
+  const double floor_x = sx > 0.0 ? 0.0 : 1e-12;
+  const double floor_y = sy > 0.0 ? 0.0 : 1e-12;
+  double vxx = sx * sx + floor_x;
+  double vyy = sy * sy + floor_y;
+  double vxy = 0.0;
+
+  const auto nd = static_cast<double>(n);
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Invert the 2x2 scatter.
+    const double det = vxx * vyy - vxy * vxy;
+    if (det <= 0.0 || !std::isfinite(det)) break;
+    const double ixx = vyy / det;
+    const double iyy = vxx / det;
+    const double ixy = -vxy / det;
+
+    double sw = 0.0, swx = 0.0, swy = 0.0;
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = x[i] - mx;
+      const double dy = y[i] - my;
+      const double d2 = dx * dx * ixx + 2.0 * dx * dy * ixy + dy * dy * iyy;
+      const double w = weight(d2, config.huber_k2);
+      sw += w;
+      swx += w * x[i];
+      swy += w * y[i];
+      sxx += w * dx * dx;
+      sxy += w * dx * dy;
+      syy += w * dy * dy;
+    }
+    if (sw <= 0.0) break;
+
+    const double new_mx = swx / sw;
+    const double new_my = swy / sw;
+    // Scatter normalized by n (Maronna's fixed-point with Huber rho keeps the
+    // estimate consistent up to a scale factor that cancels in correlation).
+    const double new_vxx = sxx / nd + floor_x;
+    const double new_vyy = syy / nd + floor_y;
+    const double new_vxy = sxy / nd;
+
+    const double scale = std::max({std::abs(vxx), std::abs(vyy), 1e-300});
+    const double delta = std::max({std::abs(new_vxx - vxx), std::abs(new_vyy - vyy),
+                                   std::abs(new_vxy - vxy)}) /
+                         scale;
+    mx = new_mx;
+    my = new_my;
+    vxx = new_vxx;
+    vyy = new_vyy;
+    vxy = new_vxy;
+    out.iterations = iter + 1;
+    if (delta < config.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.location_x = mx;
+  out.location_y = my;
+  out.scatter_xx = vxx;
+  out.scatter_xy = vxy;
+  out.scatter_yy = vyy;
+
+  const double denom = std::sqrt(vxx * vyy);
+  if (denom <= 0.0 || !std::isfinite(denom)) {
+    out.correlation = 0.0;
+  } else {
+    out.correlation = std::clamp(vxy / denom, -1.0, 1.0);
+  }
+  return out;
+}
+
+double maronna(const double* x, const double* y, std::size_t n,
+               const MaronnaConfig& config) {
+  return maronna_estimate(x, y, n, config).correlation;
+}
+
+double maronna(const std::vector<double>& x, const std::vector<double>& y,
+               const MaronnaConfig& config) {
+  MM_ASSERT_MSG(x.size() == y.size(), "maronna: length mismatch");
+  return maronna(x.data(), y.data(), x.size(), config);
+}
+
+}  // namespace mm::stats

@@ -1,0 +1,50 @@
+// Maronna robust correlation (bivariate M-estimator of scatter).
+//
+// Implements the pairwise robust correlation the paper attributes to Maronna
+// (1976) and to Chilson et al.'s parallel robust-correlation work [14]: a
+// bivariate M-estimator of location and scatter computed by iterative
+// reweighting, using a Huber-type weight function. Observations far from the
+// current location (in Mahalanobis distance) are smoothly downweighted, so a
+// handful of bad ticks cannot swing the estimate the way they swing Pearson.
+//
+// The pairwise estimates do NOT assemble into a positive semi-definite
+// matrix (the paper's §IV caveat); see psd.hpp for the repair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mm::stats {
+
+struct MaronnaConfig {
+  // Huber tuning constant on the Mahalanobis distance (in 2 dimensions,
+  // d² ~ chi²(2); k² = 5.99 is the 95% quantile).
+  double huber_k2 = 5.99;
+  // Convergence threshold on the max relative change of scatter entries.
+  double tolerance = 1e-6;
+  int max_iterations = 50;
+};
+
+struct MaronnaResult {
+  double correlation = 0.0;
+  double location_x = 0.0;
+  double location_y = 0.0;
+  double scatter_xx = 0.0;
+  double scatter_xy = 0.0;
+  double scatter_yy = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Full estimator output. n must be >= 2; degenerate inputs (zero dispersion)
+// yield correlation 0.
+MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
+                               const MaronnaConfig& config = {});
+
+// Correlation-only conveniences.
+double maronna(const double* x, const double* y, std::size_t n,
+               const MaronnaConfig& config = {});
+double maronna(const std::vector<double>& x, const std::vector<double>& y,
+               const MaronnaConfig& config = {});
+
+}  // namespace mm::stats

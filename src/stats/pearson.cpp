@@ -1,0 +1,103 @@
+#include "stats/pearson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mm::stats {
+
+double pearson(const double* x, const double* y, std::size_t n) {
+  MM_ASSERT_MSG(n >= 2, "pearson needs n >= 2");
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
+  const double r = sxy / denom;
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  MM_ASSERT_MSG(x.size() == y.size(), "pearson: length mismatch");
+  return pearson(x.data(), y.data(), x.size());
+}
+
+SlidingPearson::SlidingPearson(std::size_t window)
+    : window_(window), xs_(window, 0.0), ys_(window, 0.0) {
+  MM_ASSERT_MSG(window >= 2, "SlidingPearson window must be >= 2");
+}
+
+void SlidingPearson::push(double x, double y) {
+  // Center on the first observation: correlation is shift-invariant, and
+  // removing a large common level (e.g. a $10M index value) avoids the
+  // catastrophic cancellation that raw running sums suffer.
+  if (pushes_ == 0) {
+    offset_x_ = x;
+    offset_y_ = y;
+  }
+  x -= offset_x_;
+  y -= offset_y_;
+  if (count_ == window_) {
+    const double ox = xs_[head_];
+    const double oy = ys_[head_];
+    sum_x_ -= ox;
+    sum_y_ -= oy;
+    sum_xx_ -= ox * ox;
+    sum_yy_ -= oy * oy;
+    sum_xy_ -= ox * oy;
+  } else {
+    ++count_;
+  }
+  xs_[head_] = x;
+  ys_[head_] = y;
+  head_ = (head_ + 1) % window_;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_yy_ += y * y;
+  sum_xy_ += x * y;
+
+  // Periodic exact rebuild bounds the accumulated cancellation error.
+  if (++pushes_ % 8192 == 0) rebuild();
+}
+
+void SlidingPearson::rebuild() {
+  sum_x_ = sum_y_ = sum_xx_ = sum_yy_ = sum_xy_ = 0.0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const double x = xs_[i];
+    const double y = ys_[i];
+    sum_x_ += x;
+    sum_y_ += y;
+    sum_xx_ += x * x;
+    sum_yy_ += y * y;
+    sum_xy_ += x * y;
+  }
+}
+
+double SlidingPearson::correlation() const {
+  MM_ASSERT_MSG(ready(), "SlidingPearson: window not yet full");
+  const auto n = static_cast<double>(window_);
+  const double cov = sum_xy_ - sum_x_ * sum_y_ / n;
+  const double vx = sum_xx_ - sum_x_ * sum_x_ / n;
+  const double vy = sum_yy_ - sum_y_ * sum_y_ / n;
+  // Relative floor: variance that is a ~1e-12 sliver of the raw sum of
+  // squares is cancellation residue from a constant window — no dispersion,
+  // no signal, matching the batch estimator.
+  if (vx <= 1e-12 * sum_xx_ || vy <= 1e-12 * sum_yy_) return 0.0;
+  const double denom = std::sqrt(vx * vy);
+  if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
+  return std::clamp(cov / denom, -1.0, 1.0);
+}
+
+}  // namespace mm::stats

@@ -1,0 +1,50 @@
+// Pearson correlation: batch and incremental sliding-window forms.
+//
+// The incremental form is the workhorse of the integrated engine: with every
+// symbol producing one log-return per ∆s interval, all M-windows advance in
+// lockstep, so per-symbol sums (Σx, Σx²) and per-pair cross sums (Σxy) can be
+// updated in O(1) per pair per step instead of O(M) — the amortization that
+// makes market-wide correlation matrices feasible online (§II).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm::stats {
+
+// Batch Pearson correlation of two equal-length samples. Returns 0 when
+// either sample is (numerically) constant — an uncorrelatable input, which
+// for the trading strategy correctly reads as "no signal".
+double pearson(const double* x, const double* y, std::size_t n);
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+// Incremental windowed accumulator for ONE pair. Feed one (x, y) observation
+// per step; once `window` observations have accumulated, correlation() is
+// available and each further push evicts the oldest point.
+class SlidingPearson {
+ public:
+  explicit SlidingPearson(std::size_t window);
+
+  void push(double x, double y);
+
+  bool ready() const { return count_ == window_; }
+  std::size_t window() const { return window_; }
+
+  // Pearson correlation over the current window. Requires ready().
+  double correlation() const;
+
+ private:
+  void rebuild();
+
+  std::size_t window_;
+  std::vector<double> xs_, ys_;  // ring buffers (offset-centered values)
+  double offset_x_ = 0.0, offset_y_ = 0.0;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t pushes_ = 0;
+  double sum_x_ = 0.0, sum_y_ = 0.0, sum_xx_ = 0.0, sum_yy_ = 0.0, sum_xy_ = 0.0;
+};
+
+}  // namespace mm::stats

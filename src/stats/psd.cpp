@@ -1,0 +1,158 @@
+#include "stats/psd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mm::stats {
+
+EigenResult jacobi_eigen(const SymMatrix& m, int max_sweeps, double tol) {
+  const std::size_t n = m.size();
+  MM_ASSERT_MSG(n >= 1, "jacobi_eigen on empty matrix");
+
+  // Dense working copy A and accumulated rotations V (V starts as identity).
+  std::vector<double> a(n * n), v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i * n + i] = 1.0;
+    for (std::size_t j = 0; j < n; ++j) a[i * n + j] = m(std::min(i, j), std::max(i, j));
+  }
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    if (std::sqrt(off) < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract eigenvalues and sort ascending, permuting eigenvector columns.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x * n + x] < a[y * n + y]; });
+
+  EigenResult out;
+  out.values.resize(n);
+  out.vectors.assign(n * n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a[order[k] * n + order[k]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors[i * n + k] = v[i * n + order[k]];
+  }
+  return out;
+}
+
+double min_eigenvalue(const SymMatrix& m) { return jacobi_eigen(m).values.front(); }
+
+bool is_psd(const SymMatrix& m, double tolerance) {
+  return min_eigenvalue(m) >= -tolerance;
+}
+
+SymMatrix nearest_correlation_higham(const SymMatrix& m, int max_iterations,
+                                     double tolerance) {
+  const std::size_t n = m.size();
+  // Work on dense symmetric storage Y; Dykstra correction dS.
+  std::vector<double> y(n * n), ds(n * n, 0.0), r(n * n), x(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) y[i * n + j] = m(std::min(i, j), std::max(i, j));
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // R = Y - dS; X = P_S(R): project onto the PSD cone.
+    for (std::size_t k = 0; k < n * n; ++k) r[k] = y[k] - ds[k];
+    SymMatrix rm(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i; j < n; ++j) rm.set(i, j, r[i * n + j]);
+    const EigenResult eig = jacobi_eigen(rm);
+    std::fill(x.begin(), x.end(), 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double lambda = std::max(eig.values[k], 0.0);
+      if (lambda == 0.0) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double vik = eig.vectors[i * n + k] * lambda;
+        for (std::size_t j = 0; j < n; ++j) x[i * n + j] += vik * eig.vectors[j * n + k];
+      }
+    }
+    // dS = X - R; Y = P_U(X): set the unit diagonal.
+    for (std::size_t k = 0; k < n * n; ++k) ds[k] = x[k] - r[k];
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double target = i == j ? 1.0 : x[i * n + j];
+        delta = std::max(delta, std::abs(target - y[i * n + j]));
+        y[i * n + j] = target;
+      }
+    }
+    if (delta < tolerance) break;
+  }
+
+  SymMatrix out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set(i, i, 1.0);
+    for (std::size_t j = i + 1; j < n; ++j)
+      out.set(i, j, std::clamp(0.5 * (y[i * n + j] + y[j * n + i]), -1.0, 1.0));
+  }
+  return out;
+}
+
+SymMatrix nearest_psd_correlation(const SymMatrix& m, double floor) {
+  const std::size_t n = m.size();
+  const EigenResult eig = jacobi_eigen(m);
+
+  // Reconstruct B = V diag(max(lambda, floor)) V^T.
+  std::vector<double> b(n * n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lambda = std::max(eig.values[k], floor);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vik = eig.vectors[i * n + k] * lambda;
+      for (std::size_t j = i; j < n; ++j) b[i * n + j] += vik * eig.vectors[j * n + k];
+    }
+  }
+
+  // Rescale to unit diagonal and clamp.
+  SymMatrix out(n, 0.0);
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MM_ASSERT_MSG(b[i * n + i] > 0.0, "nearest_psd: non-positive diagonal");
+    d[i] = 1.0 / std::sqrt(b[i * n + i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set(i, i, 1.0);
+    for (std::size_t j = i + 1; j < n; ++j)
+      out.set(i, j, std::clamp(b[i * n + j] * d[i] * d[j], -1.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace mm::stats

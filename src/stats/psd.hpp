@@ -1,0 +1,44 @@
+// Positive semi-definiteness: detection and repair.
+//
+// The paper notes (§IV, Approach 2) that assembling pairwise Maronna
+// coefficients into a matrix "no longer assures the resulting matrix is
+// positive semi-definite". We provide the standard remedy: a Jacobi
+// eigendecomposition, an is_psd check, and nearest_psd_correlation — clip
+// negative eigenvalues, reconstruct, and rescale back to unit diagonal
+// (the eigenvalue-clipping flavour of Higham's nearest-correlation repair).
+#pragma once
+
+#include <vector>
+
+#include "stats/sym_matrix.hpp"
+
+namespace mm::stats {
+
+struct EigenResult {
+  std::vector<double> values;   // ascending
+  // Row-major n x n; column k of the ORIGINAL problem is eigenvector k,
+  // stored here as vectors[i * n + k] = component i of eigenvector k.
+  std::vector<double> vectors;
+};
+
+// Cyclic Jacobi eigensolver for a symmetric matrix. O(n³) per sweep; fine for
+// the few-hundred-symbol matrices the engine produces.
+EigenResult jacobi_eigen(const SymMatrix& m, int max_sweeps = 64, double tol = 1e-12);
+
+double min_eigenvalue(const SymMatrix& m);
+
+bool is_psd(const SymMatrix& m, double tolerance = 1e-9);
+
+// Nearest (in the eigenvalue-clipping sense) valid correlation matrix: clip
+// eigenvalues at `floor`, reconstruct, rescale to unit diagonal, clamp
+// off-diagonals to [-1, 1]. One eigendecomposition; the engine's default.
+SymMatrix nearest_psd_correlation(const SymMatrix& m, double floor = 1e-8);
+
+// Higham (2002) nearest correlation matrix by alternating projections with
+// Dykstra's correction: converges to the true Frobenius-nearest correlation
+// matrix. Several eigendecompositions (max_iterations bound); use when
+// fidelity matters more than latency.
+SymMatrix nearest_correlation_higham(const SymMatrix& m, int max_iterations = 64,
+                                     double tolerance = 1e-10);
+
+}  // namespace mm::stats

@@ -1,0 +1,75 @@
+#include "stats/rank_corr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stats/pearson.hpp"
+
+namespace mm::stats {
+
+std::vector<double> average_ranks(const double* x, std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    // Positions i..j share the average 1-based rank.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(const double* x, const double* y, std::size_t n) {
+  MM_ASSERT_MSG(n >= 2, "spearman needs n >= 2");
+  const auto rx = average_ranks(x, n);
+  const auto ry = average_ranks(y, n);
+  return pearson(rx.data(), ry.data(), n);
+}
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  MM_ASSERT_MSG(x.size() == y.size(), "spearman: length mismatch");
+  return spearman(x.data(), y.data(), x.size());
+}
+
+double kendall_tau(const double* x, const double* y, std::size_t n) {
+  MM_ASSERT_MSG(n >= 2, "kendall needs n >= 2");
+  std::int64_t concordant = 0, discordant = 0;
+  std::int64_t ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;  // joint tie: excluded from both
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(concordant + discordant);
+  const double denom = std::sqrt((n0 + static_cast<double>(ties_x)) *
+                                 (n0 + static_cast<double>(ties_y)));
+  if (denom <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double kendall_tau(const std::vector<double>& x, const std::vector<double>& y) {
+  MM_ASSERT_MSG(x.size() == y.size(), "kendall: length mismatch");
+  return kendall_tau(x.data(), y.data(), x.size());
+}
+
+}  // namespace mm::stats

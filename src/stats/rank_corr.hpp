@@ -1,0 +1,27 @@
+// Rank correlation measures — extensions beyond the paper's three treatments
+// (§VI anticipates comparing further correlation measures).
+//
+// Spearman's rho (Pearson on average ranks, tie-aware) and Kendall's tau-b
+// are both robust to monotone distortions and far less outlier-sensitive than
+// Pearson, at very different computational costs — a natural comparison point
+// for the Maronna estimator in the correlation_study example.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mm::stats {
+
+// Average ranks (1-based; ties share the mean of their positions).
+std::vector<double> average_ranks(const double* x, std::size_t n);
+
+// Spearman's rho. Returns 0 for degenerate (constant) inputs. O(n log n).
+double spearman(const double* x, const double* y, std::size_t n);
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+// Kendall's tau-b (tie-corrected). Returns 0 for degenerate inputs. O(n²) —
+// fine for the strategy's window lengths (M <= 200).
+double kendall_tau(const double* x, const double* y, std::size_t n);
+double kendall_tau(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace mm::stats

@@ -1,0 +1,130 @@
+#include "stats/windows.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mm::stats {
+
+ReturnWindows::ReturnWindows(std::size_t symbols, std::size_t window,
+                             bool track_cross_sums)
+    : symbols_(symbols),
+      window_(window),
+      data_(symbols * window, 0.0),
+      sum_(symbols, 0.0),
+      sum_sq_(symbols, 0.0),
+      last_value_(symbols, 0.0),
+      run_length_(symbols, 0) {
+  MM_ASSERT_MSG(symbols >= 1, "ReturnWindows needs at least one symbol");
+  MM_ASSERT_MSG(window >= 2, "ReturnWindows window must be >= 2");
+  if (track_cross_sums) cross_ = SymMatrix(symbols, 0.0);
+}
+
+void ReturnWindows::push(const std::vector<double>& returns) {
+  MM_ASSERT_MSG(returns.size() == symbols_, "push: one return per symbol required");
+
+  const bool evicting = count_ >= window_;
+  const bool cross = tracks_cross_sums();
+
+  if (evicting) {
+    // Remove the oldest column (the slot we are about to overwrite).
+    for (std::size_t i = 0; i < symbols_; ++i) {
+      const double old = data_[i * window_ + head_];
+      sum_[i] -= old;
+      sum_sq_[i] -= old * old;
+    }
+    if (cross) {
+      for (std::size_t i = 0; i < symbols_; ++i) {
+        const double oi = data_[i * window_ + head_];
+        for (std::size_t j = i + 1; j < symbols_; ++j) {
+          const double oj = data_[j * window_ + head_];
+          cross_.set(i, j, cross_(i, j) - oi * oj);
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < symbols_; ++i) {
+    const double x = returns[i];
+    data_[i * window_ + head_] = x;
+    sum_[i] += x;
+    sum_sq_[i] += x * x;
+    if (count_ > 0 && x == last_value_[i]) {
+      ++run_length_[i];
+    } else {
+      last_value_[i] = x;
+      run_length_[i] = 1;
+    }
+  }
+  if (cross) {
+    for (std::size_t i = 0; i < symbols_; ++i) {
+      const double xi = returns[i];
+      for (std::size_t j = i + 1; j < symbols_; ++j) {
+        cross_.set(i, j, cross_(i, j) + xi * returns[j]);
+      }
+    }
+  }
+
+  head_ = (head_ + 1) % window_;
+  ++count_;
+
+  // Bound floating-point drift in the running sums.
+  if (count_ % 8192 == 0) rebuild_sums();
+}
+
+void ReturnWindows::rebuild_sums() {
+  std::fill(sum_.begin(), sum_.end(), 0.0);
+  std::fill(sum_sq_.begin(), sum_sq_.end(), 0.0);
+  const std::size_t filled = std::min(count_, window_);
+  for (std::size_t i = 0; i < symbols_; ++i) {
+    for (std::size_t t = 0; t < filled; ++t) {
+      const double x = data_[i * window_ + t];
+      sum_[i] += x;
+      sum_sq_[i] += x * x;
+    }
+  }
+  if (tracks_cross_sums()) {
+    for (std::size_t i = 0; i < symbols_; ++i) {
+      for (std::size_t j = i + 1; j < symbols_; ++j) {
+        double s = 0.0;
+        for (std::size_t t = 0; t < filled; ++t)
+          s += data_[i * window_ + t] * data_[j * window_ + t];
+        cross_.set(i, j, s);
+      }
+    }
+  }
+}
+
+void ReturnWindows::copy_window(std::size_t symbol, double* out) const {
+  MM_ASSERT(symbol < symbols_);
+  MM_ASSERT_MSG(ready(), "copy_window before the window is full");
+  // Oldest element is at head_ (the next overwrite target) once full.
+  const double* row = data_.data() + symbol * window_;
+  for (std::size_t t = 0; t < window_; ++t) out[t] = row[(head_ + t) % window_];
+}
+
+double ReturnWindows::cross_sum(std::size_t i, std::size_t j) const {
+  MM_ASSERT_MSG(tracks_cross_sums(), "cross sums not tracked");
+  if (i == j) return sum_sq_[i];
+  return cross_(i, j);
+}
+
+double ReturnWindows::pearson(std::size_t i, std::size_t j) const {
+  MM_ASSERT_MSG(ready(), "pearson before the window is full");
+  // An exactly constant window has zero variance: no signal. (The batch
+  // estimator sees dx == 0 exactly; the running sums only see their own
+  // roundoff residue, so detect the case via value run lengths.)
+  if (run_length_[i] >= window_ || run_length_[j] >= window_) return 0.0;
+  const auto n = static_cast<double>(window_);
+  const double cov = cross_sum(i, j) - sum_[i] * sum_[j] / n;
+  const double vi = sum_sq_[i] - sum_[i] * sum_[i] / n;
+  const double vj = sum_sq_[j] - sum_[j] * sum_[j] / n;
+  // A variance that is a ~1e-12 sliver of the raw sum of squares is pure
+  // cancellation residue from a (numerically) constant window: report "no
+  // dispersion" -> 0, exactly as the batch estimator does when dx == 0.
+  if (vi <= 1e-12 * sum_sq_[i] || vj <= 1e-12 * sum_sq_[j]) return 0.0;
+  const double denom = std::sqrt(vi * vj);
+  if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
+  return std::clamp(cov / denom, -1.0, 1.0);
+}
+
+}  // namespace mm::stats

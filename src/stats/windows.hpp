@@ -1,0 +1,63 @@
+// Lockstep return windows for market-wide correlation.
+//
+// In the integrated engine every symbol produces exactly one log-return per
+// ∆s interval, so all M-point windows advance together. ReturnWindows holds
+// the last M returns per symbol plus the running sums that make incremental
+// Pearson O(1) per pair per step: per-symbol Σx and Σx², and (optionally)
+// per-pair Σ x_i x_j.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/sym_matrix.hpp"
+
+namespace mm::stats {
+
+class ReturnWindows {
+ public:
+  // `track_cross_sums` maintains the O(n²) per-pair Σxy table (needed for
+  // incremental Pearson; pure-Maronna engines skip it).
+  ReturnWindows(std::size_t symbols, std::size_t window, bool track_cross_sums);
+
+  std::size_t symbols() const { return symbols_; }
+  std::size_t window() const { return window_; }
+  bool tracks_cross_sums() const { return !cross_.packed().empty(); }
+
+  // Advance every window by one step; `returns` has one entry per symbol.
+  void push(const std::vector<double>& returns);
+
+  // True once `window` steps have been pushed.
+  bool ready() const { return count_ >= window_; }
+  std::size_t steps() const { return count_; }
+
+  // Copy symbol i's window (oldest -> newest) into out[0..window).
+  void copy_window(std::size_t symbol, double* out) const;
+
+  double sum(std::size_t symbol) const { return sum_[symbol]; }
+  double sum_sq(std::size_t symbol) const { return sum_sq_[symbol]; }
+  double cross_sum(std::size_t i, std::size_t j) const;
+
+  // Incremental windowed Pearson from the running sums. Requires ready() and
+  // cross-sum tracking.
+  double pearson(std::size_t i, std::size_t j) const;
+
+ private:
+  void rebuild_sums();
+
+  std::size_t symbols_;
+  std::size_t window_;
+  std::size_t head_ = 0;   // slot that the next push writes
+  std::size_t count_ = 0;  // total pushes so far
+  std::vector<double> data_;  // [symbol * window + slot]
+  std::vector<double> sum_, sum_sq_;
+  // Run length of identical trailing values per symbol: a run >= window means
+  // the window is exactly constant (zero variance), which running sums cannot
+  // detect reliably through their own roundoff residue.
+  std::vector<double> last_value_;
+  std::vector<std::size_t> run_length_;
+  SymMatrix cross_;  // Σ x_i x_j, including i == j on the diagonal (== sum_sq)
+};
+
+}  // namespace mm::stats

@@ -1,0 +1,168 @@
+// Tests for the backtesting engines: per-pair correlation series, the
+// market-wide shared-series computation, and their agreement ("Approach 2"
+// and "Approach 3" must produce identical trades on identical data).
+#include <gtest/gtest.h>
+
+#include "core/backtester.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::core {
+namespace {
+
+std::vector<std::vector<double>> make_bam(std::size_t symbols, int day) {
+  const auto universe = md::make_universe(symbols);
+  md::GeneratorConfig cfg;
+  cfg.quote_rate = 0.25;
+  const md::SyntheticDay synth(universe, cfg, day);
+  md::QuoteCleaner cleaner(symbols, md::CleanerConfig{});
+  const auto cleaned = cleaner.clean(synth.quotes());
+  return md::sample_bam_series(cleaned, symbols, cfg.session, 30);
+}
+
+TEST(CorrSeries, FirstValidAtWindow) {
+  const auto bam = make_bam(3, 0);
+  const auto series =
+      compute_pair_corr_series(bam[0], bam[1], stats::Ctype::pearson, 50);
+  EXPECT_EQ(series.first_valid, 50);
+  EXPECT_EQ(series.values.size(), bam[0].size());
+  EXPECT_FALSE(series.valid_at(49));
+  EXPECT_TRUE(series.valid_at(50));
+  EXPECT_FALSE(series.valid_at(static_cast<std::int64_t>(series.values.size())));
+  EXPECT_DOUBLE_EQ(series.values[0], 0.0);  // pre-warmup entries zeroed
+}
+
+TEST(CorrSeries, ValuesBounded) {
+  const auto bam = make_bam(3, 0);
+  for (const auto ctype : stats::all_ctypes) {
+    const auto series = compute_pair_corr_series(bam[0], bam[2], ctype, 60);
+    for (std::int64_t s = series.first_valid;
+         s < static_cast<std::int64_t>(series.values.size()); ++s) {
+      const double c = series.values[static_cast<std::size_t>(s)];
+      EXPECT_GE(c, -1.0);
+      EXPECT_LE(c, 1.0);
+    }
+  }
+}
+
+TEST(MarketCorrSeries, MatchesPerPairRecomputation) {
+  // The heart of "Approach 3": the shared incremental computation must agree
+  // with the naive per-pair batch recomputation for every pair, measure and
+  // interval.
+  const auto bam = make_bam(4, 1);
+  const std::int64_t m = 40;
+  const auto market = compute_market_corr_series(bam, m, /*need_maronna=*/true);
+  const auto pairs = stats::all_pairs(4);
+  ASSERT_EQ(market.pearson.size(), pairs.size());
+
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto scalar_p = compute_pair_corr_series(bam[pairs[k].i], bam[pairs[k].j],
+                                                   stats::Ctype::pearson, m);
+    const auto scalar_m = compute_pair_corr_series(bam[pairs[k].i], bam[pairs[k].j],
+                                                   stats::Ctype::maronna, m);
+    for (std::int64_t s = m; s < static_cast<std::int64_t>(bam[0].size()); s += 7) {
+      const auto si = static_cast<std::size_t>(s);
+      ASSERT_NEAR(market.pearson[k][si], scalar_p.values[si], 1e-9)
+          << "pair " << k << " s " << s;
+      ASSERT_NEAR(market.maronna[k][si], scalar_m.values[si], 1e-9)
+          << "pair " << k << " s " << s;
+    }
+  }
+}
+
+TEST(MarketCorrSeries, CombinedDerivesFromBoth) {
+  const auto bam = make_bam(3, 2);
+  const auto market = compute_market_corr_series(bam, 50, true);
+  for (std::int64_t s = 50; s < 200; s += 13) {
+    const auto si = static_cast<std::size_t>(s);
+    const double expected =
+        stats::combine(market.pearson[0][si], market.maronna[0][si]);
+    EXPECT_DOUBLE_EQ(market.at(stats::Ctype::combined, 0, s), expected);
+  }
+}
+
+TEST(MarketCorrSeries, ShardSubsetMatchesFull) {
+  const auto bam = make_bam(5, 3);
+  const auto pairs = stats::all_pairs(5);
+  const std::vector<stats::PairIndex> shard = {pairs[1], pairs[4], pairs[8]};
+  const auto full = compute_market_corr_series(bam, 30, true);
+  const auto sub = compute_market_corr_series(bam, 30, true, {}, shard);
+  ASSERT_EQ(sub.pearson.size(), 3u);
+  for (std::size_t k = 0; k < shard.size(); ++k) {
+    const std::size_t full_k = k == 0 ? 1 : (k == 1 ? 4 : 8);
+    for (std::int64_t s = 30; s < 200; s += 11) {
+      const auto si = static_cast<std::size_t>(s);
+      EXPECT_DOUBLE_EQ(sub.pearson[k][si], full.pearson[full_k][si]);
+      EXPECT_DOUBLE_EQ(sub.maronna[k][si], full.maronna[full_k][si]);
+    }
+  }
+}
+
+TEST(RunPairDay, ApproachesProduceIdenticalTrades) {
+  // Same data, same parameters: the scalar path and the market path must
+  // produce the same trade list (entry/exit intervals, prices, pnl).
+  const auto bam = make_bam(6, 4);
+  StrategyParams params = ParamGrid::base();
+  params.divergence = 0.0005;  // trade a bit more in this short test
+  const auto pairs = stats::all_pairs(6);
+  const auto market = compute_market_corr_series(bam, params.corr_window, true);
+
+  std::size_t total_trades = 0;
+  for (const auto ctype : stats::all_ctypes) {
+    params.ctype = ctype;
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const auto scalar_series = compute_pair_corr_series(
+          bam[pairs[k].i], bam[pairs[k].j], ctype, params.corr_window);
+      const auto a = run_pair_day(params, bam[pairs[k].i], bam[pairs[k].j],
+                                  scalar_series);
+      const auto b = run_pair_day(params, bam[pairs[k].i], bam[pairs[k].j], market, k);
+      ASSERT_EQ(a.size(), b.size()) << "pair " << k;
+      for (std::size_t t = 0; t < a.size(); ++t) {
+        EXPECT_EQ(a[t].entry_interval, b[t].entry_interval);
+        EXPECT_EQ(a[t].exit_interval, b[t].exit_interval);
+        EXPECT_DOUBLE_EQ(a[t].pnl, b[t].pnl);
+        EXPECT_EQ(a[t].exit_reason, b[t].exit_reason);
+      }
+      total_trades += a.size();
+    }
+  }
+  // The scenario must actually exercise trading.
+  EXPECT_GT(total_trades, 0u);
+}
+
+TEST(RunPairDay, TradesRespectSessionStructure) {
+  const auto bam = make_bam(4, 5);
+  StrategyParams params = ParamGrid::base();
+  params.divergence = 0.0005;
+  const auto smax = static_cast<std::int64_t>(bam[0].size());
+  const auto series =
+      compute_pair_corr_series(bam[0], bam[1], stats::Ctype::pearson,
+                               params.corr_window);
+  const auto trades = run_pair_day(params, bam[0], bam[1], series);
+  for (const auto& t : trades) {
+    EXPECT_GE(t.entry_interval, params.corr_window);  // no trades pre-warmup
+    EXPECT_LT(t.entry_interval, smax - params.no_entry_before_close);
+    EXPECT_GE(t.exit_interval, t.entry_interval);
+    EXPECT_LT(t.exit_interval, smax);
+    EXPECT_GT(t.gross_basis, 0.0);
+    // Exactly one long and one short leg.
+    EXPECT_LT(t.shares_i * t.shares_j, 0.0);
+  }
+}
+
+TEST(RunPairDay, DeterministicAcrossRuns) {
+  const auto bam = make_bam(3, 6);
+  StrategyParams params = ParamGrid::base();
+  params.ctype = stats::Ctype::maronna;
+  const auto series = compute_pair_corr_series(bam[0], bam[1], params.ctype,
+                                               params.corr_window);
+  const auto a = run_pair_day(params, bam[0], bam[1], series);
+  const auto b = run_pair_day(params, bam[0], bam[1], series);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t)
+    EXPECT_DOUBLE_EQ(a[t].trade_return, b[t].trade_return);
+}
+
+}  // namespace
+}  // namespace mm::core

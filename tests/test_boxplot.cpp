@@ -1,0 +1,87 @@
+// Tests for Tukey box-plot statistics and the ASCII renderer.
+#include <gtest/gtest.h>
+
+#include "stats/boxplot.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(BoxPlot, NoOutliersInTightSample) {
+  const auto b = box_plot({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 5.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(BoxPlot, FlagsFarPoints) {
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(1.0 + 0.1 * i);
+  xs.push_back(50.0);   // far above
+  xs.push_back(-40.0);  // far below
+  const auto b = box_plot(xs);
+  ASSERT_EQ(b.outliers.size(), 2u);
+  // Whiskers stop at the most extreme non-outlier.
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_NEAR(b.whisker_high, 2.9, 1e-9);
+}
+
+TEST(BoxPlot, FenceParameterWidens) {
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(static_cast<double>(i));
+  xs.push_back(40.0);
+  EXPECT_EQ(box_plot(xs, 1.5).outliers.size(), 1u);
+  EXPECT_TRUE(box_plot(xs, 10.0).outliers.empty());
+}
+
+TEST(BoxPlot, SinglePoint) {
+  const auto b = box_plot({3.0});
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 3.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(RenderAscii, MarksInExpectedPositions) {
+  BoxPlot b;
+  b.q1 = 0.25;
+  b.median = 0.5;
+  b.q3 = 0.75;
+  b.whisker_low = 0.0;
+  b.whisker_high = 1.0;
+  const auto line = render_ascii(b, 0.0, 1.0, 41);
+  EXPECT_EQ(line.size(), 41u);
+  EXPECT_EQ(line[0], '|');
+  EXPECT_EQ(line[40], '|');
+  EXPECT_EQ(line[10], '[');
+  EXPECT_EQ(line[20], '#');
+  EXPECT_EQ(line[30], ']');
+}
+
+TEST(RenderAscii, OutliersRenderedAsStars) {
+  BoxPlot b;
+  b.q1 = 0.4;
+  b.median = 0.45;
+  b.q3 = 0.5;
+  b.whisker_low = 0.35;
+  b.whisker_high = 0.55;
+  b.outliers = {0.95};
+  const auto line = render_ascii(b, 0.0, 1.0, 41);
+  EXPECT_EQ(line[38], '*');
+}
+
+TEST(RenderAscii, ClampsOutOfAxisValues) {
+  BoxPlot b;
+  b.q1 = -2.0;
+  b.median = 0.5;
+  b.q3 = 3.0;
+  b.whisker_low = -5.0;
+  b.whisker_high = 9.0;
+  const auto line = render_ascii(b, 0.0, 1.0, 20);
+  EXPECT_EQ(line.size(), 20u);  // no crash, everything clamped
+}
+
+}  // namespace
+}  // namespace mm::stats

@@ -1,0 +1,124 @@
+// Tests for the trading calendar: date arithmetic, session intervals, and the
+// paper's March 2008 trading-day structure.
+#include <gtest/gtest.h>
+
+#include "marketdata/calendar.hpp"
+
+namespace mm::md {
+namespace {
+
+TEST(Date, Validity) {
+  EXPECT_TRUE((Date{2008, 3, 3}).valid());
+  EXPECT_TRUE((Date{2008, 2, 29}).valid());   // 2008 is a leap year
+  EXPECT_FALSE((Date{2007, 2, 29}).valid());
+  EXPECT_FALSE((Date{2008, 13, 1}).valid());
+  EXPECT_FALSE((Date{2008, 4, 31}).valid());
+  EXPECT_FALSE((Date{2008, 1, 0}).valid());
+}
+
+TEST(Date, Weekday) {
+  EXPECT_EQ((Date{2008, 3, 3}).weekday(), 0);   // Monday
+  EXPECT_EQ((Date{2008, 3, 7}).weekday(), 4);   // Friday
+  EXPECT_EQ((Date{2008, 3, 8}).weekday(), 5);   // Saturday
+  EXPECT_EQ((Date{2008, 3, 9}).weekday(), 6);   // Sunday
+  EXPECT_TRUE((Date{2008, 3, 8}).is_weekend());
+  EXPECT_FALSE((Date{2008, 3, 7}).is_weekend());
+}
+
+TEST(Date, NextDayRollsMonthAndYear) {
+  EXPECT_EQ((Date{2008, 3, 31}).next_day(), (Date{2008, 4, 1}));
+  EXPECT_EQ((Date{2008, 12, 31}).next_day(), (Date{2009, 1, 1}));
+  EXPECT_EQ((Date{2008, 2, 28}).next_day(), (Date{2008, 2, 29}));
+  EXPECT_EQ((Date{2008, 2, 29}).next_day(), (Date{2008, 3, 1}));
+}
+
+TEST(Date, Iso) { EXPECT_EQ((Date{2008, 3, 3}).iso(), "2008-03-03"); }
+
+TEST(Date, NextBusinessDaySkipsWeekendsAndHolidays) {
+  // Friday 2008-03-07 -> Monday 2008-03-10.
+  EXPECT_EQ((Date{2008, 3, 7}).next_business_day(), (Date{2008, 3, 10}));
+  // Thursday 2008-03-20 -> Monday 2008-03-24 (Good Friday 3/21 is a holiday).
+  EXPECT_EQ((Date{2008, 3, 20}).next_business_day(), (Date{2008, 3, 24}));
+}
+
+TEST(BusinessDays, March2008HasTwentyTradingDays) {
+  // The paper's dataset: "one month (March 2008) which consists of 20 trading
+  // days". Verify our calendar agrees.
+  const auto days = business_days(Date{2008, 3, 1}, 20);
+  ASSERT_EQ(days.size(), 20u);
+  EXPECT_EQ(days.front(), (Date{2008, 3, 3}));
+  EXPECT_EQ(days.back(), (Date{2008, 3, 31}));  // 20th trading day is Mar 31
+  for (const auto& d : days) {
+    EXPECT_FALSE(d.is_weekend());
+    EXPECT_FALSE(is_holiday(d));
+  }
+}
+
+TEST(Session, DefaultsMatchNyse) {
+  Session s;
+  EXPECT_EQ(s.duration_seconds(), 23400);  // the paper's 23400-second day
+}
+
+TEST(Session, IntervalCountMatchesPaperExample) {
+  // "if ∆s = 30 seconds, then there will be smax = 23400/30 = 780 intervals".
+  Session s;
+  EXPECT_EQ(s.interval_count(30), 780);
+  EXPECT_EQ(s.interval_count(15), 1560);
+  EXPECT_EQ(s.interval_count(60), 390);
+}
+
+TEST(Session, IntervalOfBoundaries) {
+  Session s;
+  const TimeMs open = s.open_ms();
+  EXPECT_EQ(s.interval_of(open, 30), 0);
+  EXPECT_EQ(s.interval_of(open + 29'999, 30), 0);
+  EXPECT_EQ(s.interval_of(open + 30'000, 30), 1);
+  EXPECT_EQ(s.interval_of(open - 1, 30), -1);         // pre-open
+  EXPECT_EQ(s.interval_of(s.close_ms(), 30), -1);     // at close
+  EXPECT_EQ(s.interval_of(s.close_ms() - 1, 30), 779);
+}
+
+TEST(Session, IntervalStartEndRoundTrip) {
+  Session s;
+  for (std::int64_t k : {0, 1, 100, 779}) {
+    const auto start = s.interval_start(k, 30);
+    const auto end = s.interval_end(k, 30);
+    EXPECT_EQ(end - start, 30 * ms_per_second);
+    EXPECT_EQ(s.interval_of(start, 30), k);
+    EXPECT_EQ(s.interval_of(end - 1, 30), k);
+  }
+}
+
+TEST(Session, ContainsSessionTimes) {
+  Session s;
+  EXPECT_TRUE(s.contains(s.open_ms()));
+  EXPECT_FALSE(s.contains(s.close_ms()));
+  EXPECT_FALSE(s.contains(0));
+}
+
+class IntervalSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(DeltaS, IntervalSweep,
+                         ::testing::Values<std::int64_t>(1, 5, 15, 30, 60, 300));
+
+TEST_P(IntervalSweep, EveryInSessionTimestampMapsToExactlyOneInterval) {
+  Session s;
+  const std::int64_t delta = GetParam();
+  const std::int64_t smax = s.interval_count(delta);
+  EXPECT_EQ(smax, 23400 / delta);
+  // Sample times across the session; each must land in a valid interval whose
+  // [start, end) brackets it.
+  for (TimeMs t = s.open_ms(); t < s.close_ms(); t += 977 * 7) {
+    const auto k = s.interval_of(t, delta);
+    if (k < 0) {
+      // Only possible in the truncated tail when delta doesn't divide 23400.
+      EXPECT_GE(t, s.interval_end(smax - 1, delta));
+      continue;
+    }
+    EXPECT_GE(t, s.interval_start(k, delta));
+    EXPECT_LT(t, s.interval_end(k, delta));
+  }
+}
+
+}  // namespace
+}  // namespace mm::md

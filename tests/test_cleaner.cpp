@@ -1,0 +1,179 @@
+// Tests for the TCP-like quote cleaning filter (§III).
+#include <gtest/gtest.h>
+
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::md {
+namespace {
+
+Quote make_quote(SymbolId sym, double mid, TimeMs ts = 0) {
+  Quote q;
+  q.ts_ms = ts;
+  q.symbol = sym;
+  q.bid = mid - 0.01;
+  q.ask = mid + 0.01;
+  q.bid_size = 1;
+  q.ask_size = 1;
+  return q;
+}
+
+TEST(QuotePlausible, StructuralChecks) {
+  Quote q = make_quote(0, 50.0);
+  EXPECT_TRUE(q.plausible());
+  q.bid = 51.0;  // crossed
+  EXPECT_FALSE(q.plausible());
+  q = make_quote(0, 50.0);
+  q.ask = 0.0;
+  EXPECT_FALSE(q.plausible());
+  q = make_quote(0, 50.0);
+  q.bid_size = -1;
+  EXPECT_FALSE(q.plausible());
+}
+
+TEST(SymbolFilter, AcceptsStablePrices) {
+  SymbolFilter f{CleanerConfig{}};
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(f.accept(make_quote(0, 50.0 + 0.01 * (i % 5))));
+}
+
+TEST(SymbolFilter, RejectsFatFinger) {
+  CleanerConfig cfg;
+  SymbolFilter f{cfg};
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(f.accept(make_quote(0, 50.0 + 0.01 * (i % 3))));
+  EXPECT_FALSE(f.accept(make_quote(0, 75.0)));   // +50% print
+  EXPECT_FALSE(f.accept(make_quote(0, 5.0)));    // -90% print
+  // Estimators must not have been polluted by the rejects.
+  EXPECT_TRUE(f.accept(make_quote(0, 50.01)));
+}
+
+TEST(SymbolFilter, AdaptsToGradualDrift) {
+  SymbolFilter f{CleanerConfig{}};
+  double mid = 50.0;
+  int rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    mid *= 1.0005;  // strong but gradual trend, ~170% annualized per day
+    if (!f.accept(make_quote(0, mid))) ++rejected;
+  }
+  EXPECT_EQ(rejected, 0);
+}
+
+TEST(SymbolFilter, RecoversFromGenuineLevelShift) {
+  SymbolFilter f{CleanerConfig{}};
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(f.accept(make_quote(0, 50.0)));
+  // The price gaps 10% and STAYS there: a stale filter would reject forever;
+  // ours rejects level_shift_ticks-1 quotes, then re-seeds and follows.
+  int rejects = 0, accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (f.accept(make_quote(0, 55.0))) ++accepted;
+    else ++rejects;
+  }
+  EXPECT_EQ(rejects, CleanerConfig{}.level_shift_ticks - 1);
+  EXPECT_EQ(accepted, 20 - rejects);
+  EXPECT_NEAR(f.mean(), 55.0, 0.5);
+}
+
+TEST(SymbolFilter, BriefBadBurstStillRejected) {
+  // A burst shorter than level_shift_ticks must not poison the estimators.
+  SymbolFilter f{CleanerConfig{}};
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(f.accept(make_quote(0, 50.0)));
+  for (int i = 0; i < CleanerConfig{}.level_shift_ticks - 1; ++i)
+    EXPECT_FALSE(f.accept(make_quote(0, 80.0)));
+  // Normal quotes resume: accepted, and the mean never moved.
+  EXPECT_TRUE(f.accept(make_quote(0, 50.0)));
+  EXPECT_NEAR(f.mean(), 50.0, 0.1);
+}
+
+TEST(SymbolFilter, WarmupAcceptsEverything) {
+  CleanerConfig cfg;
+  cfg.warmup_ticks = 5;
+  SymbolFilter f{cfg};
+  // Even wild values pass during warmup (estimators still seeding).
+  EXPECT_TRUE(f.accept(make_quote(0, 50.0)));
+  EXPECT_TRUE(f.accept(make_quote(0, 80.0)));
+  EXPECT_TRUE(f.accept(make_quote(0, 20.0)));
+}
+
+TEST(QuoteCleaner, DropsStructuralAndBandViolations) {
+  QuoteCleaner cleaner(2, CleanerConfig{});
+  std::vector<Quote> quotes;
+  for (int i = 0; i < 60; ++i) quotes.push_back(make_quote(0, 30.0, i));
+  Quote crossed = make_quote(0, 30.0, 61);
+  std::swap(crossed.bid, crossed.ask);
+  quotes.push_back(crossed);
+  quotes.push_back(make_quote(0, 90.0, 62));  // band violation
+
+  const auto survivors = cleaner.clean(quotes);
+  EXPECT_EQ(survivors.size(), 60u);
+  EXPECT_EQ(cleaner.dropped_structural(), 1u);
+  EXPECT_EQ(cleaner.dropped_band(), 1u);
+  EXPECT_EQ(cleaner.accepted(), 60u);
+}
+
+TEST(QuoteCleaner, PerSymbolIndependence) {
+  QuoteCleaner cleaner(2, CleanerConfig{});
+  // Symbol 0 trades near $10, symbol 1 near $100 — each filter must track its
+  // own level, so $100 quotes for symbol 1 are not outliers.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(cleaner.accept(make_quote(0, 10.0)));
+    EXPECT_TRUE(cleaner.accept(make_quote(1, 100.0)));
+  }
+  EXPECT_FALSE(cleaner.accept(make_quote(0, 100.0)));
+  EXPECT_FALSE(cleaner.accept(make_quote(1, 10.0)));
+}
+
+TEST(QuoteCleaner, CatchesMostInjectedBadTicks) {
+  // End-to-end against the generator: with generous injection the filter
+  // should eliminate the clear majority of corrupted quotes while passing
+  // nearly all clean ones.
+  const auto universe = make_universe(6);
+  GeneratorConfig gen;
+  gen.quote_rate = 0.3;
+  gen.bad_tick_rate = 0.01;
+  gen.minor_tick_rate = 0.0;
+  const SyntheticDay day(universe, gen, 0);
+
+  QuoteCleaner cleaner(6, CleanerConfig{});
+  const auto survivors = cleaner.clean(day.quotes());
+
+  const auto dropped = day.quotes().size() - survivors.size();
+  // Drops should be within a factor ~2 of the number of corrupted quotes
+  // (some small displacements legitimately pass, some good ticks near a bad
+  // stretch get clipped).
+  EXPECT_GT(dropped, day.corrupted_count() / 3);
+  EXPECT_LT(dropped, day.corrupted_count() * 3);
+  // And we should keep the overwhelming majority of all quotes.
+  EXPECT_GT(static_cast<double>(survivors.size()),
+            0.97 * static_cast<double>(day.quotes().size()));
+}
+
+TEST(QuoteCleaner, MinorTicksLargelySurviveTheFilter) {
+  // The generator's "minor" displacements are designed to slip through the
+  // band filter — they are the residual dirt the robust correlation handles
+  // (§III). The filter must NOT catch most of them (if it did, there would
+  // be nothing left to distinguish Pearson from Maronna).
+  const auto universe = make_universe(4);
+  GeneratorConfig gen;
+  gen.quote_rate = 0.3;
+  gen.bad_tick_rate = 0.0;
+  gen.crossed_rate = 0.0;
+  gen.minor_tick_rate = 0.02;
+  const SyntheticDay day(universe, gen, 0);
+  ASSERT_GT(day.corrupted_count(), 100u);
+
+  QuoteCleaner cleaner(4, CleanerConfig{});
+  const auto survivors = cleaner.clean(day.quotes());
+  const auto dropped = day.quotes().size() - survivors.size();
+  EXPECT_LT(dropped, day.corrupted_count() / 2);
+}
+
+TEST(QuoteCleaner, DeviationFloorPreventsZeroBand) {
+  // A long constant stretch shrinks the EWMA deviation to ~0; the floor must
+  // keep normal micro-moves acceptable.
+  QuoteCleaner cleaner(1, CleanerConfig{});
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(cleaner.accept(make_quote(0, 40.0)));
+  EXPECT_TRUE(cleaner.accept(make_quote(0, 40.02)));
+}
+
+}  // namespace
+}  // namespace mm::md

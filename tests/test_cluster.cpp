@@ -1,0 +1,108 @@
+// Tests for correlation clustering, including recovery of the generator's
+// planted sector structure — the [12] workload on our synthetic market.
+#include <gtest/gtest.h>
+
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+#include "stats/cluster.hpp"
+#include "stats/corr_engine.hpp"
+
+namespace mm::stats {
+namespace {
+
+SymMatrix block_matrix() {
+  // Two tight blocks {0,1,2} and {3,4} with weak cross-links.
+  SymMatrix m(5, 0.0);
+  m.fill_diagonal(1.0);
+  const auto set_block = [&](std::initializer_list<std::size_t> ids, double c) {
+    for (auto i : ids)
+      for (auto j : ids)
+        if (i < j) m.set(i, j, c);
+  };
+  set_block({0, 1, 2}, 0.8);
+  set_block({3, 4}, 0.75);
+  for (std::size_t i : {0u, 1u, 2u})
+    for (std::size_t j : {3u, 4u}) m.set(i, j, 0.1);
+  return m;
+}
+
+TEST(ThresholdClusters, SplitsBlocks) {
+  const auto clusters = threshold_clusters(block_matrix(), 0.5);
+  EXPECT_EQ(clusters.cluster_count, 2);
+  EXPECT_EQ(clusters.assignment[0], clusters.assignment[1]);
+  EXPECT_EQ(clusters.assignment[0], clusters.assignment[2]);
+  EXPECT_EQ(clusters.assignment[3], clusters.assignment[4]);
+  EXPECT_NE(clusters.assignment[0], clusters.assignment[3]);
+}
+
+TEST(ThresholdClusters, ExtremeThresholds) {
+  const auto all_one = threshold_clusters(block_matrix(), 0.05);
+  EXPECT_EQ(all_one.cluster_count, 1);
+  const auto singletons = threshold_clusters(block_matrix(), 0.99);
+  EXPECT_EQ(singletons.cluster_count, 5);
+}
+
+TEST(ThresholdClusters, GroupsPartitionSymbols) {
+  const auto clusters = threshold_clusters(block_matrix(), 0.5);
+  const auto groups = clusters.groups();
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(SingleLinkage, ReachesExactTargetCount) {
+  const auto m = block_matrix();
+  for (int k = 1; k <= 5; ++k)
+    EXPECT_EQ(single_linkage_clusters(m, k).cluster_count, k);
+}
+
+TEST(SingleLinkage, TwoClustersMatchBlocks) {
+  const auto clusters = single_linkage_clusters(block_matrix(), 2);
+  EXPECT_EQ(clusters.assignment[0], clusters.assignment[2]);
+  EXPECT_EQ(clusters.assignment[3], clusters.assignment[4]);
+  EXPECT_NE(clusters.assignment[0], clusters.assignment[3]);
+}
+
+TEST(RandIndex, IdenticalAndOrthogonal) {
+  EXPECT_DOUBLE_EQ(rand_index({0, 0, 1, 1}, {1, 1, 0, 0}), 1.0);  // relabeled
+  EXPECT_DOUBLE_EQ(rand_index({0, 0, 0, 0}, {0, 0, 0, 0}), 1.0);
+  // {0,0,1,1} vs {0,1,0,1}: pairs (0,1),(2,3) same in a, split in b; pairs
+  // (0,2),(1,3) split in a, same in b; (0,3),(1,2) split in both -> 2/6.
+  EXPECT_NEAR(rand_index({0, 0, 1, 1}, {0, 1, 0, 1}), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Clustering, RecoversGeneratorSectors) {
+  // End-to-end [12]: compute the market-wide correlation matrix from a
+  // synthetic day and check that single-linkage clustering recovers the
+  // planted sector structure far better than chance.
+  constexpr std::size_t n = 22;  // 12 tech, 10 financial
+  const auto universe = md::make_universe(n);
+  md::GeneratorConfig cfg;
+  cfg.quote_rate = 0.3;
+  cfg.episodes_per_day = 0.0;  // pure factor structure for this test
+  cfg.sector_vol = 1.2e-4;     // strengthen the sector signal vs noise
+  const md::SyntheticDay day(universe, cfg, 0);
+  md::QuoteCleaner cleaner(n, md::CleanerConfig{});
+  const auto bam = md::sample_bam_series(cleaner.clean(day.quotes()), n, cfg.session, 30);
+
+  CorrEngineConfig engine_cfg;
+  engine_cfg.type = Ctype::pearson;
+  engine_cfg.window = 300;
+  CorrelationCalculator calc(engine_cfg, n);
+  std::vector<double> step(n);
+  for (std::size_t s = 1; s < bam[0].size(); ++s) {
+    for (std::size_t i = 0; i < n; ++i)
+      step[i] = std::log(bam[i][s] / bam[i][s - 1]);
+    calc.push(step);
+  }
+  const auto matrix = calc.matrix();
+
+  const auto clusters =
+      single_linkage_clusters(matrix, static_cast<int>(universe.sector_names.size()));
+  const double score = rand_index(clusters.assignment, universe.sector);
+  EXPECT_GT(score, 0.75) << "sector recovery too weak";
+}
+
+}  // namespace
+}  // namespace mm::stats

@@ -1,0 +1,190 @@
+// Tests for mpmini collectives across a range of world sizes (parameterized:
+// collectives must work for 1, 2, odd, even and non-power-of-two sizes).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpmini/collectives.hpp"
+#include "mpmini/environment.hpp"
+
+namespace mm::mpi {
+namespace {
+
+class CollectivesSized : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesSized,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13));
+
+TEST_P(CollectivesSized, BcastValueFromEveryRoot) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    for (int root = 0; root < n; ++root) {
+      const int v = comm.rank() == root ? 1000 + root : -1;
+      EXPECT_EQ(bcast_value(comm, v, root), 1000 + root);
+    }
+  });
+}
+
+TEST_P(CollectivesSized, BcastVector) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    std::vector<double> v;
+    if (comm.rank() == 0) {
+      v.resize(257);
+      std::iota(v.begin(), v.end(), 0.5);
+    }
+    const auto out = bcast_vector(comm, v, 0);
+    ASSERT_EQ(out.size(), 257u);
+    EXPECT_DOUBLE_EQ(out[256], 256.5);
+  });
+}
+
+TEST_P(CollectivesSized, Barrier) {
+  const int n = GetParam();
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  Environment::run(n, [&](Comm& comm) {
+    ++phase_one;
+    comm.barrier();
+    if (phase_one.load() != n) violated = true;
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(CollectivesSized, GatherInRankOrder) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    const auto out = gather_values(comm, comm.rank() * 2, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(out.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], r * 2);
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesSized, AllgatherEveryRankSeesAll) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    const auto out = allgather_values(comm, 100 + comm.rank());
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) EXPECT_EQ(out[static_cast<std::size_t>(r)], 100 + r);
+  });
+}
+
+TEST_P(CollectivesSized, AllgatherVariableLengthVectors) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1), comm.rank());
+    const auto out = allgather_vectors(comm, mine);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(out[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+      EXPECT_EQ(out[static_cast<std::size_t>(r)].front(), r);
+    }
+  });
+}
+
+TEST_P(CollectivesSized, ScatterDeliversOwnPart) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    std::vector<int> parts;
+    if (comm.rank() == 0) {
+      parts.resize(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) parts[static_cast<std::size_t>(r)] = r * r;
+    }
+    EXPECT_EQ(scatter_values(comm, parts, 0), comm.rank() * comm.rank());
+  });
+}
+
+TEST_P(CollectivesSized, ReduceSumAndMax) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    const int sum = reduce_value(comm, comm.rank() + 1, Sum{}, 0);
+    const int mx = reduce_value(comm, comm.rank(), Max{}, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(sum, n * (n + 1) / 2);
+      EXPECT_EQ(mx, n - 1);
+    }
+  });
+}
+
+TEST_P(CollectivesSized, AllreduceMatchesOnEveryRank) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    EXPECT_EQ(allreduce_value(comm, comm.rank() + 1, Sum{}), n * (n + 1) / 2);
+    EXPECT_EQ(allreduce_value(comm, -comm.rank(), Min{}), -(n - 1));
+  });
+}
+
+TEST_P(CollectivesSized, ReduceVectorsElementwise) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    const std::vector<double> mine = {1.0, static_cast<double>(comm.rank())};
+    const auto out = allreduce_vectors(comm, mine, Sum{});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], n);
+    EXPECT_DOUBLE_EQ(out[1], n * (n - 1) / 2.0);
+  });
+}
+
+TEST_P(CollectivesSized, ScanInclusivePrefixSums) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    const int prefix = scan_value(comm, comm.rank() + 1, Sum{});
+    EXPECT_EQ(prefix, (comm.rank() + 1) * (comm.rank() + 2) / 2);
+  });
+}
+
+TEST_P(CollectivesSized, ExscanExclusivePrefixSums) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    const int prefix = exscan_value(comm, comm.rank() + 1, Sum{}, 0);
+    EXPECT_EQ(prefix, comm.rank() * (comm.rank() + 1) / 2);
+  });
+}
+
+TEST_P(CollectivesSized, AlltoallPersonalizedExchange) {
+  const int n = GetParam();
+  Environment::run(n, [&](Comm& comm) {
+    // Rank r sends value 100*r + d to destination d.
+    std::vector<int> parts(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d)
+      parts[static_cast<std::size_t>(d)] = 100 * comm.rank() + d;
+    const auto got = alltoall_values(comm, parts);
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(got[static_cast<std::size_t>(s)], 100 * s + comm.rank());
+  });
+}
+
+TEST(Collectives, BackToBackGenerationsDoNotCrossMatch) {
+  // Rapid-fire collectives exercise the internal tag sequencing.
+  Environment::run(4, [](Comm& comm) {
+    for (int round = 0; round < 200; ++round) {
+      const int v = bcast_value(comm, round * 10 + comm.rank(), round % 4);
+      EXPECT_EQ(v, round * 10 + round % 4);
+    }
+  });
+}
+
+TEST(Collectives, DeterministicFloatingPointReduction) {
+  // Same inputs must give bit-identical sums regardless of arrival order.
+  double first = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    double result = 0.0;
+    Environment::run(5, [&](Comm& comm) {
+      const double mine = 0.1 * (comm.rank() + 1) + 1e-13 * comm.rank();
+      const double sum = allreduce_value(comm, mine, Sum{});
+      if (comm.rank() == 0) result = sum;
+    });
+    if (trial == 0) first = result;
+    EXPECT_EQ(result, first);
+  }
+}
+
+}  // namespace
+}  // namespace mm::mpi

@@ -1,0 +1,155 @@
+// Unit tests for src/common: Expected/Error, string utilities, CLI parser.
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace mm {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(Error(Errc::not_found, "missing"));
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, Errc::not_found);
+  EXPECT_EQ(e.error().message, "missing");
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, ValueOnErrorThrows) {
+  Expected<int> e(Error(Errc::io_error, "boom"));
+  EXPECT_THROW((void)e.value(), std::runtime_error);
+}
+
+TEST(Expected, VoidSpecialization) {
+  Status ok;
+  EXPECT_TRUE(ok.has_value());
+  Status bad = Error(Errc::parse_error, "nope");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, Errc::parse_error);
+}
+
+TEST(ErrcNames, AllDistinct) {
+  EXPECT_STREQ(to_string(Errc::io_error), "io_error");
+  EXPECT_STREQ(to_string(Errc::parse_error), "parse_error");
+  EXPECT_STREQ(to_string(Errc::shutdown), "shutdown");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ParseDouble, Valid) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double(" -0.25 "), -0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("1e-3"), 1e-3);
+}
+
+TEST(ParseDouble, Invalid) {
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("3.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(ParseInt, Valid) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int("-17"), -17);
+}
+
+TEST(ParseInt, Invalid) {
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format("%.2f", 1.2345), "1.23");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  Cli cli("prog", "test");
+  auto& n = cli.add_int("n", 10, "count");
+  auto& x = cli.add_double("x", 1.5, "factor");
+  auto& s = cli.add_string("name", "d", "label");
+  auto& f = cli.add_flag("fast", "go fast");
+
+  ASSERT_TRUE(cli.try_parse({"--n", "42", "--x=2.5", "--name", "abc", "--fast"}));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "abc");
+  EXPECT_TRUE(f);
+}
+
+TEST(Cli, DefaultsSurviveEmptyArgs) {
+  Cli cli("prog", "test");
+  auto& n = cli.add_int("n", 10, "count");
+  ASSERT_TRUE(cli.try_parse({}));
+  EXPECT_EQ(n, 10);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 10, "count");
+  EXPECT_FALSE(cli.try_parse({"--bogus", "1"}).has_value());
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 10, "count");
+  EXPECT_FALSE(cli.try_parse({"--n"}).has_value());
+}
+
+TEST(Cli, RejectsBadNumber) {
+  Cli cli("prog", "test");
+  cli.add_int("n", 10, "count");
+  EXPECT_FALSE(cli.try_parse({"--n", "abc"}).has_value());
+}
+
+TEST(Cli, FlagTakesNoValue) {
+  Cli cli("prog", "test");
+  cli.add_flag("fast", "go fast");
+  EXPECT_FALSE(cli.try_parse({"--fast=1"}).has_value());
+}
+
+TEST(Cli, UsageMentionsOptions) {
+  Cli cli("prog", "demo tool");
+  cli.add_int("n", 10, "count of things");
+  const auto usage = cli.usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("count of things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,262 @@
+// Unit tests for individual Fig. 1 pipeline components, each driven through a
+// minimal dagflow graph with a scripted source and a capturing sink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dagflow/context.hpp"
+#include "engine/components.hpp"
+#include "engine/messages.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::engine {
+namespace {
+
+md::Quote quote_at(md::TimeMs ts, md::SymbolId sym, double mid) {
+  md::Quote q;
+  q.ts_ms = ts;
+  q.symbol = sym;
+  q.bid = mid - 0.05;
+  q.ask = mid + 0.05;
+  q.bid_size = 1;
+  q.ask_size = 1;
+  return q;
+}
+
+// Runs `node` with a source that emits `input` payloads and returns every
+// payload the node emits on its port 0.
+std::vector<std::vector<std::uint8_t>> drive(dag::NodeFn node,
+                                             std::vector<std::vector<std::uint8_t>> input) {
+  std::vector<std::vector<std::uint8_t>> captured;
+  dag::Graph g;
+  const int src = g.add_node("src", [&](dag::Context& ctx) {
+    for (auto& payload : input) ctx.emit(0, std::move(payload));
+  });
+  const int uut = g.add_node("uut", std::move(node));
+  const int sink = g.add_node("sink", [&](dag::Context& ctx) {
+    while (auto msg = ctx.recv()) captured.push_back(std::move(msg->bytes));
+  });
+  g.connect(src, 0, uut, 0);
+  g.connect(uut, 0, sink, 0);
+  g.run();
+  return captured;
+}
+
+TEST(FileCollector, BatchesAndFlushesRemainder) {
+  std::vector<md::Quote> quotes;
+  const md::Session session;
+  for (int i = 0; i < 10; ++i)
+    quotes.push_back(quote_at(session.open_ms() + i * 1000, 0, 20.0));
+
+  std::vector<std::vector<std::uint8_t>> captured;
+  dag::Graph g;
+  const int src = g.add_node("collector", make_file_collector(quotes, 4));
+  const int sink = g.add_node("sink", [&](dag::Context& ctx) {
+    while (auto msg = ctx.recv()) captured.push_back(std::move(msg->bytes));
+  });
+  g.connect(src, 0, sink, 0);
+  g.run();
+
+  ASSERT_EQ(captured.size(), 3u);  // 4 + 4 + 2
+  mpi::Unpacker last(captured.back());
+  ASSERT_EQ(static_cast<RecordType>(last.get<std::uint8_t>()), RecordType::quote_batch);
+  EXPECT_EQ(QuoteBatch::unpack(last).quotes.size(), 2u);
+}
+
+TEST(CleanerNode, FiltersWithinBatches) {
+  const md::Session session;
+  QuoteBatch batch;
+  for (int i = 0; i < 60; ++i)
+    batch.quotes.push_back(quote_at(session.open_ms() + i * 500, 0, 30.0));
+  batch.quotes.push_back(quote_at(session.open_ms() + 60 * 500, 0, 90.0));  // outlier
+
+  const auto captured = drive(make_cleaner(1, md::CleanerConfig{}), {batch.pack()});
+  ASSERT_EQ(captured.size(), 1u);
+  mpi::Unpacker u(captured[0]);
+  ASSERT_EQ(static_cast<RecordType>(u.get<std::uint8_t>()), RecordType::quote_batch);
+  EXPECT_EQ(QuoteBatch::unpack(u).quotes.size(), 60u);
+}
+
+TEST(SnapshotStage, EmitsEveryIntervalWithCarryForward) {
+  const md::Session session;
+  QuoteBatch batch;
+  batch.quotes.push_back(quote_at(session.open_ms() + 1000, 0, 10.0));
+  batch.quotes.push_back(quote_at(session.open_ms() + 95'000, 0, 12.0));  // interval 3
+
+  const auto captured =
+      drive(make_snapshot_stage(1, session, 30, {10.0}), {batch.pack()});
+  ASSERT_EQ(captured.size(), 780u);  // one per interval, EOS flush included
+
+  // Interval 0 closes at the first price; intervals 1-2 carry it forward;
+  // interval 3 onward carries the second price.
+  const auto snap_at = [&](std::size_t s) {
+    mpi::Unpacker u(captured[s]);
+    EXPECT_EQ(static_cast<RecordType>(u.get<std::uint8_t>()), RecordType::snapshot);
+    return Snapshot::unpack(u);
+  };
+  EXPECT_DOUBLE_EQ(snap_at(0).prices[0], 10.0);
+  EXPECT_DOUBLE_EQ(snap_at(2).prices[0], 10.0);
+  EXPECT_DOUBLE_EQ(snap_at(3).prices[0], 12.0);
+  EXPECT_DOUBLE_EQ(snap_at(779).prices[0], 12.0);
+  // Returns: empty at s=0, log-return at s=3, zero where carried.
+  EXPECT_TRUE(snap_at(0).returns.empty());
+  EXPECT_NEAR(snap_at(3).returns[0], std::log(12.0 / 10.0), 1e-12);
+  EXPECT_DOUBLE_EQ(snap_at(2).returns[0], 0.0);
+  // Intervals are sequential.
+  for (std::size_t s = 0; s < 780; ++s)
+    EXPECT_EQ(snap_at(s).interval, static_cast<std::int64_t>(s));
+}
+
+TEST(CorrelationStage, FramesInvalidUntilWindowFills) {
+  const md::Session session;
+  // Feed synthetic snapshots directly.
+  std::vector<std::vector<std::uint8_t>> input;
+  mm::Rng rng(3);
+  for (int s = 0; s < 30; ++s) {
+    Snapshot snap;
+    snap.interval = s;
+    snap.prices = {10.0, 20.0};
+    if (s > 0) snap.returns = {rng.normal() * 1e-4, rng.normal() * 1e-4};
+    input.push_back(snap.pack());
+  }
+
+  const auto captured = drive(
+      make_correlation_stage(2, /*corr_window=*/10, true, {}, /*fan_out=*/1), input);
+  ASSERT_EQ(captured.size(), 30u);
+  for (std::size_t s = 0; s < 30; ++s) {
+    mpi::Unpacker u(captured[s]);
+    ASSERT_EQ(static_cast<RecordType>(u.get<std::uint8_t>()), RecordType::corr_frame);
+    const auto frame = CorrFrame::unpack(u);
+    // Window of 10 returns fills at interval 10.
+    EXPECT_EQ(frame.valid, s >= 10) << "interval " << s;
+    if (frame.valid) {
+      ASSERT_EQ(frame.pearson.size(), 1u);
+      ASSERT_EQ(frame.maronna.size(), 1u);
+      EXPECT_GE(frame.pearson[0], -1.0);
+      EXPECT_LE(frame.pearson[0], 1.0);
+    }
+  }
+}
+
+TEST(StrategyNode, EmitsPairedEntryExitOrdersAndSummary) {
+  // Synthesize corr frames that warm up, then force a divergence.
+  core::StrategyParams params = core::ParamGrid::base();
+  params.avg_window = 5;
+  params.divergence_window = 3;
+  params.spread_window = 4;
+  params.max_holding = 6;
+  params.divergence = 0.01;
+
+  std::vector<std::vector<std::uint8_t>> input;
+  for (int s = 0; s < 40; ++s) {
+    CorrFrame frame;
+    frame.interval = s;
+    frame.valid = true;
+    frame.prices = {100.0, 50.0 + 0.25 * s};
+    frame.pearson = {s == 30 ? 0.5 : 0.9};
+    input.push_back(frame.pack());
+  }
+
+  const auto captured = drive(
+      make_strategy_stage(params, {{0, 1}}, /*strategy_id=*/7, /*smax=*/780), input);
+
+  // Expect: entry order at s=30, an exit order (HP at s=36), and a summary.
+  std::size_t entries = 0, exits = 0, summaries = 0;
+  for (const auto& bytes : captured) {
+    mpi::Unpacker u(bytes);
+    const auto type = static_cast<RecordType>(u.get<std::uint8_t>());
+    if (type == RecordType::order) {
+      const auto order = Order::unpack(u);
+      EXPECT_EQ(order.strategy_id, 7);
+      if (order.is_entry) {
+        ++entries;
+        EXPECT_EQ(order.interval, 30);
+      } else {
+        ++exits;
+        // Exit shares cancel the entry exactly (flat after round trip).
+      }
+    } else if (type == RecordType::strategy_summary) {
+      ++summaries;
+      EXPECT_EQ(StrategySummary::unpack(u).trades, 1u);
+    }
+  }
+  EXPECT_EQ(entries, 1u);
+  EXPECT_EQ(exits, 1u);
+  EXPECT_EQ(summaries, 1u);
+}
+
+TEST(ClusterStage, EmitsGroupingsAtCadence) {
+  // 4 symbols, pairs (canonical): 01 02 03 12 13 23. Frames carry a
+  // two-block structure: {0,1} and {2,3} tight, cross weak.
+  std::vector<std::vector<std::uint8_t>> input;
+  for (int s = 0; s < 30; ++s) {
+    CorrFrame frame;
+    frame.interval = s;
+    frame.valid = s >= 5;
+    frame.prices = {10, 11, 12, 13};
+    frame.pearson = {0.9, 0.1, 0.1, 0.1, 0.1, 0.85};
+    input.push_back(frame.pack());
+  }
+
+  const auto captured = drive(make_cluster_stage(4, 2, /*cadence=*/10), input);
+  // Valid frames at intervals 5..29; cadence 10 -> intervals 10 and 20.
+  ASSERT_EQ(captured.size(), 2u);
+  for (const auto& bytes : captured) {
+    mpi::Unpacker u(bytes);
+    ASSERT_EQ(static_cast<RecordType>(u.get<std::uint8_t>()),
+              RecordType::cluster_snapshot);
+    const auto snap = ClusterSnapshot::unpack(u);
+    EXPECT_EQ(snap.cluster_count, 2);
+    ASSERT_EQ(snap.assignment.size(), 4u);
+    EXPECT_EQ(snap.assignment[0], snap.assignment[1]);
+    EXPECT_EQ(snap.assignment[2], snap.assignment[3]);
+    EXPECT_NE(snap.assignment[0], snap.assignment[2]);
+  }
+}
+
+TEST(MasterNode, AggregatesAcrossInputs) {
+  MasterReport report;
+  dag::Graph g;
+  const auto emit_orders = [](int count, std::int32_t id) {
+    return [count, id](dag::Context& ctx) {
+      for (int k = 0; k < count; ++k) {
+        Order order;
+        order.interval = k;
+        order.strategy_id = id;
+        order.symbol_i = 0;
+        order.symbol_j = 1;
+        order.shares_i = 1.0;
+        order.shares_j = -2.0;
+        order.price_i = 10.0;
+        order.price_j = 5.0;
+        order.is_entry = 1;
+        ctx.emit(0, order.pack());
+      }
+      StrategySummary summary;
+      summary.strategy_id = id;
+      summary.trades = static_cast<std::uint64_t>(count);
+      summary.total_pnl = count * 1.5;
+      ctx.emit(0, summary.pack());
+    };
+  };
+  const int a = g.add_node("a", emit_orders(3, 1));
+  const int b = g.add_node("b", emit_orders(2, 2));
+  const int master = g.add_node("master", make_master(&report));
+  g.connect(a, 0, master, 0);
+  g.connect(b, 0, master, 1);
+  g.run();
+
+  EXPECT_EQ(report.orders, 5u);
+  EXPECT_EQ(report.entries, 5u);
+  EXPECT_EQ(report.trades, 5u);
+  EXPECT_DOUBLE_EQ(report.total_pnl, 7.5);
+  EXPECT_DOUBLE_EQ(report.net_shares[0], 5.0);
+  EXPECT_DOUBLE_EQ(report.net_shares[1], -10.0);
+  EXPECT_EQ(report.basket_count, 3u);  // intervals 0,1,2
+  // Netting: intervals 0 and 1 carry orders from both strategies, same side,
+  // so raw == netted there; no reduction anywhere (all same-signed).
+  EXPECT_DOUBLE_EQ(report.raw_order_shares, report.netted_order_shares);
+}
+
+}  // namespace
+}  // namespace mm::engine

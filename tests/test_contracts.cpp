@@ -1,0 +1,83 @@
+// Contract (death) tests: API misuse must fail fast and loudly via MM_ASSERT
+// rather than corrupting state. These document the hard preconditions of the
+// public API.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "marketdata/bars.hpp"
+#include "mpmini/serde.hpp"
+#include "stats/rolling.hpp"
+#include "stats/sym_matrix.hpp"
+#include "stats/windows.hpp"
+
+namespace mm {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(ContractStrategy, NonIncreasingIntervalAborts) {
+  core::StrategyParams p = core::ParamGrid::base();
+  core::PairStrategy s(p, 780);
+  s.step(5, 100.0, 50.0, 0.9, true);
+  EXPECT_DEATH(s.step(5, 100.0, 50.0, 0.9, true), "strictly increasing");
+  EXPECT_DEATH(s.step(4, 100.0, 50.0, 0.9, true), "strictly increasing");
+}
+
+TEST(ContractStrategy, NonPositivePriceAborts) {
+  core::StrategyParams p = core::ParamGrid::base();
+  core::PairStrategy s(p, 780);
+  EXPECT_DEATH(s.step(0, 0.0, 50.0, 0.9, true), "non-positive price");
+  EXPECT_DEATH(s.step(0, 100.0, -1.0, 0.9, true), "non-positive price");
+}
+
+TEST(ContractStrategy, InvalidParamsAbortAtConstruction) {
+  core::StrategyParams p = core::ParamGrid::base();
+  p.retracement = 1.5;
+  EXPECT_DEATH(core::PairStrategy(p, 780), "invalid StrategyParams");
+}
+
+TEST(ContractMetrics, TotalLossAborts) {
+  EXPECT_DEATH(core::cumulative_return({-1.0}), "compounding");
+  EXPECT_DEATH(core::cumulative_return({-1.5}), "compounding");
+}
+
+TEST(ContractRolling, EmptyWindowQueriesAbort) {
+  stats::RollingWindow<int> w(4);
+  EXPECT_DEATH((void)w.newest(), "");
+  stats::RollingMinMax mm(4);
+  EXPECT_DEATH((void)mm.min(), "");
+}
+
+TEST(ContractWindows, WrongReturnCountAborts) {
+  stats::ReturnWindows w(3, 5, true);
+  EXPECT_DEATH(w.push({0.1, 0.2}), "one return per symbol");
+}
+
+TEST(ContractWindows, EarlyPearsonAborts) {
+  stats::ReturnWindows w(2, 5, true);
+  w.push({0.1, 0.2});
+  EXPECT_DEATH((void)w.pearson(0, 1), "window is full");
+}
+
+TEST(ContractSymMatrix, OutOfRangeAborts) {
+  stats::SymMatrix m(3, 0.0);
+  EXPECT_DEATH((void)m(0, 3), "");
+  EXPECT_DEATH(m.set(3, 0, 1.0), "");
+}
+
+TEST(ContractSerde, UnderrunAborts) {
+  mpi::Packer packer;
+  packer.put<int>(1);
+  const auto bytes = packer.take();
+  mpi::Unpacker u(bytes);
+  (void)u.get<int>();
+  EXPECT_DEATH((void)u.get<double>(), "underrun");
+}
+
+TEST(ContractBars, LogReturnsRejectNonPositivePrices) {
+  EXPECT_DEATH((void)md::log_returns({1.0, 0.0}), "non-positive price");
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,151 @@
+// Tests for the serial and parallel market-wide correlation engines.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mpmini/collectives.hpp"
+#include "mpmini/environment.hpp"
+#include "stats/corr_engine.hpp"
+#include "stats/psd.hpp"
+
+namespace mm::stats {
+namespace {
+
+// Deterministic lockstep return stream with factor structure.
+std::vector<std::vector<double>> make_stream(std::size_t symbols, std::size_t steps,
+                                             std::uint64_t seed) {
+  mm::Rng rng(seed);
+  std::vector<std::vector<double>> stream(steps, std::vector<double>(symbols));
+  for (auto& step : stream) {
+    const double f = rng.normal();
+    for (auto& r : step) r = 0.7 * f + rng.normal();
+  }
+  return stream;
+}
+
+TEST(CorrelationCalculator, NotReadyBeforeWindowFills) {
+  CorrEngineConfig cfg;
+  cfg.window = 10;
+  CorrelationCalculator calc(cfg, 3);
+  const auto stream = make_stream(3, 9, 1);
+  for (const auto& r : stream) calc.push(r);
+  EXPECT_FALSE(calc.ready());
+  calc.push(stream[0]);
+  EXPECT_TRUE(calc.ready());
+}
+
+TEST(CorrelationCalculator, MatrixHasUnitDiagonalAndSymmetry) {
+  CorrEngineConfig cfg;
+  cfg.window = 20;
+  CorrelationCalculator calc(cfg, 4);
+  for (const auto& r : make_stream(4, 50, 2)) calc.push(r);
+  const auto m = calc.matrix();
+  ASSERT_EQ(m.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(m(i, i), 1.0);
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), m(j, i));
+      EXPECT_LE(m(i, j), 1.0);
+      EXPECT_GE(m(i, j), -1.0);
+    }
+  }
+}
+
+TEST(CorrelationCalculator, FactorStructureDetected) {
+  CorrEngineConfig cfg;
+  cfg.window = 200;
+  CorrelationCalculator calc(cfg, 3);
+  for (const auto& r : make_stream(3, 400, 3)) calc.push(r);
+  // 0.7 factor load on unit noise: corr = 0.49/1.49 ~ 0.33.
+  const auto m = calc.matrix();
+  EXPECT_NEAR(m(0, 1), 0.33, 0.15);
+  EXPECT_NEAR(m(0, 2), 0.33, 0.15);
+}
+
+class EngineCtypes : public ::testing::TestWithParam<Ctype> {};
+INSTANTIATE_TEST_SUITE_P(AllTypes, EngineCtypes,
+                         ::testing::Values(Ctype::pearson, Ctype::maronna,
+                                           Ctype::combined));
+
+TEST_P(EngineCtypes, PairMatchesBatchEstimator) {
+  CorrEngineConfig cfg;
+  cfg.type = GetParam();
+  cfg.window = 30;
+  CorrelationCalculator calc(cfg, 3);
+  std::vector<std::vector<double>> history(3);
+  for (const auto& r : make_stream(3, 100, 4)) {
+    calc.push(r);
+    for (std::size_t i = 0; i < 3; ++i) history[i].push_back(r[i]);
+  }
+  std::vector<double> x(30), y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x[i] = history[0][70 + i];
+    y[i] = history[2][70 + i];
+  }
+  const double batch = correlation(GetParam(), x.data(), y.data(), 30, cfg.maronna);
+  EXPECT_NEAR(calc.pair(0, 2), batch, 1e-9);
+}
+
+TEST(CorrelationCalculator, PsdRepairProducesPsdMaronnaMatrix) {
+  CorrEngineConfig cfg;
+  cfg.type = Ctype::maronna;
+  cfg.window = 12;  // short windows + robust pairwise = likely not PSD
+  cfg.repair_psd = true;
+  CorrelationCalculator calc(cfg, 8);
+  for (const auto& r : make_stream(8, 40, 5)) calc.push(r);
+  EXPECT_TRUE(is_psd(calc.matrix(), 1e-7));
+}
+
+class ParallelEngineRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, ParallelEngineRanks, ::testing::Values(1, 2, 3, 5));
+
+TEST_P(ParallelEngineRanks, MatchesSerialExactly) {
+  const int ranks = GetParam();
+  constexpr std::size_t symbols = 6;
+  CorrEngineConfig cfg;
+  cfg.type = Ctype::pearson;
+  cfg.window = 15;
+  const auto stream = make_stream(symbols, 40, 6);
+
+  // Serial reference.
+  CorrelationCalculator serial(cfg, symbols);
+  SymMatrix expected;
+  for (const auto& r : stream) serial.push(r);
+  expected = serial.matrix();
+
+  // Parallel under various rank counts; every rank's result must match.
+  mpi::Environment::run(ranks, [&](mpi::Comm& comm) {
+    ParallelCorrelationEngine engine(comm, cfg, symbols);
+    SymMatrix last;
+    for (const auto& r : stream) last = engine.step(r);
+    ASSERT_EQ(last.size(), symbols);
+    EXPECT_EQ(SymMatrix::max_abs_diff(last, expected), 0.0);
+  });
+}
+
+TEST(ParallelEngine, EmptyMatrixBeforeWarmup) {
+  CorrEngineConfig cfg;
+  cfg.window = 50;
+  mpi::Environment::run(2, [&](mpi::Comm& comm) {
+    ParallelCorrelationEngine engine(comm, cfg, 4);
+    const auto m = engine.step(std::vector<double>(4, 0.01));
+    EXPECT_EQ(m.size(), 0u);
+  });
+}
+
+TEST(ParallelEngine, ShardsCoverAllPairsExactlyOnce) {
+  constexpr std::size_t symbols = 9;  // 36 pairs
+  mpi::Environment::run(4, [&](mpi::Comm& comm) {
+    CorrEngineConfig cfg;
+    cfg.window = 5;
+    ParallelCorrelationEngine engine(comm, cfg, symbols);
+    const auto total = mpi::allreduce_value(
+        comm, static_cast<int>(engine.local_pair_count()), mpi::Sum{});
+    EXPECT_EQ(total, 36);
+    // Balanced within 1.
+    EXPECT_GE(engine.local_pair_count(), 36u / 4);
+    EXPECT_LE(engine.local_pair_count(), 36u / 4 + 1);
+  });
+}
+
+}  // namespace
+}  // namespace mm::stats

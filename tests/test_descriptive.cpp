@@ -1,0 +1,96 @@
+// Tests for descriptive statistics against hand-computed and known values.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(Mean, HandComputed) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({-5.0}), -5.0);
+}
+
+TEST(Variance, SampleDenominator) {
+  // Var of {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, ss 32, sample var 32/7.
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance({3.0, 3.0}), 0.0);
+}
+
+TEST(Stddev, SqrtOfVariance) {
+  EXPECT_NEAR(stddev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Median, RobustToOutlier) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);  // R type-7
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 3.25);
+}
+
+TEST(Skewness, SymmetricIsZero) {
+  EXPECT_NEAR(skewness({1.0, 2.0, 3.0, 4.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(Skewness, RightTailPositive) {
+  EXPECT_GT(skewness({1.0, 1.1, 1.2, 0.9, 5.0}), 1.0);
+  EXPECT_LT(skewness({-5.0, 0.9, 1.0, 1.1, 1.2}), -1.0);
+}
+
+TEST(Kurtosis, NormalSampleNearThree) {
+  mm::Rng rng(5);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(kurtosis(xs), 3.0, 0.15);
+  EXPECT_NEAR(skewness(xs), 0.0, 0.05);
+}
+
+TEST(Kurtosis, UniformIsPlatykurtic) {
+  mm::Rng rng(6);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.uniform();
+  EXPECT_NEAR(kurtosis(xs), 1.8, 0.1);  // uniform kurtosis = 9/5
+}
+
+TEST(SharpeRatio, MeanOverStd) {
+  const std::vector<double> xs = {0.01, 0.03};
+  EXPECT_NEAR(sharpe_ratio(xs), 0.02 / std::sqrt(2e-4), 1e-9);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  mm::Rng rng(9);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal(10.0, 2.0);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_NEAR(s.mean, mean(xs), 1e-12);
+  EXPECT_NEAR(s.median, median(xs), 1e-12);
+  EXPECT_NEAR(s.stddev, stddev(xs), 1e-12);
+  EXPECT_NEAR(s.sharpe, s.mean / s.stddev, 1e-12);
+  EXPECT_LE(s.min, s.median);
+  EXPECT_GE(s.max, s.median);
+}
+
+TEST(Summarize, ConstantSampleIsSafe) {
+  const Summary s = summarize({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.sharpe, 0.0);
+  EXPECT_DOUBLE_EQ(s.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(s.kurtosis, 0.0);
+}
+
+}  // namespace
+}  // namespace mm::stats

@@ -1,0 +1,184 @@
+// Tests for the Gatev-style distance-method baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distance.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::core {
+namespace {
+
+TEST(DistanceParams, Validation) {
+  DistanceParams p;
+  EXPECT_TRUE(p.validate().has_value());
+  p.open_threshold = 0.0;
+  EXPECT_FALSE(p.validate().has_value());
+  p = DistanceParams{};
+  p.close_threshold = 3.0;  // >= open
+  EXPECT_FALSE(p.validate().has_value());
+  p = DistanceParams{};
+  p.formation_intervals = 1;
+  EXPECT_FALSE(p.validate().has_value());
+}
+
+TEST(DistanceFormation, SelectsTwinPaths) {
+  // Symbols 0 and 1 move in lockstep (scaled); symbol 2 is independent noise.
+  constexpr std::size_t steps = 400;
+  std::vector<std::vector<double>> bam(3, std::vector<double>(steps));
+  mm::Rng rng(1);
+  double base = 100.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    base *= 1.0 + 1e-4 * rng.normal();
+    bam[0][t] = base;
+    bam[1][t] = 0.5 * base * (1.0 + 1e-5 * rng.normal());
+    bam[2][t] = 50.0 * (1.0 + 0.01 * rng.normal());
+  }
+
+  DistanceParams params;
+  params.formation_intervals = 300;
+  params.top_pairs = 1;
+  const auto formation = distance_formation(bam, params);
+  ASSERT_EQ(formation.selected.size(), 1u);
+  EXPECT_EQ(formation.selected[0].pair.i, 0u);
+  EXPECT_EQ(formation.selected[0].pair.j, 1u);
+  EXPECT_GT(formation.selected[0].spread_std, 0.0);
+}
+
+TEST(DistanceFormation, SsdOrderedAscending) {
+  const auto universe = md::make_universe(8);
+  md::GeneratorConfig cfg;
+  cfg.quote_rate = 0.2;
+  const md::SyntheticDay day(universe, cfg, 0);
+  md::QuoteCleaner cleaner(8, md::CleanerConfig{});
+  const auto bam = md::sample_bam_series(cleaner.clean(day.quotes()), 8, cfg.session, 30);
+
+  DistanceParams params;
+  params.top_pairs = 10;
+  const auto formation = distance_formation(bam, params);
+  ASSERT_GE(formation.selected.size(), 2u);
+  for (std::size_t k = 1; k < formation.selected.size(); ++k)
+    EXPECT_GE(formation.selected[k].ssd, formation.selected[k - 1].ssd);
+}
+
+TEST(DistanceFormation, DropsDegeneratePairs) {
+  // Two exactly proportional constant series: spread variance zero.
+  std::vector<std::vector<double>> bam(2, std::vector<double>(100, 0.0));
+  for (std::size_t t = 0; t < 100; ++t) {
+    bam[0][t] = 10.0;
+    bam[1][t] = 20.0;
+  }
+  DistanceParams params;
+  params.formation_intervals = 50;
+  const auto formation = distance_formation(bam, params);
+  EXPECT_TRUE(formation.selected.empty());
+}
+
+TEST(DistanceTrading, OpensOnDivergenceClosesOnConvergence) {
+  // Hand-built scenario: formation spread ~ N(0, small); then leg i spikes
+  // rich, then reverts.
+  constexpr std::size_t steps = 200;
+  std::vector<double> pi(steps, 100.0), pj(steps, 100.0);
+  mm::Rng rng(2);
+  for (std::size_t t = 0; t < 100; ++t) {
+    pi[t] = 100.0 + 0.05 * rng.normal();
+    pj[t] = 100.0 + 0.05 * rng.normal();
+  }
+  for (std::size_t t = 100; t < 140; ++t) pi[t] = 101.0;  // rich by ~1%
+  for (std::size_t t = 140; t < steps; ++t) pi[t] = 100.0;
+
+  DistanceParams params;
+  params.formation_intervals = 100;
+  params.no_entry_before_close = 5;
+  // Allow convergence to be declared within half a sigma of the mean (the
+  // post-reversion spread sits a fraction of a sigma off due to noise).
+  params.close_threshold = 0.5;
+  PairProfile profile;
+  profile.pair = {0, 1};
+  {
+    std::vector<std::vector<double>> bam = {pi, pj};
+    params.top_pairs = 1;
+    const auto formation = distance_formation(bam, params);
+    ASSERT_EQ(formation.selected.size(), 1u);
+    profile = formation.selected[0];
+  }
+
+  const auto trades =
+      run_distance_pair_day(params, profile, pi, pj, pi[0], pj[0]);
+  ASSERT_EQ(trades.size(), 1u);
+  const Trade& t = trades[0];
+  EXPECT_EQ(t.entry_interval, 100);
+  EXPECT_LT(t.shares_i, 0.0);  // short the rich leg
+  EXPECT_GT(t.shares_j, 0.0);
+  EXPECT_GE(t.exit_interval, 140);  // converged after the spike ends
+  EXPECT_EQ(t.exit_reason, ExitReason::retracement);
+  EXPECT_GT(t.pnl, 0.0);  // captured the reversion
+}
+
+TEST(DistanceTrading, MaxHoldingCapsDuration) {
+  constexpr std::size_t steps = 200;
+  std::vector<double> pi(steps), pj(steps, 100.0);
+  mm::Rng rng(3);
+  for (std::size_t t = 0; t < 100; ++t) pi[t] = 100.0 + 0.05 * rng.normal();
+  for (std::size_t t = 100; t < steps; ++t) pi[t] = 102.0;  // diverges, never reverts
+
+  DistanceParams params;
+  params.formation_intervals = 100;
+  params.max_holding = 10;
+  params.top_pairs = 1;
+  std::vector<std::vector<double>> bam = {pi, pj};
+  const auto formation = distance_formation(bam, params);
+  ASSERT_FALSE(formation.selected.empty());
+
+  const auto trades =
+      run_distance_pair_day(params, formation.selected[0], pi, pj, pi[0], pj[0]);
+  ASSERT_FALSE(trades.empty());
+  EXPECT_EQ(trades[0].exit_reason, ExitReason::max_holding);
+  EXPECT_LE(trades[0].exit_interval - trades[0].entry_interval, 10);
+}
+
+TEST(DistanceTrading, EndOfDayFlattens) {
+  constexpr std::size_t steps = 150;
+  std::vector<double> pi(steps), pj(steps, 100.0);
+  mm::Rng rng(4);
+  for (std::size_t t = 0; t < 100; ++t) pi[t] = 100.0 + 0.05 * rng.normal();
+  for (std::size_t t = 100; t < steps; ++t) pi[t] = 102.0;
+
+  DistanceParams params;
+  params.formation_intervals = 100;
+  params.no_entry_before_close = 5;
+  params.top_pairs = 1;
+  std::vector<std::vector<double>> bam = {pi, pj};
+  const auto formation = distance_formation(bam, params);
+  ASSERT_FALSE(formation.selected.empty());
+  const auto trades =
+      run_distance_pair_day(params, formation.selected[0], pi, pj, pi[0], pj[0]);
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].exit_reason, ExitReason::end_of_day);
+  EXPECT_EQ(trades[0].exit_interval, static_cast<std::int64_t>(steps) - 1);
+}
+
+TEST(DistanceTrading, RespectsEntryCutoff) {
+  constexpr std::size_t steps = 150;
+  std::vector<double> pi(steps), pj(steps, 100.0);
+  mm::Rng rng(5);
+  for (std::size_t t = 0; t < 100; ++t) pi[t] = 100.0 + 0.05 * rng.normal();
+  for (std::size_t t = 100; t < steps; ++t) pi[t] = 100.0;
+  pi[148] = 103.0;  // diverges only inside the cutoff window
+
+  DistanceParams params;
+  params.formation_intervals = 100;
+  params.no_entry_before_close = 10;
+  params.top_pairs = 1;
+  std::vector<std::vector<double>> bam = {pi, pj};
+  const auto formation = distance_formation(bam, params);
+  ASSERT_FALSE(formation.selected.empty());
+  const auto trades =
+      run_distance_pair_day(params, formation.selected[0], pi, pj, pi[0], pj[0]);
+  EXPECT_TRUE(trades.empty());
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,79 @@
+// Tests for the EWMA variance/correlation estimators.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/ewma.hpp"
+#include "stats/pearson.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(EwmaVariance, ConvergesOnStationaryStream) {
+  EwmaVariance v(0.99);
+  mm::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) v.push(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(v.mean(), 5.0, 0.3);
+  EXPECT_NEAR(std::sqrt(v.variance()), 2.0, 0.3);
+}
+
+TEST(EwmaVariance, TracksLevelShiftFasterWithSmallLambda) {
+  EwmaVariance fast(0.9), slow(0.999);
+  mm::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    fast.push(x);
+    slow.push(x);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.normal(10.0, 1.0);
+    fast.push(x);
+    slow.push(x);
+  }
+  EXPECT_GT(fast.mean(), 9.0);
+  EXPECT_LT(slow.mean(), 2.0);
+}
+
+TEST(EwmaCorrelation, MatchesPearsonOnStationaryStream) {
+  EwmaCorrelation ewma(0.995);
+  mm::Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30000; ++i) {
+    const double f = rng.normal();
+    const double x = f + rng.normal();
+    const double y = f + rng.normal();
+    ewma.push(x, y);
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  EXPECT_NEAR(ewma.correlation(), pearson(xs, ys), 0.1);
+  EXPECT_NEAR(ewma.correlation(), 0.5, 0.1);
+}
+
+TEST(EwmaCorrelation, BoundedAndSafeOnDegenerateInput) {
+  EwmaCorrelation ewma(0.9);
+  for (int i = 0; i < 10; ++i) ewma.push(1.0, 2.0);  // constants
+  EXPECT_DOUBLE_EQ(ewma.correlation(), 0.0);
+}
+
+TEST(EwmaCorrelation, ReactsToCorrelationBreak) {
+  EwmaCorrelation ewma(0.97);  // effective window ~33
+  mm::Rng rng(4);
+  // Strongly correlated regime...
+  for (int i = 0; i < 2000; ++i) {
+    const double f = rng.normal();
+    ewma.push(2.0 * f + 0.3 * rng.normal(), 2.0 * f + 0.3 * rng.normal());
+  }
+  const double before = ewma.correlation();
+  EXPECT_GT(before, 0.9);
+  // ...then independence: the estimate must decay toward zero.
+  for (int i = 0; i < 200; ++i) ewma.push(rng.normal(), rng.normal());
+  EXPECT_LT(ewma.correlation(), 0.25);
+}
+
+TEST(EwmaCorrelation, EffectiveWindow) {
+  EXPECT_NEAR(EwmaCorrelation(0.99).effective_window(), 100.0, 1e-9);
+  EXPECT_NEAR(EwmaCorrelation(0.9).effective_window(), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mm::stats

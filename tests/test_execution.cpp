@@ -1,0 +1,158 @@
+// Tests for the execution simulator and implementation-shortfall accounting.
+#include <gtest/gtest.h>
+
+#include "engine/execution.hpp"
+
+namespace mm::engine {
+namespace {
+
+md::Quote quote_at(md::TimeMs ts, md::SymbolId sym, double bid, double ask) {
+  md::Quote q;
+  q.ts_ms = ts;
+  q.symbol = sym;
+  q.bid = bid;
+  q.ask = ask;
+  q.bid_size = 1;
+  q.ask_size = 1;
+  return q;
+}
+
+Order order_at(std::int64_t interval, double shares_i, double shares_j,
+               double price_i, double price_j) {
+  Order o;
+  o.interval = interval;
+  o.symbol_i = 0;
+  o.symbol_j = 1;
+  o.shares_i = shares_i;
+  o.shares_j = shares_j;
+  o.price_i = price_i;
+  o.price_j = price_j;
+  o.is_entry = 1;
+  return o;
+}
+
+ExecutionConfig base_config() {
+  ExecutionConfig cfg;
+  cfg.delta_s = 30;
+  return cfg;
+}
+
+TEST(Execution, FrictionlessBaselineHasZeroShortfallAtBam) {
+  const md::Session session;
+  // Symmetric book around the decision price 10.00 / 20.00.
+  std::vector<md::Quote> quotes = {
+      quote_at(session.interval_end(5, 30) - 100, 0, 9.95, 10.05),
+      quote_at(session.interval_end(5, 30) - 100, 1, 19.90, 20.10),
+  };
+  std::vector<Order> orders = {order_at(5, 2.0, -1.0, 10.0, 20.0)};
+
+  ExecutionConfig cfg = base_config();
+  cfg.cross_spread = false;
+  const auto result = simulate_execution(orders, quotes, 2, cfg);
+  ASSERT_EQ(result.orders_filled, 1u);
+  EXPECT_NEAR(result.shortfall_dollars, 0.0, 1e-12);
+  EXPECT_NEAR(result.decision_notional, 40.0, 1e-12);
+}
+
+TEST(Execution, SpreadCrossingCostsHalfSpreadPerLeg) {
+  const md::Session session;
+  std::vector<md::Quote> quotes = {
+      quote_at(session.interval_end(5, 30) - 100, 0, 9.95, 10.05),
+      quote_at(session.interval_end(5, 30) - 100, 1, 19.90, 20.10),
+  };
+  // Buy 2 of symbol 0 (at ask 10.05 vs decision 10.00 -> +0.10 cost);
+  // sell 1 of symbol 1 (at bid 19.90 vs decision 20.00 -> +0.10 cost).
+  std::vector<Order> orders = {order_at(5, 2.0, -1.0, 10.0, 20.0)};
+  const auto result = simulate_execution(orders, quotes, 2, base_config());
+  ASSERT_EQ(result.orders_filled, 1u);
+  EXPECT_NEAR(result.shortfall_dollars, 0.20, 1e-12);
+  EXPECT_NEAR(result.shortfall_bps(), 1e4 * 0.20 / 40.0, 1e-9);
+}
+
+TEST(Execution, LatencyUsesLaterBook) {
+  const md::Session session;
+  const md::TimeMs decision = session.interval_end(5, 30);
+  std::vector<md::Quote> quotes = {
+      quote_at(decision - 100, 0, 9.95, 10.05),
+      quote_at(decision - 100, 1, 19.90, 20.10),
+      // 30 s later the book for symbol 0 has moved up a dollar.
+      quote_at(decision + 30'000, 0, 10.95, 11.05),
+  };
+  std::vector<Order> orders = {order_at(5, 1.0, -1.0, 10.0, 20.0)};
+
+  ExecutionConfig cfg = base_config();
+  cfg.latency_ms = 30'000;
+  const auto result = simulate_execution(orders, quotes, 2, cfg);
+  ASSERT_EQ(result.orders_filled, 1u);
+  // Buy leg fills at the new ask 11.05 (shortfall 1.05); sell leg at the old
+  // bid 19.90 (shortfall 0.10).
+  EXPECT_NEAR(result.shortfall_dollars, 1.15, 1e-12);
+}
+
+TEST(Execution, MarketImpactScalesWithSize) {
+  const md::Session session;
+  std::vector<md::Quote> quotes = {
+      quote_at(session.interval_end(5, 30) - 100, 0, 9.95, 10.05),
+      quote_at(session.interval_end(5, 30) - 100, 1, 19.90, 20.10),
+  };
+  std::vector<Order> orders = {order_at(5, 200.0, -100.0, 10.0, 20.0)};
+
+  ExecutionConfig cfg = base_config();
+  cfg.impact_frac_per_lot = 1e-4;  // 1 bp per 100 shares
+  const auto result = simulate_execution(orders, quotes, 2, cfg);
+  ASSERT_EQ(result.fills.size(), 2u);
+  // Buy leg: 200 shares = 2 lots -> +2 bps of 10.05.
+  EXPECT_NEAR(result.fills[0].fill_price, 10.05 * (1.0 + 2e-4), 1e-9);
+  // Sell leg: 100 shares = 1 lot -> -1 bp of 19.90.
+  EXPECT_NEAR(result.fills[1].fill_price, 19.90 * (1.0 - 1e-4), 1e-9);
+}
+
+TEST(Execution, LostOpportunityWhenBookStale) {
+  const md::Session session;
+  // Only symbol 0 ever quotes; symbol 1's book never exists.
+  std::vector<md::Quote> quotes = {
+      quote_at(session.interval_end(5, 30) - 100, 0, 9.95, 10.05),
+  };
+  std::vector<Order> orders = {order_at(5, 1.0, -1.0, 10.0, 20.0)};
+  const auto result = simulate_execution(orders, quotes, 2, base_config());
+  EXPECT_EQ(result.orders_filled, 0u);
+  EXPECT_EQ(result.orders_lost, 1u);
+  EXPECT_TRUE(result.fills.empty());
+}
+
+TEST(Execution, StaleHorizonEnforced) {
+  const md::Session session;
+  const md::TimeMs decision = session.interval_end(100, 30);
+  std::vector<md::Quote> quotes = {
+      // Quotes exist but are 10 minutes old at decision time.
+      quote_at(decision - 10 * 60'000, 0, 9.95, 10.05),
+      quote_at(decision - 10 * 60'000, 1, 19.90, 20.10),
+  };
+  std::vector<Order> orders = {order_at(100, 1.0, -1.0, 10.0, 20.0)};
+
+  ExecutionConfig cfg = base_config();
+  cfg.fill_horizon_ms = 5 * 60'000;
+  EXPECT_EQ(simulate_execution(orders, quotes, 2, cfg).orders_lost, 1u);
+  cfg.fill_horizon_ms = 15 * 60'000;
+  EXPECT_EQ(simulate_execution(orders, quotes, 2, cfg).orders_filled, 1u);
+}
+
+TEST(Execution, UnsortedOrderLogHandled) {
+  const md::Session session;
+  std::vector<md::Quote> quotes = {
+      quote_at(session.interval_end(4, 30) - 100, 0, 9.95, 10.05),
+      quote_at(session.interval_end(4, 30) - 100, 1, 19.90, 20.10),
+      quote_at(session.interval_end(9, 30) - 100, 0, 10.95, 11.05),
+      quote_at(session.interval_end(9, 30) - 100, 1, 20.90, 21.10),
+  };
+  // Interleaved strategy logs: later interval first.
+  std::vector<Order> orders = {order_at(9, 1.0, -1.0, 11.0, 21.0),
+                               order_at(4, 1.0, -1.0, 10.0, 20.0)};
+  const auto result = simulate_execution(orders, quotes, 2, base_config());
+  EXPECT_EQ(result.orders_filled, 2u);
+  // Each order crosses its own epoch's book: 0.05 + 0.10 each.
+  EXPECT_NEAR(result.shortfall_dollars, 2 * 0.15, 1e-12);
+}
+
+}  // namespace
+}  // namespace mm::engine

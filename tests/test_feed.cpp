@@ -1,0 +1,86 @@
+// Tests for the quote feed abstractions (collectors' data sources).
+#include <gtest/gtest.h>
+
+#include "common/timer.hpp"
+#include "marketdata/feed.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::md {
+namespace {
+
+Quote at(TimeMs ts, SymbolId sym) {
+  Quote q;
+  q.ts_ms = ts;
+  q.symbol = sym;
+  q.bid = 10.0;
+  q.ask = 10.1;
+  return q;
+}
+
+TEST(VectorFeed, YieldsAllThenEnds) {
+  VectorFeed feed({at(1, 0), at(2, 0), at(3, 0)});
+  EXPECT_EQ(feed.next()->ts_ms, 1);
+  EXPECT_EQ(feed.next()->ts_ms, 2);
+  EXPECT_EQ(feed.next()->ts_ms, 3);
+  EXPECT_FALSE(feed.next().has_value());
+  EXPECT_FALSE(feed.next().has_value());  // stays ended
+}
+
+TEST(MergingFeed, MergesByTimestamp) {
+  std::vector<std::unique_ptr<QuoteFeed>> feeds;
+  feeds.push_back(std::make_unique<VectorFeed>(
+      std::vector<Quote>{at(1, 0), at(4, 0), at(6, 0)}));
+  feeds.push_back(std::make_unique<VectorFeed>(
+      std::vector<Quote>{at(2, 1), at(3, 1), at(5, 1)}));
+  MergingFeed merged(std::move(feeds));
+  std::vector<TimeMs> order;
+  while (auto q = merged.next()) order.push_back(q->ts_ms);
+  EXPECT_EQ(order, (std::vector<TimeMs>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MergingFeed, TieBreaksByFeedIndex) {
+  std::vector<std::unique_ptr<QuoteFeed>> feeds;
+  feeds.push_back(std::make_unique<VectorFeed>(std::vector<Quote>{at(5, 0)}));
+  feeds.push_back(std::make_unique<VectorFeed>(std::vector<Quote>{at(5, 1)}));
+  MergingFeed merged(std::move(feeds));
+  EXPECT_EQ(merged.next()->symbol, 0u);
+  EXPECT_EQ(merged.next()->symbol, 1u);
+  EXPECT_FALSE(merged.next().has_value());
+}
+
+TEST(MergingFeed, HandlesEmptyFeeds) {
+  std::vector<std::unique_ptr<QuoteFeed>> feeds;
+  feeds.push_back(std::make_unique<VectorFeed>(std::vector<Quote>{}));
+  feeds.push_back(std::make_unique<VectorFeed>(std::vector<Quote>{at(1, 0)}));
+  feeds.push_back(std::make_unique<VectorFeed>(std::vector<Quote>{}));
+  MergingFeed merged(std::move(feeds));
+  EXPECT_EQ(merged.next()->ts_ms, 1);
+  EXPECT_FALSE(merged.next().has_value());
+}
+
+TEST(ThrottledFeed, PacesRelativeToStreamTime) {
+  // 3 quotes spanning 1000 ms of stream time at 100x speedup -> ~10 ms wall.
+  auto inner = std::make_unique<VectorFeed>(
+      std::vector<Quote>{at(0, 0), at(500, 0), at(1000, 0)});
+  ThrottledFeed feed(std::move(inner), 100.0);
+  Stopwatch watch;
+  int count = 0;
+  while (feed.next()) ++count;
+  EXPECT_EQ(count, 3);
+  const double elapsed = watch.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.008);
+  EXPECT_LT(elapsed, 0.5);  // generous upper bound for slow CI
+}
+
+TEST(ThrottledFeed, VeryHighSpeedupIsEffectivelyInstant) {
+  auto inner = std::make_unique<VectorFeed>(
+      std::vector<Quote>{at(0, 0), at(23'400'000, 0)});  // full session span
+  ThrottledFeed feed(std::move(inner), 1e9);
+  Stopwatch watch;
+  while (feed.next()) {
+  }
+  EXPECT_LT(watch.elapsed_seconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace mm::md

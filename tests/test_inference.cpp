@@ -1,0 +1,156 @@
+// Tests for the inferential statistics (special functions + paired tests)
+// against known values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/inference.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(normal_cdf(1.0), 0.841344746, 1e-7);
+  EXPECT_NEAR(normal_cdf(-3.0), 0.001349898, 1e-7);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.25), 0.25 * 0.25 * 2.5, 1e-10);
+  // Boundaries.
+  EXPECT_DOUBLE_EQ(incomplete_beta(3.0, 4.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3.0, 4.0, 1.0), 1.0);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(incomplete_beta(2.5, 1.5, 0.4), 1.0 - incomplete_beta(1.5, 2.5, 0.6),
+              1e-10);
+}
+
+TEST(StudentTCdf, KnownValues) {
+  // t(1) is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+  EXPECT_NEAR(student_t_cdf(0.0, 7.0), 0.5, 1e-12);
+  // t(10): P(T <= 2.228) = 0.975 (classic table value).
+  EXPECT_NEAR(student_t_cdf(2.228, 10.0), 0.975, 5e-4);
+  // Large nu approaches the normal.
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), normal_cdf(1.96), 1e-5);
+  // Symmetry.
+  EXPECT_NEAR(student_t_cdf(-1.3, 5.0), 1.0 - student_t_cdf(1.3, 5.0), 1e-12);
+}
+
+TEST(PairedTTest, HandComputedExample) {
+  // d = {1, 2, 3}: mean 2, sd 1, t = 2 / (1/sqrt(3)) = 3.4641, df = 2.
+  const std::vector<double> x = {2.0, 4.0, 6.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const auto result = paired_t_test(x, y);
+  EXPECT_NEAR(result.statistic, 3.4641016, 1e-6);
+  EXPECT_NEAR(result.effect, 2.0, 1e-12);
+  // Two-sided p for t=3.464, df=2 is ~0.0742.
+  EXPECT_NEAR(result.p_value, 0.0742, 2e-3);
+  EXPECT_FALSE(result.significant(0.05));
+}
+
+TEST(PairedTTest, DetectsObviousShift) {
+  mm::Rng rng(1);
+  std::vector<double> x(200), y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double base = rng.normal();
+    x[i] = base + 0.5;  // consistent +0.5 shift
+    y[i] = base + rng.normal() * 0.1;
+  }
+  const auto result = paired_t_test(x, y);
+  EXPECT_TRUE(result.significant(0.001));
+  EXPECT_GT(result.statistic, 10.0);
+}
+
+TEST(PairedTTest, NoEffectNoSignificance) {
+  mm::Rng rng(2);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double base = rng.normal();
+    x[i] = base + rng.normal();
+    y[i] = base + rng.normal();
+  }
+  const auto result = paired_t_test(x, y);
+  EXPECT_GT(result.p_value, 0.01);  // should virtually never fire
+}
+
+TEST(PairedTTest, FalsePositiveRateNearAlpha) {
+  // Under the null, p < 0.05 should occur ~5% of the time.
+  mm::Rng rng(3);
+  int fired = 0;
+  constexpr int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> x(30), y(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+      x[i] = rng.normal();
+      y[i] = rng.normal();
+    }
+    if (paired_t_test(x, y).significant(0.05)) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / trials, 0.05, 0.035);
+}
+
+TEST(PairedTTest, ZeroVarianceDifferences) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> same = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(paired_t_test(x, same).p_value, 1.0);
+  const std::vector<double> shifted = {2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(paired_t_test(shifted, x).p_value, 0.0);  // exact +1 shift
+}
+
+TEST(Wilcoxon, DetectsObviousShift) {
+  mm::Rng rng(4);
+  std::vector<double> x(150), y(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    const double base = rng.normal();
+    x[i] = base + 0.8;
+    y[i] = base + rng.normal() * 0.2;
+  }
+  const auto result = wilcoxon_signed_rank(x, y);
+  EXPECT_TRUE(result.significant(0.001));
+  EXPECT_GT(result.statistic, 5.0);
+  EXPECT_GT(result.effect, 0.5);
+}
+
+TEST(Wilcoxon, NoEffectNoSignificance) {
+  mm::Rng rng(5);
+  std::vector<double> x(300), y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_GT(wilcoxon_signed_rank(x, y).p_value, 0.01);
+}
+
+TEST(Wilcoxon, RobustToOutliersWhereTTestIsNot) {
+  // A heavy-tailed difference distribution with a small consistent shift:
+  // the rank test should find it at least as confidently as the t-test.
+  mm::Rng rng(6);
+  std::vector<double> x(200), y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double noise = rng.student_t(2.0);  // infinite-variance-ish noise
+    x[i] = 0.2 + noise;
+    y[i] = 0.0;
+  }
+  const auto w = wilcoxon_signed_rank(x, y);
+  const auto t = paired_t_test(x, y);
+  EXPECT_LE(w.p_value, t.p_value * 2.0);
+}
+
+TEST(Wilcoxon, DropsZeroDifferences) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 3.0, 4.0};  // 3 zero diffs
+  const auto result = wilcoxon_signed_rank(x, y);
+  EXPECT_EQ(result.n, 2u);
+  EXPECT_GT(result.p_value, 0.05);  // n = 2 cannot be significant
+}
+
+}  // namespace
+}  // namespace mm::stats

@@ -1,0 +1,152 @@
+// Tests for the performance metrics (Eqs. 1-9).
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace mm::core {
+namespace {
+
+TEST(CumulativeReturn, CompoundsMultiplicatively) {
+  // (1.1)(0.9) - 1 = -0.01.
+  EXPECT_NEAR(cumulative_return({0.1, -0.1}), -0.01, 1e-12);
+  EXPECT_NEAR(cumulative_return({0.01, 0.01, 0.01}), 1.01 * 1.01 * 1.01 - 1.0, 1e-12);
+}
+
+TEST(CumulativeReturn, EmptyIsFlat) {
+  EXPECT_DOUBLE_EQ(cumulative_return({}), 0.0);
+}
+
+TEST(CumulativeReturn, OrderInvariant) {
+  EXPECT_NEAR(cumulative_return({0.05, -0.02, 0.01}),
+              cumulative_return({0.01, 0.05, -0.02}), 1e-12);
+}
+
+TEST(EquityCurve, RunningCompound) {
+  const auto curve = equity_curve({0.1, 0.1, -0.5});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0], 0.1, 1e-12);
+  EXPECT_NEAR(curve[1], 0.21, 1e-12);
+  EXPECT_NEAR(curve[2], 1.21 * 0.5 - 1.0, 1e-12);
+}
+
+TEST(MaxDrawdown, MonotoneGrowthIsZero) {
+  EXPECT_DOUBLE_EQ(max_drawdown({0.01, 0.02, 0.005}), 0.0);
+  EXPECT_DOUBLE_EQ(max_drawdown({}), 0.0);
+}
+
+TEST(MaxDrawdown, WorstPeakToValley) {
+  // Wealth: 1.1, 1.21, 0.968, 1.0648. Peak 1.21, valley 0.968 -> dd 0.242.
+  EXPECT_NEAR(max_drawdown({0.1, 0.1, -0.2, 0.1}), 0.242, 1e-12);
+}
+
+TEST(MaxDrawdown, InitialLossCountsFromStartingWealth) {
+  // Wealth drops from 1.0 to 0.9: drawdown 0.1 even with no prior gain.
+  EXPECT_NEAR(max_drawdown({-0.1}), 0.1, 1e-12);
+}
+
+TEST(MaxDrawdown, LaterDeeperValleyWins) {
+  // Two dips; the second (from the higher peak) is deeper.
+  const std::vector<double> r = {0.2, -0.05, 0.3, -0.25, -0.1};
+  // Wealth: 1.2, 1.14, 1.482, 1.1115, 1.00035. Peak 1.482 -> dd 0.48165.
+  EXPECT_NEAR(max_drawdown(r), 1.482 - 1.00035, 1e-9);
+}
+
+TEST(WinLoss, CountsStrictSigns) {
+  const auto wl = win_loss({0.01, -0.02, 0.0, 0.03, -0.01, 0.005});
+  EXPECT_EQ(wl.wins, 3u);
+  EXPECT_EQ(wl.losses, 2u);  // zero return is neither
+  EXPECT_DOUBLE_EQ(wl.ratio(), 1.5);
+}
+
+TEST(WinLoss, ZeroLossesFlooredAtOne) {
+  const auto wl = win_loss({0.01, 0.02});
+  EXPECT_DOUBLE_EQ(wl.ratio(), 2.0);
+}
+
+TEST(WinLoss, Merge) {
+  WinLoss a = win_loss({0.1, 0.1, -0.1});
+  const WinLoss b = win_loss({-0.1, 0.1});
+  a.merge(b);
+  EXPECT_EQ(a.wins, 3u);
+  EXPECT_EQ(a.losses, 2u);
+}
+
+TEST(WinLoss, EmptyIsZeroRatio) {
+  EXPECT_DOUBLE_EQ(win_loss({}).ratio(), 0.0);
+}
+
+TEST(ExitBreakdown, CountsByReason) {
+  std::vector<Trade> trades(5);
+  trades[0].exit_reason = ExitReason::retracement;
+  trades[1].exit_reason = ExitReason::retracement;
+  trades[2].exit_reason = ExitReason::max_holding;
+  trades[3].exit_reason = ExitReason::end_of_day;
+  trades[4].exit_reason = ExitReason::stop_loss;
+  const auto breakdown = exit_breakdown(trades);
+  EXPECT_EQ(breakdown.total, 5u);
+  EXPECT_EQ(breakdown.counts[static_cast<int>(ExitReason::retracement)], 2u);
+  EXPECT_EQ(breakdown.counts[static_cast<int>(ExitReason::max_holding)], 1u);
+  EXPECT_EQ(breakdown.counts[static_cast<int>(ExitReason::end_of_day)], 1u);
+  EXPECT_EQ(breakdown.counts[static_cast<int>(ExitReason::stop_loss)], 1u);
+  EXPECT_EQ(breakdown.counts[static_cast<int>(ExitReason::correlation_reversion)], 0u);
+}
+
+TEST(CompoundAcross, MatchesEquation4And5Semantics) {
+  // Eq. (4)/(5): compound the per-pair (or per-paramset) cumulative returns.
+  const std::vector<double> per_pair = {0.01, -0.005, 0.02};
+  EXPECT_NEAR(compound_across(per_pair),
+              1.01 * 0.995 * 1.02 - 1.0, 1e-12);
+}
+
+// --- property-style checks over random return streams -----------------------
+
+TEST(MetricsProperties, RandomStreamInvariants) {
+  std::uint64_t state = 777;
+  const auto next_return = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Returns in (-0.2, 0.2).
+    return (static_cast<double>((state >> 33) % 4000) - 2000.0) / 10000.0;
+  };
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> returns(40);
+    for (auto& r : returns) r = next_return();
+
+    const auto curve = equity_curve(returns);
+    // Final equity-curve point equals the cumulative return.
+    EXPECT_NEAR(curve.back(), cumulative_return(returns), 1e-12);
+    // Drawdown is bounded by the worst curve excursion and is non-negative.
+    const double dd = max_drawdown(returns);
+    EXPECT_GE(dd, 0.0);
+    double peak = 1.0, worst = 0.0;
+    double wealth = 1.0;
+    for (double r : returns) {
+      wealth *= 1.0 + r;
+      peak = std::max(peak, wealth);
+      worst = std::max(worst, peak - wealth);
+    }
+    EXPECT_NEAR(dd, worst, 1e-12);
+    // Appending a positive return never increases the drawdown.
+    auto extended = returns;
+    extended.push_back(0.05);
+    EXPECT_LE(max_drawdown(returns), max_drawdown(extended) + 1e-12);
+    // Win/loss counts partition the non-zero returns.
+    const auto wl = win_loss(returns);
+    std::size_t nonzero = 0;
+    for (double r : returns)
+      if (r != 0.0) ++nonzero;
+    EXPECT_EQ(wl.wins + wl.losses, nonzero);
+  }
+}
+
+TEST(MetricsProperties, AllPositiveStreamHasZeroDrawdownAndInfiniteWins) {
+  const std::vector<double> gains = {0.01, 0.002, 0.03, 0.004};
+  EXPECT_DOUBLE_EQ(max_drawdown(gains), 0.0);
+  const auto wl = win_loss(gains);
+  EXPECT_EQ(wl.losses, 0u);
+  EXPECT_DOUBLE_EQ(wl.ratio(), 4.0);  // floored denominator
+  EXPECT_GT(cumulative_return(gains), 0.0);
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,296 @@
+// Tests for the mpmini message-passing runtime: point-to-point semantics,
+// envelope matching, ordering, probing, requests and communicator split.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpmini/collectives.hpp"
+#include "mpmini/environment.hpp"
+#include "mpmini/serde.hpp"
+
+namespace mm::mpi {
+namespace {
+
+TEST(Environment, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::atomic<int> rank_mask{0};
+  Environment::run(4, [&](Comm& comm) {
+    ++count;
+    rank_mask |= 1 << comm.rank();
+    EXPECT_EQ(comm.size(), 4);
+  });
+  EXPECT_EQ(count.load(), 4);
+  EXPECT_EQ(rank_mask.load(), 0b1111);
+}
+
+TEST(Environment, PropagatesRankException) {
+  EXPECT_THROW(Environment::run(2,
+                                [&](Comm& comm) {
+                                  if (comm.rank() == 1)
+                                    throw std::runtime_error("rank 1 died");
+                                }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, RoundTrip) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 5, 99);
+      EXPECT_EQ(comm.recv_value<int>(1, 6), 100);
+    } else {
+      const int v = comm.recv_value<int>(0, 5);
+      comm.send_value<int>(0, 6, v + 1);
+    }
+  });
+}
+
+TEST(PointToPoint, PerSourceFifoOrder) {
+  Environment::run(2, [](Comm& comm) {
+    constexpr int n = 500;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) comm.send_value<int>(1, 1, i);
+    } else {
+      for (int i = 0; i < n; ++i) EXPECT_EQ(comm.recv_value<int>(0, 1), i);
+    }
+  });
+}
+
+TEST(PointToPoint, TagSelectivity) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 10, 1);
+      comm.send_value<int>(1, 20, 2);
+    } else {
+      // Receive tag 20 first even though tag 10 arrived first.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 2);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 1);
+    }
+  });
+}
+
+TEST(PointToPoint, WildcardSourceReportsActualEnvelope) {
+  Environment::run(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      int seen_mask = 0;
+      for (int k = 0; k < 2; ++k) {
+        RecvStatus status;
+        const int v = comm.recv_value<int>(any_source, any_tag, &status);
+        EXPECT_EQ(v, status.source * 10);
+        EXPECT_EQ(status.tag, status.source);
+        seen_mask |= 1 << status.source;
+      }
+      EXPECT_EQ(seen_mask, 0b110);
+    } else {
+      comm.send_value<int>(0, comm.rank(), comm.rank() * 10);
+    }
+  });
+}
+
+TEST(PointToPoint, VectorPayload) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> xs(1000);
+      std::iota(xs.begin(), xs.end(), 0.0);
+      comm.send_span(1, 3, xs.data(), xs.size());
+    } else {
+      const auto xs = comm.recv_elems<double>(0, 3);
+      ASSERT_EQ(xs.size(), 1000u);
+      EXPECT_DOUBLE_EQ(xs[999], 999.0);
+    }
+  });
+}
+
+TEST(Requests, IrecvCompletesOnDelivery) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 7);
+      comm.send_value<int>(1, 8, 0);  // tell peer to go
+      auto msg = req.wait();
+      ASSERT_EQ(msg.payload.size(), sizeof(int));
+      int v;
+      std::memcpy(&v, msg.payload.data(), sizeof(int));
+      EXPECT_EQ(v, 123);
+    } else {
+      (void)comm.recv(0, 8);
+      comm.send_value<int>(0, 7, 123);
+    }
+  });
+}
+
+TEST(Requests, IsendIsBornComplete) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.isend(1, 1, {1, 2, 3});
+      EXPECT_TRUE(req.test());
+      req.wait();
+    } else {
+      EXPECT_EQ(comm.recv(0, 1).size(), 3u);
+    }
+  });
+}
+
+TEST(Probe, ReportsWithoutConsuming) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<double>(1, 4, 2.5);
+    } else {
+      const auto status = comm.probe(0, 4);
+      EXPECT_EQ(status.source, 0);
+      EXPECT_EQ(status.tag, 4);
+      EXPECT_EQ(status.byte_count, sizeof(double));
+      // Message still there.
+      EXPECT_DOUBLE_EQ(comm.recv_value<double>(0, 4), 2.5);
+    }
+  });
+}
+
+TEST(Probe, IprobeNegativeThenPositive) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(comm.iprobe(1, 9, nullptr));
+      comm.send_value<int>(1, 2, 0);  // release peer
+      (void)comm.recv(1, 9);
+    } else {
+      (void)comm.recv(0, 2);
+      comm.send_value<int>(0, 9, 1);
+    }
+  });
+}
+
+TEST(Split, GroupsByColorOrdersByKey) {
+  Environment::run(4, [](Comm& comm) {
+    // Even ranks -> color 0, odd -> color 1; key reverses order.
+    Comm sub = comm.split(comm.rank() % 2, -comm.rank());
+    EXPECT_EQ(sub.size(), 2);
+    // Higher parent rank got lower key, so it is rank 0 in the subgroup.
+    const int expected_rank = comm.rank() >= 2 ? 0 : 1;
+    EXPECT_EQ(sub.rank(), expected_rank);
+
+    // Traffic stays inside the subgroup.
+    if (sub.rank() == 0) {
+      sub.send_value<int>(1, 1, comm.rank());
+    } else {
+      const int from = sub.recv_value<int>(0, 1);
+      EXPECT_EQ(from % 2, comm.rank() % 2);
+    }
+  });
+}
+
+TEST(Duplicate, SeparatesTrafficFromParent) {
+  Environment::run(2, [](Comm& comm) {
+    Comm dup = comm.duplicate();
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 1, 10);
+      dup.send_value<int>(1, 1, 20);
+    } else {
+      // Same (source, tag) but different communicators must not cross-match.
+      EXPECT_EQ(dup.recv_value<int>(0, 1), 20);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 10);
+    }
+  });
+}
+
+TEST(Serde, RoundTripsMixedPayload) {
+  Packer packer;
+  packer.put<int>(7);
+  packer.put<double>(2.5);
+  packer.put_string("hello world");
+  packer.put_vector(std::vector<float>{1.f, 2.f, 3.f});
+  const auto bytes = packer.take();
+
+  Unpacker unpacker(bytes);
+  EXPECT_EQ(unpacker.get<int>(), 7);
+  EXPECT_DOUBLE_EQ(unpacker.get<double>(), 2.5);
+  EXPECT_EQ(unpacker.get_string(), "hello world");
+  const auto v = unpacker.get_vector<float>();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_FLOAT_EQ(v[2], 3.f);
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(SendRecv, SimultaneousExchangeDoesNotDeadlock) {
+  Environment::run(2, [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<std::uint8_t> mine = {static_cast<std::uint8_t>(comm.rank())};
+    const auto got = comm.sendrecv(peer, 3, mine, peer, 3);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], static_cast<std::uint8_t>(peer));
+  });
+}
+
+TEST(SendRecv, RingRotation) {
+  constexpr int n = 5;
+  Environment::run(n, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<std::uint8_t> token = {static_cast<std::uint8_t>(comm.rank())};
+    // Rotate the token all the way around the ring.
+    for (int step = 0; step < comm.size(); ++step)
+      token = comm.sendrecv(next, 1, std::move(token), prev, 1);
+    EXPECT_EQ(token[0], static_cast<std::uint8_t>(comm.rank()));
+  });
+}
+
+TEST(WaitAll, CollectsEveryMessage) {
+  Environment::run(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Request> requests;
+      for (int src = 1; src < 4; ++src) requests.push_back(comm.irecv(src, 9));
+      comm.barrier();
+      auto messages = wait_all(requests);
+      ASSERT_EQ(messages.size(), 3u);
+      for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(messages[i].source, static_cast<int>(i) + 1);
+    } else {
+      comm.barrier();
+      comm.send_value<int>(0, 9, comm.rank());
+    }
+  });
+}
+
+TEST(WaitAny, ReturnsACompletedRequest) {
+  Environment::run(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(1, 5));
+      requests.push_back(comm.irecv(2, 5));
+      // Only rank 2 sends at first.
+      comm.send_value<int>(2, 6, 0);
+      Message msg;
+      const auto idx = wait_any(requests, &msg);
+      EXPECT_EQ(idx, 1u);
+      EXPECT_EQ(msg.source, 2);
+      // Now release rank 1 and drain the other request.
+      comm.send_value<int>(1, 6, 0);
+      (void)requests[0].wait();
+    } else if (comm.rank() == 1) {
+      (void)comm.recv(0, 6);
+      comm.send_value<int>(0, 5, 1);
+    } else {
+      (void)comm.recv(0, 6);
+      comm.send_value<int>(0, 5, 2);
+    }
+  });
+}
+
+TEST(Mailbox, ManyToOneStress) {
+  constexpr int producers = 7;
+  constexpr int per_producer = 200;
+  Environment::run(producers + 1, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> next(producers + 1, 0);
+      for (int k = 0; k < producers * per_producer; ++k) {
+        RecvStatus status;
+        const int v = comm.recv_value<int>(any_source, 1, &status);
+        // Per-source FIFO even under contention.
+        EXPECT_EQ(v, next[static_cast<std::size_t>(status.source)]++);
+      }
+    } else {
+      for (int i = 0; i < per_producer; ++i) comm.send_value<int>(0, 1, i);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace mm::mpi

@@ -1,0 +1,97 @@
+// Tests for StrategyParams validation and the Table I parameter grid.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/params.hpp"
+
+namespace mm::core {
+namespace {
+
+TEST(StrategyParams, BaseIsValid) {
+  EXPECT_TRUE(ParamGrid::base().validate().has_value());
+}
+
+TEST(StrategyParams, RejectsBadValues) {
+  auto expect_invalid = [](auto&& mutate) {
+    StrategyParams p = ParamGrid::base();
+    mutate(p);
+    EXPECT_FALSE(p.validate().has_value());
+  };
+  expect_invalid([](StrategyParams& p) { p.delta_s = 0; });
+  expect_invalid([](StrategyParams& p) { p.min_correlation = 1.5; });
+  expect_invalid([](StrategyParams& p) { p.min_correlation = -0.1; });
+  expect_invalid([](StrategyParams& p) { p.corr_window = 1; });
+  expect_invalid([](StrategyParams& p) { p.avg_window = 0; });
+  expect_invalid([](StrategyParams& p) { p.divergence_window = 0; });
+  expect_invalid([](StrategyParams& p) { p.divergence = 0.0; });
+  expect_invalid([](StrategyParams& p) { p.divergence = 1.0; });
+  expect_invalid([](StrategyParams& p) { p.retracement = 0.0; });
+  expect_invalid([](StrategyParams& p) { p.retracement = 1.0; });
+  expect_invalid([](StrategyParams& p) { p.spread_window = 0; });
+  expect_invalid([](StrategyParams& p) { p.max_holding = 0; });
+  expect_invalid([](StrategyParams& p) { p.no_entry_before_close = -1; });
+  expect_invalid([](StrategyParams& p) { p.stop_loss = -0.1; });
+  expect_invalid([](StrategyParams& p) { p.cost_per_share = -0.01; });
+  expect_invalid([](StrategyParams& p) { p.slippage_frac = 0.5; });
+}
+
+TEST(StrategyParams, DescribeMentionsKeyFields) {
+  const auto text = ParamGrid::base().describe();
+  EXPECT_NE(text.find("M=100"), std::string::npos);
+  EXPECT_NE(text.find("W=60"), std::string::npos);
+  EXPECT_NE(text.find("HP=30"), std::string::npos);
+}
+
+TEST(ParamGrid, FourteenLevels) {
+  // "14 different parameter vectors of the form {ds, M, W, d, l, RT, HP, ST, Y}".
+  EXPECT_EQ(ParamGrid().levels().size(), 14u);
+}
+
+TEST(ParamGrid, FortyTwoStrategies) {
+  // 14 levels x 3 correlation types = the paper's 42 parameter sets.
+  const auto all = ParamGrid().all();
+  EXPECT_EQ(all.size(), 42u);
+  int per_ctype[3] = {0, 0, 0};
+  for (const auto& p : all) ++per_ctype[static_cast<int>(p.ctype)];
+  EXPECT_EQ(per_ctype[0], 14);
+  EXPECT_EQ(per_ctype[1], 14);
+  EXPECT_EQ(per_ctype[2], 14);
+}
+
+TEST(ParamGrid, AllLevelsValidAndDistinct) {
+  const ParamGrid grid;
+  std::set<std::string> described;
+  for (const auto& level : grid.levels()) {
+    EXPECT_TRUE(level.validate().has_value());
+    EXPECT_TRUE(described.insert(level.describe()).second)
+        << "duplicate level: " << level.describe();
+  }
+}
+
+TEST(ParamGrid, ValuesComeFromTableI) {
+  const ParamGrid grid;
+  const std::set<std::int64_t> m_allowed = {50, 100, 200};
+  const std::set<std::int64_t> w_allowed = {60, 120};
+  const std::set<std::int64_t> y_allowed = {10, 20};
+  const std::set<std::int64_t> hp_allowed = {30, 40};
+  for (const auto& level : grid.levels()) {
+    EXPECT_EQ(level.delta_s, 30);
+    EXPECT_TRUE(m_allowed.count(level.corr_window)) << level.corr_window;
+    EXPECT_TRUE(w_allowed.count(level.avg_window));
+    EXPECT_TRUE(y_allowed.count(level.divergence_window));
+    EXPECT_TRUE(hp_allowed.count(level.max_holding));
+    EXPECT_EQ(level.spread_window, 60);
+    EXPECT_EQ(level.no_entry_before_close, 20);
+    EXPECT_GE(level.divergence, 0.0001);
+    EXPECT_LE(level.divergence, 0.0010);
+  }
+}
+
+TEST(ParamGrid, DistinctCorrWindows) {
+  const auto windows = ParamGrid().distinct_corr_windows();
+  EXPECT_EQ(windows, (std::vector<std::int64_t>{50, 100, 200}));
+}
+
+}  // namespace
+}  // namespace mm::core

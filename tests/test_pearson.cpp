@@ -1,0 +1,139 @@
+// Tests for batch and sliding-window Pearson correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/pearson.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(Pearson, PerfectLinearRelationships) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> ny = {-2, -4, -6, -8, -10};
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant) {
+  mm::Rng rng(1);
+  std::vector<double> x(200), y(200), y2(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = 0.6 * x[i] + 0.8 * rng.normal();
+    y2[i] = 100.0 + 7.5 * y[i];
+  }
+  EXPECT_NEAR(pearson(x, y), pearson(x, y2), 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  mm::Rng rng(2);
+  std::vector<double> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, KnownFactorCorrelation) {
+  // y = a*f + e with matched variances: corr = a / sqrt(a² + 1).
+  mm::Rng rng(3);
+  const double a = 1.0;
+  std::vector<double> x(200000), y(200000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double f = rng.normal();
+    x[i] = f + rng.normal();
+    y[i] = a * f + rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.5, 0.01);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<double> c = {3, 3, 3, 3};
+  const std::vector<double> x = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(c, x), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Pearson, SensitiveToOneOutlier) {
+  // The motivation for Maronna (§II): a single bad tick swings Pearson hard.
+  mm::Rng rng(4);
+  std::vector<double> x(100), y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double f = rng.normal();
+    x[i] = f + 0.3 * rng.normal();
+    y[i] = f + 0.3 * rng.normal();
+  }
+  const double clean = pearson(x, y);
+  EXPECT_GT(clean, 0.8);
+  x[50] = 100.0;  // one fat-finger
+  y[50] = -100.0;
+  const double dirty = pearson(x, y);
+  EXPECT_LT(dirty, -0.5);  // completely destroyed
+}
+
+TEST(SlidingPearson, NotReadyUntilWindowFull) {
+  SlidingPearson sp(5);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(sp.ready());
+    sp.push(i, i * 2.0);
+  }
+  sp.push(4, 8.0);
+  EXPECT_TRUE(sp.ready());
+}
+
+TEST(SlidingPearson, MatchesBatchOnEveryStep) {
+  constexpr std::size_t window = 20;
+  SlidingPearson sp(window);
+  mm::Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 3000; ++i) {
+    const double f = rng.normal();
+    const double x = f + rng.normal() * 0.7;
+    const double y = f + rng.normal() * 0.7;
+    sp.push(x, y);
+    xs.push_back(x);
+    ys.push_back(y);
+    if (!sp.ready()) continue;
+    const std::size_t lo = xs.size() - window;
+    const double batch = pearson(xs.data() + lo, ys.data() + lo, window);
+    ASSERT_NEAR(sp.correlation(), batch, 1e-9) << "at step " << i;
+  }
+}
+
+TEST(SlidingPearson, StableUnderAdversarialScale) {
+  // Large offsets stress the running-sums formulation; the periodic rebuild
+  // must keep drift bounded.
+  constexpr std::size_t window = 50;
+  SlidingPearson sp(window);
+  mm::Rng rng(6);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    const double f = rng.normal();
+    const double x = 1e7 + f + rng.normal();
+    const double y = 1e7 + f + rng.normal();
+    sp.push(x, y);
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  const std::size_t lo = xs.size() - window;
+  const double batch = pearson(xs.data() + lo, ys.data() + lo, window);
+  EXPECT_NEAR(sp.correlation(), batch, 1e-4);
+}
+
+TEST(SlidingPearson, BoundedInMinusOnePlusOne) {
+  SlidingPearson sp(3);
+  sp.push(1, 1);
+  sp.push(2, 2);
+  sp.push(3, 3);
+  const double r = sp.correlation();
+  EXPECT_LE(r, 1.0);
+  EXPECT_GE(r, -1.0);
+  EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mm::stats

@@ -1,0 +1,131 @@
+// Tests for portfolio accounting and the equity-curve simulation.
+#include <gtest/gtest.h>
+
+#include "core/backtester.hpp"
+#include "core/portfolio.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::core {
+namespace {
+
+TEST(Portfolio, CashAndPositionsTrackFills) {
+  Portfolio book(1000.0);
+  EXPECT_DOUBLE_EQ(book.cash(), 1000.0);
+  EXPECT_TRUE(book.flat());
+
+  book.apply_fill(0, 10.0, 20.0);  // buy 10 @ 20
+  EXPECT_DOUBLE_EQ(book.cash(), 800.0);
+  EXPECT_DOUBLE_EQ(book.position(0), 10.0);
+  EXPECT_DOUBLE_EQ(book.equity(), 1000.0);  // marked at fill price
+
+  book.apply_fill(1, -5.0, 30.0);  // short 5 @ 30
+  EXPECT_DOUBLE_EQ(book.cash(), 950.0);
+  EXPECT_DOUBLE_EQ(book.equity(), 1000.0);
+  EXPECT_DOUBLE_EQ(book.gross_exposure(), 200.0 + 150.0);
+  EXPECT_DOUBLE_EQ(book.net_exposure(), 200.0 - 150.0);
+}
+
+TEST(Portfolio, MarkToMarketMovesEquity) {
+  Portfolio book(100.0);
+  book.apply_fill(0, 2.0, 10.0);  // long 2 @ 10, cash 80
+  book.mark(0, 12.0);
+  EXPECT_DOUBLE_EQ(book.equity(), 80.0 + 24.0);
+  book.mark(0, 8.0);
+  EXPECT_DOUBLE_EQ(book.equity(), 80.0 + 16.0);
+}
+
+TEST(Portfolio, ShortsGainWhenPriceFalls) {
+  Portfolio book(100.0);
+  book.apply_fill(0, -1.0, 50.0);  // cash 150
+  book.mark(0, 40.0);
+  EXPECT_DOUBLE_EQ(book.equity(), 150.0 - 40.0);  // +10 vs initial
+}
+
+TEST(Portfolio, RoundTripRealizesPnl) {
+  Portfolio book(0.0);
+  book.apply_fill(0, 5.0, 30.0);   // -150 cash
+  book.apply_fill(0, -5.0, 29.0);  // +145 cash
+  EXPECT_TRUE(book.flat());
+  EXPECT_DOUBLE_EQ(book.cash(), -5.0);
+  EXPECT_DOUBLE_EQ(book.equity(), -5.0);
+}
+
+TEST(SimulatePortfolio, PaperTradeExample) {
+  // The §III example trade: short 1 IBM @130, long 5 MSFT @30; exit at
+  // 120 / 29 -> +$5. Build the flat BAM grid around those prices.
+  std::vector<std::vector<double>> bam(2);
+  bam[0].assign(100, 130.0);  // IBM (symbol 0)
+  bam[1].assign(100, 30.0);   // MSFT (symbol 1)
+  for (std::size_t s = 50; s < 100; ++s) {
+    bam[0][s] = 120.0;
+    bam[1][s] = 29.0;
+  }
+
+  Trade t;
+  t.entry_interval = 10;
+  t.exit_interval = 50;
+  t.entry_price_i = 130.0;
+  t.entry_price_j = 30.0;
+  t.exit_price_i = 120.0;
+  t.exit_price_j = 29.0;
+  t.shares_i = -1.0;
+  t.shares_j = 5.0;
+
+  const auto curve =
+      simulate_portfolio({{stats::PairIndex{0, 1}, t}}, bam, 1000.0);
+  ASSERT_EQ(curve.size(), 100u);
+  EXPECT_DOUBLE_EQ(curve[0].equity, 1000.0);      // before entry
+  EXPECT_DOUBLE_EQ(curve[20].equity, 1000.0);     // marked at entry prices
+  EXPECT_DOUBLE_EQ(curve[99].equity, 1005.0);     // +$5 realized
+  EXPECT_DOUBLE_EQ(curve[20].gross_exposure, 130.0 + 150.0);
+  EXPECT_DOUBLE_EQ(curve[99].gross_exposure, 0.0);
+}
+
+TEST(SimulatePortfolio, AggregatesRealBacktestConsistently) {
+  // Run the strategy on a synthetic day, aggregate all pairs' trades; the
+  // final equity gain must equal the summed trade pnl.
+  constexpr std::size_t n = 5;
+  const auto universe = md::make_universe(n);
+  md::GeneratorConfig cfg;
+  cfg.quote_rate = 0.2;
+  const md::SyntheticDay day(universe, cfg, 3);
+  md::QuoteCleaner cleaner(n, md::CleanerConfig{});
+  const auto bam = md::sample_bam_series(cleaner.clean(day.quotes()), n, cfg.session, 30);
+
+  StrategyParams params = ParamGrid::base();
+  params.divergence = 0.0005;
+  const auto market = compute_market_corr_series(bam, params.corr_window, false);
+  const auto pairs = stats::all_pairs(n);
+
+  std::vector<TaggedTrade> tagged;
+  double total_pnl = 0.0;
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    for (const auto& t :
+         run_pair_day(params, bam[pairs[k].i], bam[pairs[k].j], market, k)) {
+      tagged.push_back({pairs[k], t});
+      total_pnl += t.pnl;
+    }
+  }
+  ASSERT_FALSE(tagged.empty());
+
+  const double initial = 100000.0;
+  const auto curve = simulate_portfolio(tagged, bam, initial);
+  EXPECT_NEAR(curve.back().equity - initial, total_pnl, 1e-6);
+  EXPECT_DOUBLE_EQ(curve.back().gross_exposure, 0.0);  // EOD flat
+}
+
+TEST(RenderEquityCurve, ProducesChart) {
+  std::vector<EquityPoint> curve;
+  for (int s = 0; s < 100; ++s)
+    curve.push_back({s, 1000.0 + s * 0.5, 0.0});
+  const auto chart = render_equity_curve(curve, 40, 8);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("1049"), std::string::npos);  // top label ~1049.5
+  // 8 data rows + axis.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(chart.begin(), chart.end(), '\n')), 9u);
+}
+
+}  // namespace
+}  // namespace mm::core

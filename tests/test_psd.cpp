@@ -1,0 +1,207 @@
+// Tests for the Jacobi eigensolver and nearest-PSD correlation repair (the
+// fix for the paper's "pairwise Maronna is not PSD" caveat, §IV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/psd.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(Jacobi, DiagonalMatrix) {
+  SymMatrix m(3, 0.0);
+  m.set(0, 0, 3.0);
+  m.set(1, 1, 1.0);
+  m.set(2, 2, 2.0);
+  const auto eig = jacobi_eigen(m);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-10);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  SymMatrix m(2, 0.0);
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 2.0);
+  m.set(0, 1, 1.0);
+  const auto eig = jacobi_eigen(m);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  mm::Rng rng(1);
+  const std::size_t n = 8;
+  SymMatrix m(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) m.set(i, j, rng.normal());
+
+  const auto eig = jacobi_eigen(m);
+  // Rebuild A = V diag(l) V^T and compare entrywise.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        sum += eig.vectors[i * n + k] * eig.values[k] * eig.vectors[j * n + k];
+      EXPECT_NEAR(sum, m(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  mm::Rng rng(2);
+  const std::size_t n = 6;
+  SymMatrix m(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) m.set(i, j, rng.uniform(-1.0, 1.0));
+  const auto eig = jacobi_eigen(m);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        dot += eig.vectors[i * n + a] * eig.vectors[i * n + b];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(IsPsd, IdentityAndValidCorrelation) {
+  SymMatrix eye(4, 0.0);
+  eye.fill_diagonal(1.0);
+  EXPECT_TRUE(is_psd(eye));
+
+  SymMatrix c(2, 0.0);
+  c.fill_diagonal(1.0);
+  c.set(0, 1, 0.9);
+  EXPECT_TRUE(is_psd(c));
+}
+
+TEST(IsPsd, DetectsIndefiniteTriple) {
+  // r01 = r02 = 0.9, r12 = -0.9 cannot be a correlation matrix.
+  SymMatrix c(3, 0.0);
+  c.fill_diagonal(1.0);
+  c.set(0, 1, 0.9);
+  c.set(0, 2, 0.9);
+  c.set(1, 2, -0.9);
+  EXPECT_FALSE(is_psd(c));
+}
+
+TEST(NearestPsd, RepairsIndefiniteTriple) {
+  SymMatrix c(3, 0.0);
+  c.fill_diagonal(1.0);
+  c.set(0, 1, 0.9);
+  c.set(0, 2, 0.9);
+  c.set(1, 2, -0.9);
+
+  const auto repaired = nearest_psd_correlation(c);
+  EXPECT_TRUE(is_psd(repaired, 1e-8));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(repaired(i, i), 1.0, 1e-12);
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_LE(repaired(i, j), 1.0);
+      EXPECT_GE(repaired(i, j), -1.0);
+    }
+  }
+  // Repair should preserve the overall sign structure.
+  EXPECT_GT(repaired(0, 1), 0.3);
+  EXPECT_GT(repaired(0, 2), 0.3);
+  EXPECT_LT(repaired(1, 2), 0.0);
+}
+
+TEST(NearestPsd, AlreadyPsdAlmostUnchanged) {
+  SymMatrix c(3, 0.0);
+  c.fill_diagonal(1.0);
+  c.set(0, 1, 0.5);
+  c.set(0, 2, 0.2);
+  c.set(1, 2, 0.3);
+  const auto repaired = nearest_psd_correlation(c);
+  EXPECT_LT(SymMatrix::max_abs_diff(c, repaired), 1e-6);
+}
+
+TEST(NearestPsd, RandomPerturbedMatricesAllRepairable) {
+  mm::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 10;
+    // Start from a rank-1 (PSD) correlation and add noise until indefinite.
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    SymMatrix c(n, 0.0);
+    c.fill_diagonal(1.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        c.set(i, j, std::clamp(b[i] * b[j] + rng.normal() * 0.3, -1.0, 1.0));
+
+    const auto repaired = nearest_psd_correlation(c);
+    EXPECT_TRUE(is_psd(repaired, 1e-7)) << "trial " << trial;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(repaired(i, i), 1.0, 1e-9);
+  }
+}
+
+TEST(Higham, RepairsIndefiniteTripleToPsd) {
+  SymMatrix c(3, 0.0);
+  c.fill_diagonal(1.0);
+  c.set(0, 1, 0.9);
+  c.set(0, 2, 0.9);
+  c.set(1, 2, -0.9);
+  const auto repaired = nearest_correlation_higham(c);
+  EXPECT_TRUE(is_psd(repaired, 1e-7));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(repaired(i, i), 1.0, 1e-9);
+}
+
+TEST(Higham, AlreadyValidMatrixUnchanged) {
+  SymMatrix c(4, 0.0);
+  c.fill_diagonal(1.0);
+  c.set(0, 1, 0.3);
+  c.set(1, 2, -0.2);
+  c.set(2, 3, 0.5);
+  const auto repaired = nearest_correlation_higham(c);
+  EXPECT_LT(SymMatrix::max_abs_diff(c, repaired), 1e-8);
+}
+
+TEST(Higham, AtLeastAsCloseAsClipping) {
+  // Higham converges to the Frobenius-nearest correlation matrix; the
+  // clipping heuristic is fast but not optimal. Compare Frobenius distances.
+  mm::Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 6;
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    SymMatrix c(n, 0.0);
+    c.fill_diagonal(1.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        c.set(i, j, std::clamp(b[i] * b[j] + rng.normal() * 0.5, -1.0, 1.0));
+    if (is_psd(c)) continue;
+
+    const auto clipped = nearest_psd_correlation(c);
+    const auto higham = nearest_correlation_higham(c);
+    ASSERT_TRUE(is_psd(higham, 1e-6));
+
+    const auto frobenius = [&](const SymMatrix& a) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+          const double d = a(std::min(i, j), std::max(i, j)) -
+                           c(std::min(i, j), std::max(i, j));
+          sum += d * d;
+        }
+      return sum;
+    };
+    EXPECT_LE(frobenius(higham), frobenius(clipped) + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MinEigenvalue, MatchesJacobiFront) {
+  SymMatrix c(2, 0.0);
+  c.fill_diagonal(1.0);
+  c.set(0, 1, -0.5);
+  EXPECT_NEAR(min_eigenvalue(c), 0.5, 1e-10);
+}
+
+}  // namespace
+}  // namespace mm::stats

@@ -1,0 +1,136 @@
+// Tests for the Spearman and Kendall rank correlation extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/pearson.hpp"
+#include "stats/rank_corr.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(AverageRanks, SimpleAndTied) {
+  const double x[] = {30.0, 10.0, 20.0};
+  const auto r = average_ranks(x, 3);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+
+  const double tied[] = {5.0, 1.0, 5.0, 9.0};
+  const auto rt = average_ranks(tied, 4);
+  EXPECT_DOUBLE_EQ(rt[0], 2.5);  // ranks 2 and 3 shared
+  EXPECT_DOUBLE_EQ(rt[1], 1.0);
+  EXPECT_DOUBLE_EQ(rt[2], 2.5);
+  EXPECT_DOUBLE_EQ(rt[3], 4.0);
+}
+
+TEST(Spearman, PerfectMonotone) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 100, 1000, 10000, 100000};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  const std::vector<double> ny = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(spearman(x, ny), -1.0, 1e-12);
+}
+
+TEST(Spearman, InvariantUnderMonotoneTransforms) {
+  mm::Rng rng(1);
+  std::vector<double> x(300), y(300), ey(300);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double f = rng.normal();
+    x[i] = f + rng.normal();
+    y[i] = f + rng.normal();
+    ey[i] = std::exp(y[i]);  // strictly monotone transform
+  }
+  EXPECT_NEAR(spearman(x, y), spearman(x, ey), 1e-12);
+  // Pearson, by contrast, is NOT invariant.
+  EXPECT_GT(std::abs(pearson(x, y) - pearson(x, ey)), 1e-3);
+}
+
+TEST(Spearman, RobustToSingleOutlier) {
+  mm::Rng rng(2);
+  std::vector<double> x(100), y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double f = rng.normal();
+    x[i] = 2.0 * f + rng.normal();
+    y[i] = 2.0 * f + rng.normal();
+  }
+  const double clean = spearman(x, y);
+  EXPECT_GT(clean, 0.7);
+  x[7] = 1e6;
+  y[7] = -1e6;
+  // One point can move a rank statistic by at most O(1/n).
+  EXPECT_NEAR(spearman(x, y), clean, 0.08);
+}
+
+TEST(Kendall, KnownSmallExample) {
+  // x = 1..4, y = {1, 3, 2, 4}: 5 concordant, 1 discordant -> tau = 4/6.
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 2, 4};
+  EXPECT_NEAR(kendall_tau(x, y), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Kendall, PerfectAndReversed) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 8, 16, 32};
+  EXPECT_NEAR(kendall_tau(x, y), 1.0, 1e-12);
+  const std::vector<double> r = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(kendall_tau(x, r), -1.0, 1e-12);
+}
+
+TEST(Kendall, TieCorrection) {
+  // With ties in x, tau-b uses the tie-corrected denominator and stays in
+  // [-1, 1].
+  const std::vector<double> x = {1, 1, 2, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const double tau = kendall_tau(x, y);
+  EXPECT_GT(tau, 0.8);
+  EXPECT_LE(tau, 1.0);
+}
+
+TEST(Kendall, IndependentNearZero) {
+  mm::Rng rng(3);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(kendall_tau(x, y), 0.0, 0.08);
+}
+
+TEST(Kendall, GaussianRelationToPearson) {
+  // For bivariate normals, tau ~= (2/pi) asin(rho).
+  mm::Rng rng(4);
+  const double a = 1.0;  // target rho = 0.5
+  std::vector<double> x(4000), y(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double f = rng.normal();
+    x[i] = a * f + rng.normal();
+    y[i] = a * f + rng.normal();
+  }
+  const double expected = 2.0 / M_PI * std::asin(0.5);
+  EXPECT_NEAR(kendall_tau(x, y), expected, 0.03);
+}
+
+TEST(Spearman, GaussianRelationToPearson) {
+  // For bivariate normals, rho_s ~= (6/pi) asin(rho/2).
+  mm::Rng rng(5);
+  std::vector<double> x(8000), y(8000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double f = rng.normal();
+    x[i] = f + rng.normal();
+    y[i] = f + rng.normal();
+  }
+  const double expected = 6.0 / M_PI * std::asin(0.25);
+  EXPECT_NEAR(spearman(x, y), expected, 0.03);
+}
+
+TEST(RankCorr, DegenerateInputsGiveZero) {
+  const std::vector<double> c = {2, 2, 2, 2};
+  const std::vector<double> x = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(spearman(c, x), 0.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(c, x), 0.0);
+}
+
+}  // namespace
+}  // namespace mm::stats

@@ -1,0 +1,129 @@
+// Tests for the deterministic RNG: reproducibility and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mm {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedRange) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) {
+    // Each bucket expects 10000; allow 5 sigma (~±475).
+    EXPECT_NEAR(c, draws / 10, 500);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+    sum3 += x * x * x;
+    sum4 += x * x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.05);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.1);  // normal kurtosis
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(42);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, StudentTSymmetricFatTails) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0, sum4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.student_t(5.0);
+    sum += x;
+    sum2 += x * x;
+    sum4 += x * x * x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  // Var of t(5) = 5/3.
+  EXPECT_NEAR(var, 5.0 / 3.0, 0.1);
+  // Kurtosis of t(5) = 9 — clearly fat-tailed vs the normal's 3.
+  const double kurt = (sum4 / n) / (var * var);
+  EXPECT_GT(kurt, 5.0);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng rng(100);
+  const auto a = rng.next_u64();
+  rng.reseed(100);
+  EXPECT_EQ(rng.next_u64(), a);
+}
+
+TEST(Splitmix, ProducesDistinctStreamSeeds) {
+  std::uint64_t state = 42;
+  const auto a = splitmix64(state);
+  const auto b = splitmix64(state);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mm

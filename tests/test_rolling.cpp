@@ -1,0 +1,119 @@
+// Tests for the rolling-window primitives.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/rolling.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(RollingWindow, FillsThenEvicts) {
+  RollingWindow<int> w(3);
+  EXPECT_FALSE(w.full());
+  w.push(1);
+  w.push(2);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.oldest(), 1);
+  EXPECT_EQ(w.newest(), 2);
+  w.push(3);
+  EXPECT_TRUE(w.full());
+  w.push(4);  // evicts 1
+  EXPECT_EQ(w.oldest(), 2);
+  EXPECT_EQ(w.newest(), 4);
+  EXPECT_EQ(w[0], 2);
+  EXPECT_EQ(w[1], 3);
+  EXPECT_EQ(w[2], 4);
+}
+
+TEST(RollingWindow, SnapshotOrder) {
+  RollingWindow<int> w(4);
+  for (int i = 0; i < 9; ++i) w.push(i);
+  EXPECT_EQ(w.snapshot(), (std::vector<int>{5, 6, 7, 8}));
+}
+
+TEST(RollingWindow, Clear) {
+  RollingWindow<int> w(2);
+  w.push(1);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.push(9);
+  EXPECT_EQ(w.newest(), 9);
+}
+
+TEST(RollingMean, ExactOverWindow) {
+  RollingMean m(3);
+  m.update(1.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 1.0);
+  m.update(2.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 1.5);
+  m.update(3.0);
+  EXPECT_TRUE(m.full());
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  m.update(4.0);  // window {2,3,4}
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+}
+
+TEST(RollingMean, NoDriftOverLongStreams) {
+  RollingMean m(100);
+  mm::Rng rng(3);
+  std::vector<double> recent;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0) * 1e-4 + 1e6;  // adversarial scale
+    m.update(x);
+    recent.push_back(x);
+    if (recent.size() > 100) recent.erase(recent.begin());
+  }
+  double expect = 0.0;
+  for (double x : recent) expect += x;
+  expect /= 100.0;
+  EXPECT_NEAR(m.mean(), expect, 1e-6);
+}
+
+TEST(RollingMinMax, TracksWindowExtremes) {
+  RollingMinMax mm(3);
+  mm.update(5.0);
+  EXPECT_DOUBLE_EQ(mm.min(), 5.0);
+  EXPECT_DOUBLE_EQ(mm.max(), 5.0);
+  mm.update(3.0);
+  mm.update(7.0);
+  EXPECT_TRUE(mm.full());
+  EXPECT_DOUBLE_EQ(mm.min(), 3.0);
+  EXPECT_DOUBLE_EQ(mm.max(), 7.0);
+  mm.update(4.0);  // evicts 5; window {3,7,4}
+  EXPECT_DOUBLE_EQ(mm.min(), 3.0);
+  mm.update(6.0);  // evicts 3; window {7,4,6}
+  EXPECT_DOUBLE_EQ(mm.min(), 4.0);
+  EXPECT_DOUBLE_EQ(mm.max(), 7.0);
+}
+
+TEST(RollingMinMax, MatchesBruteForceOnRandomStream) {
+  constexpr std::size_t window = 17;
+  RollingMinMax mm(window);
+  mm::Rng rng(8);
+  std::vector<double> history;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal();
+    mm.update(x);
+    history.push_back(x);
+    const std::size_t lo = history.size() > window ? history.size() - window : 0;
+    double bmin = history[lo], bmax = history[lo];
+    for (std::size_t k = lo; k < history.size(); ++k) {
+      bmin = std::min(bmin, history[k]);
+      bmax = std::max(bmax, history[k]);
+    }
+    ASSERT_DOUBLE_EQ(mm.min(), bmin) << "at step " << i;
+    ASSERT_DOUBLE_EQ(mm.max(), bmax) << "at step " << i;
+  }
+}
+
+TEST(RollingMinMax, MonotoneStreams) {
+  RollingMinMax up(5);
+  for (int i = 0; i < 20; ++i) {
+    up.update(i);
+    EXPECT_DOUBLE_EQ(up.max(), i);
+    EXPECT_DOUBLE_EQ(up.min(), std::max(0, i - 4));
+  }
+}
+
+}  // namespace
+}  // namespace mm::stats

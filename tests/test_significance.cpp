@@ -1,0 +1,55 @@
+// Tests for the treatment significance analysis.
+#include <gtest/gtest.h>
+
+#include "core/significance.hpp"
+
+namespace mm::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.symbols = 5;
+  cfg.days = 2;
+  cfg.generator.quote_rate = 0.2;
+  return cfg;
+}
+
+TEST(Significance, ComparesAllThreePairsForEachMeasure) {
+  const auto result = run_experiment(tiny_config());
+  const auto comparisons = compare_treatments(result, Measure::monthly_return);
+  ASSERT_EQ(comparisons.size(), 3u);
+  // Maronna/Pearson, Maronna/Combined, Pearson/Combined — in that order.
+  EXPECT_EQ(comparisons[0].a, stats::Ctype::maronna);
+  EXPECT_EQ(comparisons[0].b, stats::Ctype::pearson);
+  EXPECT_EQ(comparisons[2].a, stats::Ctype::pearson);
+  EXPECT_EQ(comparisons[2].b, stats::Ctype::combined);
+  for (const auto& cmp : comparisons) {
+    EXPECT_GE(cmp.t_test.p_value, 0.0);
+    EXPECT_LE(cmp.t_test.p_value, 1.0);
+    EXPECT_GE(cmp.wilcoxon.p_value, 0.0);
+    EXPECT_LE(cmp.wilcoxon.p_value, 1.0);
+    EXPECT_EQ(cmp.t_test.n, result.pair_count);
+  }
+}
+
+TEST(Significance, EffectMatchesSampleMeanDifference) {
+  const auto result = run_experiment(tiny_config());
+  const auto comparisons = compare_treatments(result, Measure::win_loss);
+  const auto& maronna = result.win_loss[static_cast<std::size_t>(stats::Ctype::maronna)];
+  const auto& pearson = result.win_loss[static_cast<std::size_t>(stats::Ctype::pearson)];
+  double diff = 0.0;
+  for (std::size_t p = 0; p < maronna.size(); ++p) diff += maronna[p] - pearson[p];
+  diff /= static_cast<double>(maronna.size());
+  EXPECT_NEAR(comparisons[0].t_test.effect, diff, 1e-12);
+}
+
+TEST(Significance, ReportRenders) {
+  const auto result = run_experiment(tiny_config());
+  const auto text = render_significance_report(result);
+  EXPECT_NE(text.find("Maronna"), std::string::npos);
+  EXPECT_NE(text.find("wilcoxon"), std::string::npos);
+  EXPECT_NE(text.find("average win-loss ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mm::core

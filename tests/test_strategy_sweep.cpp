@@ -1,0 +1,111 @@
+// Property-style sweep: every one of the paper's 14 factor levels (x 3
+// treatments) must uphold the strategy's structural invariants on realistic
+// synthetic data.
+#include <gtest/gtest.h>
+
+#include "core/backtester.hpp"
+#include "marketdata/bars.hpp"
+#include "marketdata/cleaner.hpp"
+#include "marketdata/generator.hpp"
+
+namespace mm::core {
+namespace {
+
+struct SweepCase {
+  std::size_t level;
+  stats::Ctype ctype;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "level " << c.level + 1 << " " << stats::to_string(c.ctype);
+}
+
+class StrategySweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  // Shared day of data across all sweep instances (built once).
+  static const std::vector<std::vector<double>>& bam() {
+    static const std::vector<std::vector<double>> data = [] {
+      const auto universe = md::make_universe(6);
+      md::GeneratorConfig cfg;
+      cfg.quote_rate = 0.25;
+      const md::SyntheticDay day(universe, cfg, 7);
+      md::QuoteCleaner cleaner(6, md::CleanerConfig{});
+      return md::sample_bam_series(cleaner.clean(day.quotes()), 6, cfg.session, 30);
+    }();
+    return data;
+  }
+};
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (std::size_t l = 0; l < 14; ++l)
+    for (const auto c : stats::all_ctypes) cases.push_back({l, c});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParameterSets, StrategySweep,
+                         ::testing::ValuesIn(all_cases()));
+
+TEST_P(StrategySweep, InvariantsHoldForEveryParameterSet) {
+  const auto [level, ctype] = GetParam();
+  StrategyParams params = ParamGrid().levels()[level];
+  params.ctype = ctype;
+
+  const auto& prices = bam();
+  const auto smax = static_cast<std::int64_t>(prices[0].size());
+  const auto pairs = stats::all_pairs(prices.size());
+  const auto market =
+      compute_market_corr_series(prices, params.corr_window,
+                                 ctype != stats::Ctype::pearson);
+
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto trades =
+        run_pair_day(params, prices[pairs[k].i], prices[pairs[k].j], market, k);
+
+    std::int64_t last_exit = -1;
+    for (const auto& t : trades) {
+      // Warmup: no entry before the correlation window is full.
+      EXPECT_GE(t.entry_interval, params.corr_window);
+      // ST rule: no entry in the final ST intervals.
+      EXPECT_LT(t.entry_interval, smax - params.no_entry_before_close);
+      // HP rule: no holding period beyond HP (EOD closes can cut it short).
+      EXPECT_LE(t.exit_interval - t.entry_interval, params.max_holding);
+      // Trades are sequential per pair (no overlap).
+      EXPECT_GT(t.entry_interval, last_exit);
+      last_exit = t.exit_interval;
+      // One long leg, one short leg; positive basis; sane trade return.
+      EXPECT_LT(t.shares_i * t.shares_j, 0.0);
+      EXPECT_GT(t.gross_basis, 0.0);
+      EXPECT_NEAR(t.trade_return, t.pnl / t.gross_basis, 1e-12);
+      EXPECT_GT(t.trade_return, -0.5);
+      EXPECT_LT(t.trade_return, 0.5);
+      // Long side edges out the short side at entry (cash-neutral + long).
+      const double long_value = (t.shares_i > 0 ? t.shares_i * t.entry_price_i : 0) +
+                                (t.shares_j > 0 ? t.shares_j * t.entry_price_j : 0);
+      const double short_value =
+          (t.shares_i < 0 ? -t.shares_i * t.entry_price_i : 0) +
+          (t.shares_j < 0 ? -t.shares_j * t.entry_price_j : 0);
+      EXPECT_GE(long_value + 1e-9, short_value);
+    }
+  }
+}
+
+TEST_P(StrategySweep, DeterministicReplay) {
+  const auto [level, ctype] = GetParam();
+  StrategyParams params = ParamGrid().levels()[level];
+  params.ctype = ctype;
+
+  const auto& prices = bam();
+  const auto market = compute_market_corr_series(
+      prices, params.corr_window, ctype != stats::Ctype::pearson);
+  const auto a = run_pair_day(params, prices[0], prices[1], market, 0);
+  const auto b = run_pair_day(params, prices[0], prices[1], market, 0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].entry_interval, b[t].entry_interval);
+    EXPECT_DOUBLE_EQ(a[t].pnl, b[t].pnl);
+  }
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,79 @@
+// Tests for the symbol table and built-in universe.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "marketdata/symbols.hpp"
+
+namespace mm::md {
+namespace {
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  const auto a = t.intern("MSFT");
+  const auto b = t.intern("IBM");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("MSFT"), a);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTable, LookupAndName) {
+  SymbolTable t;
+  const auto id = t.intern("ORCL");
+  EXPECT_EQ(t.lookup("ORCL"), id);
+  EXPECT_EQ(t.lookup("ZZZZ"), invalid_symbol);
+  EXPECT_EQ(t.name(id), "ORCL");
+}
+
+TEST(DefaultUniverse, HasExactly61Symbols) {
+  // The paper's experiment trades 61 highly liquid US stocks.
+  EXPECT_EQ(default_universe().size(), 61u);
+}
+
+TEST(DefaultUniverse, TickersUniqueAndPricesPositive) {
+  std::set<std::string> seen;
+  for (const auto& e : default_universe()) {
+    EXPECT_TRUE(seen.insert(e.ticker).second) << "duplicate ticker " << e.ticker;
+    EXPECT_GT(e.price_2008, 0.0);
+  }
+}
+
+TEST(DefaultUniverse, ContainsTableIISymbols) {
+  // Table II's sample rows show NVDA, ORCL, SLB, TWX and BK.
+  std::set<std::string> tickers;
+  for (const auto& e : default_universe()) tickers.insert(e.ticker);
+  for (const char* name : {"NVDA", "ORCL", "SLB", "TWX", "BK"})
+    EXPECT_TRUE(tickers.count(name)) << name;
+}
+
+TEST(MakeUniverse, SubsetsAreConsistent) {
+  const auto u = make_universe(10);
+  EXPECT_EQ(u.table.size(), 10u);
+  EXPECT_EQ(u.sector.size(), 10u);
+  EXPECT_EQ(u.base_price.size(), 10u);
+  for (int g : u.sector) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, static_cast<int>(u.sector_names.size()));
+  }
+}
+
+TEST(MakeUniverse, FullUniverseCoversAllSectors) {
+  const auto u = make_universe(61);
+  EXPECT_EQ(u.sector_names.size(), 7u);  // tech/financial/energy/consumer/
+                                         // industrial/health/media
+  // Every sector has at least two members so every symbol has a potential
+  // fundamental pair.
+  std::vector<int> counts(u.sector_names.size(), 0);
+  for (int g : u.sector) ++counts[static_cast<std::size_t>(g)];
+  for (int c : counts) EXPECT_GE(c, 2);
+}
+
+TEST(MakeUniverse, SameSectorSharedAcrossSizes) {
+  const auto small = make_universe(12);
+  const auto big = make_universe(61);
+  for (SymbolId i = 0; i < 12; ++i)
+    EXPECT_EQ(small.table.name(i), big.table.name(i));
+}
+
+}  // namespace
+}  // namespace mm::md

@@ -1,0 +1,185 @@
+// Tests for the embedded tick store.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "marketdata/generator.hpp"
+#include "marketdata/tickdb.hpp"
+
+namespace mm::md {
+namespace {
+
+class TickDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("mm_tickdb_test_" + std::to_string(::getpid())))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(TickDbTest, OpenCreatesRoot) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  EXPECT_TRUE(std::filesystem::is_directory(root_));
+}
+
+TEST_F(TickDbTest, SymbolsRoundTrip) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(5);
+  ASSERT_TRUE(db->put_symbols(universe.table).has_value());
+  auto loaded = db->get_symbols();
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 5u);
+  for (SymbolId i = 0; i < 5; ++i)
+    EXPECT_EQ(loaded->name(i), universe.table.name(i));
+}
+
+TEST_F(TickDbTest, SymbolsMissing) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  EXPECT_FALSE(db->get_symbols().has_value());
+}
+
+TEST_F(TickDbTest, WriteReadDay) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(4);
+  GeneratorConfig cfg;
+  cfg.quote_rate = 0.05;
+  const SyntheticDay day(universe, cfg, 0);
+
+  const Date date{2008, 3, 3};
+  EXPECT_FALSE(db->has_day(date));
+  ASSERT_TRUE(db->write_day(date, day.quotes()).has_value());
+  EXPECT_TRUE(db->has_day(date));
+
+  auto loaded = db->read_day(date);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), day.quotes().size());
+  EXPECT_EQ((*loaded)[0].ts_ms, day.quotes()[0].ts_ms);
+}
+
+TEST_F(TickDbTest, ReadMissingDayFails) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  EXPECT_FALSE(db->read_day(Date{2008, 3, 4}).has_value());
+}
+
+TEST_F(TickDbTest, RangeReadFiltersSymbolsAndTime) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(4);
+  GeneratorConfig cfg;
+  cfg.quote_rate = 0.05;
+  const SyntheticDay day(universe, cfg, 0);
+  const Date date{2008, 3, 3};
+  ASSERT_TRUE(db->write_day(date, day.quotes()).has_value());
+
+  const Session session;
+  const TimeMs from = session.open_ms() + ms_per_hour;
+  const TimeMs to = from + ms_per_hour;
+  auto range = db->read_range(date, {1, 2}, from, to);
+  ASSERT_TRUE(range.has_value());
+  ASSERT_FALSE(range->empty());
+  for (const auto& q : *range) {
+    EXPECT_TRUE(q.symbol == 1 || q.symbol == 2);
+    EXPECT_GE(q.ts_ms, from);
+    EXPECT_LT(q.ts_ms, to);
+  }
+
+  // Cross-check the count against a manual scan.
+  std::size_t expected = 0;
+  for (const auto& q : day.quotes())
+    if ((q.symbol == 1 || q.symbol == 2) && q.ts_ms >= from && q.ts_ms < to) ++expected;
+  EXPECT_EQ(range->size(), expected);
+}
+
+TEST_F(TickDbTest, RangeReadAllSymbols) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(2);
+  GeneratorConfig cfg;
+  cfg.quote_rate = 0.02;
+  const SyntheticDay day(universe, cfg, 0);
+  const Date date{2008, 3, 5};
+  ASSERT_TRUE(db->write_day(date, day.quotes()).has_value());
+  auto all = db->read_range(date, {}, std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->size(), day.quotes().size());
+}
+
+TEST_F(TickDbTest, TimeIndexWrittenAndSeekMatchesScan) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(4);
+  GeneratorConfig cfg;
+  cfg.quote_rate = 0.1;
+  const SyntheticDay day(universe, cfg, 0);
+  const Date date{2008, 3, 6};
+  ASSERT_TRUE(db->write_day(date, day.quotes()).has_value());
+  EXPECT_TRUE(db->has_index(date));
+
+  // Indexed range reads must exactly match a manual scan for a spread of
+  // windows, including bucket-unaligned bounds and out-of-session bounds.
+  const Session session;
+  const TimeMs probes[] = {
+      session.open_ms(), session.open_ms() + 1234,
+      session.open_ms() + 2 * ms_per_hour + 17, session.close_ms() - 5000,
+      session.close_ms() + ms_per_hour};
+  for (const TimeMs from : probes) {
+    for (const TimeMs span : {TimeMs{60'000}, TimeMs{3'600'000}}) {
+      auto indexed = db->read_range(date, {}, from, from + span);
+      ASSERT_TRUE(indexed.has_value());
+      std::vector<Quote> expected;
+      for (const auto& q : day.quotes())
+        if (q.ts_ms >= from && q.ts_ms < from + span) expected.push_back(q);
+      ASSERT_EQ(indexed->size(), expected.size()) << "from=" << from;
+      for (std::size_t k = 0; k < expected.size(); ++k)
+        EXPECT_EQ((*indexed)[k].ts_ms, expected[k].ts_ms);
+    }
+  }
+}
+
+TEST_F(TickDbTest, RangeReadSurvivesMissingIndex) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(2);
+  GeneratorConfig cfg;
+  cfg.quote_rate = 0.05;
+  const SyntheticDay day(universe, cfg, 0);
+  const Date date{2008, 3, 7};
+  ASSERT_TRUE(db->write_day(date, day.quotes()).has_value());
+  // Delete the sidecar: reads must fall back to scanning.
+  std::filesystem::remove(root_ + "/" + date.iso() + "/quotes.idx");
+  EXPECT_FALSE(db->has_index(date));
+  const Session session;
+  auto range = db->read_range(date, {}, session.open_ms() + ms_per_hour,
+                              session.open_ms() + 2 * ms_per_hour);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_FALSE(range->empty());
+}
+
+TEST_F(TickDbTest, DaysEnumeratesSorted) {
+  auto db = TickDb::open(root_);
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(2);
+  GeneratorConfig cfg;
+  cfg.quote_rate = 0.01;
+  for (int k : {2, 0, 1}) {
+    const SyntheticDay day(universe, cfg, k);
+    ASSERT_TRUE(
+        db->write_day(Date{2008, 3, 3 + k}, day.quotes()).has_value());
+  }
+  const auto days = db->days();
+  ASSERT_EQ(days.size(), 3u);
+  EXPECT_EQ(days[0], (Date{2008, 3, 3}));
+  EXPECT_EQ(days[2], (Date{2008, 3, 5}));
+}
+
+}  // namespace
+}  // namespace mm::md

@@ -1,0 +1,192 @@
+// Tests for the trade-print substrate: generation, trade-based OHLC bars,
+// file formats and tickdb storage.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "marketdata/bars.hpp"
+#include "marketdata/generator.hpp"
+#include "marketdata/taq.hpp"
+#include "marketdata/tickdb.hpp"
+
+namespace mm::md {
+namespace {
+
+GeneratorConfig trade_config() {
+  GeneratorConfig cfg;
+  cfg.quote_rate = 0.1;
+  cfg.trade_rate = 0.1;
+  return cfg;
+}
+
+TEST(TradeGeneration, VolumeMatchesRate) {
+  const auto universe = make_universe(4);
+  const SyntheticDay day(universe, trade_config(), 0);
+  const double expected = 4 * 23400 * 0.1;
+  EXPECT_NEAR(static_cast<double>(day.trades().size()), expected, expected * 0.1);
+}
+
+TEST(TradeGeneration, SortedInSessionRoundLots) {
+  const auto universe = make_universe(3);
+  const SyntheticDay day(universe, trade_config(), 1);
+  const Session session;
+  TimeMs prev = 0;
+  for (const auto& t : day.trades()) {
+    EXPECT_GE(t.ts_ms, prev);
+    prev = t.ts_ms;
+    EXPECT_TRUE(session.contains(t.ts_ms));
+    EXPECT_GT(t.price, 0.0);
+    EXPECT_GT(t.size, 0);
+    EXPECT_EQ(t.size % 100, 0);  // round lots
+  }
+}
+
+TEST(TradeGeneration, PricesNearTruePath) {
+  const auto universe = make_universe(3);
+  const SyntheticDay day(universe, trade_config(), 0);
+  const Session session;
+  for (const auto& t : day.trades()) {
+    const auto sec = static_cast<std::size_t>((t.ts_ms - session.open_ms()) / 1000);
+    const double truth = day.true_path(t.symbol)[sec];
+    EXPECT_NEAR(t.price, truth, truth * 0.01);
+  }
+}
+
+TEST(TradeGeneration, DisabledByZeroRate) {
+  const auto universe = make_universe(2);
+  GeneratorConfig cfg = trade_config();
+  cfg.trade_rate = 0.0;
+  const SyntheticDay day(universe, cfg, 0);
+  EXPECT_TRUE(day.trades().empty());
+}
+
+TEST(TradeGeneration, QuotesUnaffectedByTradeRate) {
+  // Determinism guard: adding/removing the trade stream must not change the
+  // quote stream (quotes are drawn first from the rng).
+  const auto universe = make_universe(3);
+  GeneratorConfig with = trade_config();
+  GeneratorConfig without = trade_config();
+  without.trade_rate = 0.0;
+  const SyntheticDay a(universe, with, 0);
+  const SyntheticDay b(universe, without, 0);
+  ASSERT_EQ(a.quotes().size(), b.quotes().size());
+  for (std::size_t k = 0; k < a.quotes().size(); k += 97)
+    EXPECT_DOUBLE_EQ(a.quotes()[k].bid, b.quotes()[k].bid);
+}
+
+TEST(TradeBars, OhlcAndVolume) {
+  const Session session;
+  const TimeMs open = session.open_ms();
+  TradeBarAccumulator acc(1, session, 30);
+  const auto trade_at = [](TimeMs ts, double price, std::int32_t size) {
+    Trade t;
+    t.ts_ms = ts;
+    t.symbol = 0;
+    t.price = price;
+    t.size = size;
+    return t;
+  };
+  EXPECT_FALSE(acc.observe(trade_at(open + 1000, 10.0, 100)).has_value());
+  EXPECT_FALSE(acc.observe(trade_at(open + 5000, 12.0, 200)).has_value());
+  EXPECT_FALSE(acc.observe(trade_at(open + 9000, 9.0, 300)).has_value());
+
+  const auto bar = acc.observe(trade_at(open + 31'000, 11.0, 100));
+  ASSERT_TRUE(bar.has_value());
+  EXPECT_DOUBLE_EQ(bar->open, 10.0);
+  EXPECT_DOUBLE_EQ(bar->high, 12.0);
+  EXPECT_DOUBLE_EQ(bar->low, 9.0);
+  EXPECT_DOUBLE_EQ(bar->close, 9.0);
+  EXPECT_EQ(bar->volume, 600);
+  EXPECT_EQ(bar->tick_count, 3);
+
+  const auto rest = acc.flush();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].volume, 100);
+}
+
+TEST(TradeBars, BarVolumeConservation) {
+  // Total volume across all bars equals total traded volume.
+  const auto universe = make_universe(3);
+  const SyntheticDay day(universe, trade_config(), 2);
+  const Session session;
+  TradeBarAccumulator acc(3, session, 60);
+  std::int64_t bar_volume = 0;
+  for (const auto& t : day.trades()) {
+    if (const auto bar = acc.observe(t)) bar_volume += bar->volume;
+  }
+  for (const auto& bar : acc.flush()) bar_volume += bar.volume;
+  std::int64_t traded = 0;
+  for (const auto& t : day.trades()) traded += t.size;
+  EXPECT_EQ(bar_volume, traded);
+}
+
+class TradeFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_trades_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TradeFiles, CsvRoundTrip) {
+  const auto universe = make_universe(3);
+  GeneratorConfig cfg = trade_config();
+  cfg.trade_rate = 0.02;
+  const SyntheticDay day(universe, cfg, 0);
+  ASSERT_TRUE(write_trades_csv(path("t.csv"), day.trades(), universe.table).has_value());
+
+  SymbolTable symbols;
+  auto read = read_trades_csv(path("t.csv"), symbols);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), day.trades().size());
+  for (std::size_t k = 0; k < read->size(); k += 13) {
+    EXPECT_EQ((*read)[k].ts_ms, day.trades()[k].ts_ms);
+    EXPECT_NEAR((*read)[k].price, day.trades()[k].price, 0.005);
+    EXPECT_EQ((*read)[k].size, day.trades()[k].size);
+  }
+}
+
+TEST_F(TradeFiles, BinaryRoundTripExact) {
+  const auto universe = make_universe(2);
+  GeneratorConfig cfg = trade_config();
+  cfg.trade_rate = 0.02;
+  const SyntheticDay day(universe, cfg, 1);
+  ASSERT_TRUE(write_trades_binary(path("t.bin"), day.trades()).has_value());
+  auto read = read_trades_binary(path("t.bin"));
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), day.trades().size());
+  for (std::size_t k = 0; k < read->size(); ++k)
+    EXPECT_DOUBLE_EQ((*read)[k].price, day.trades()[k].price);
+}
+
+TEST_F(TradeFiles, BinaryRejectsQuoteFile) {
+  // A quotes file must not parse as trades (distinct magic).
+  ASSERT_TRUE(write_quotes_binary(path("q.bin"), {}).has_value());
+  EXPECT_FALSE(read_trades_binary(path("q.bin")).has_value());
+}
+
+TEST_F(TradeFiles, TickDbTradesRoundTrip) {
+  auto db = TickDb::open(path("db"));
+  ASSERT_TRUE(db.has_value());
+  const auto universe = make_universe(2);
+  GeneratorConfig cfg = trade_config();
+  cfg.trade_rate = 0.02;
+  const SyntheticDay day(universe, cfg, 0);
+  const Date date{2008, 3, 3};
+  EXPECT_FALSE(db->has_trades(date));
+  ASSERT_TRUE(db->write_trades(date, day.trades()).has_value());
+  EXPECT_TRUE(db->has_trades(date));
+  auto read = db->read_trades(date);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->size(), day.trades().size());
+}
+
+}  // namespace
+}  // namespace mm::md

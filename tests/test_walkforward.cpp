@@ -1,0 +1,82 @@
+// Tests for walk-forward out-of-sample evaluation.
+#include <gtest/gtest.h>
+
+#include "core/walkforward.hpp"
+
+namespace mm::core {
+namespace {
+
+WalkForwardConfig tiny_config() {
+  WalkForwardConfig cfg;
+  cfg.experiment.symbols = 4;
+  cfg.experiment.days = 4;
+  cfg.experiment.generator.quote_rate = 0.15;
+  cfg.formation_days = 1;
+  cfg.objective = Objective::mean_return;
+  return cfg;
+}
+
+TEST(WalkForward, FoldStructure) {
+  const auto result = walk_forward(tiny_config());
+  // 4 days, 1-day blocks, stepping by 1: folds start at days 0, 1, 2.
+  ASSERT_EQ(result.folds.size(), 3u);
+  for (std::size_t f = 0; f < result.folds.size(); ++f) {
+    EXPECT_EQ(result.folds[f].formation_first_day, static_cast<int>(f));
+    EXPECT_EQ(result.folds[f].evaluation_first_day, static_cast<int>(f) + 1);
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_LT(result.folds[f].chosen_level[c], 14u);
+  }
+}
+
+TEST(WalkForward, InSampleScoreIsBlockMaximum) {
+  // The chosen level's in-sample score must dominate any other level's score
+  // over the same formation block — verified indirectly via determinism: the
+  // same config picks the same levels.
+  const auto a = walk_forward(tiny_config());
+  const auto b = walk_forward(tiny_config());
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t f = 0; f < a.folds.size(); ++f)
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(a.folds[f].chosen_level[c], b.folds[f].chosen_level[c]);
+      EXPECT_DOUBLE_EQ(a.folds[f].in_sample_score[c], b.folds[f].in_sample_score[c]);
+    }
+}
+
+TEST(WalkForward, MeansAggregateFolds) {
+  const auto result = walk_forward(tiny_config());
+  for (std::size_t c = 0; c < 3; ++c) {
+    double sum_in = 0.0, sum_out = 0.0;
+    for (const auto& fold : result.folds) {
+      sum_in += fold.in_sample_score[c];
+      sum_out += fold.out_of_sample_score[c];
+    }
+    const auto nf = static_cast<double>(result.folds.size());
+    EXPECT_NEAR(result.mean_in_sample[c], sum_in / nf, 1e-12);
+    EXPECT_NEAR(result.mean_out_of_sample[c], sum_out / nf, 1e-12);
+  }
+}
+
+TEST(WalkForward, SelectionBiasShowsUp) {
+  // In-sample scores select the max over 14 levels, so on average they
+  // exceed the out-of-sample realization of the same level (the classic
+  // overfitting gap). With few folds this is only a tendency; assert the
+  // aggregate over treatments.
+  const auto result = walk_forward(tiny_config());
+  double gap = 0.0;
+  for (std::size_t c = 0; c < 3; ++c)
+    gap += result.mean_in_sample[c] - result.mean_out_of_sample[c];
+  EXPECT_GT(gap, 0.0);
+}
+
+TEST(WalkForward, RenderListsFoldsAndPenalty) {
+  const auto cfg = tiny_config();
+  const auto result = walk_forward(cfg);
+  const auto text = render_walk_forward(result, cfg);
+  EXPECT_NE(text.find("walk-forward"), std::string::npos);
+  EXPECT_NE(text.find("out-of-sample"), std::string::npos);
+  EXPECT_NE(text.find("overfitting penalty"), std::string::npos);
+  EXPECT_NE(text.find("Maronna"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mm::core

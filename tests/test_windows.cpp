@@ -1,0 +1,131 @@
+// Tests for the lockstep ReturnWindows and its incremental Pearson.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/pearson.hpp"
+#include "stats/windows.hpp"
+
+namespace mm::stats {
+namespace {
+
+TEST(AllPairs, CanonicalOrderAndCount) {
+  const auto pairs = all_pairs(4);
+  ASSERT_EQ(pairs.size(), 6u);
+  EXPECT_EQ(pairs[0].i, 0u);
+  EXPECT_EQ(pairs[0].j, 1u);
+  EXPECT_EQ(pairs[5].i, 2u);
+  EXPECT_EQ(pairs[5].j, 3u);
+  for (const auto& p : pairs) EXPECT_LT(p.i, p.j);
+  // The paper's counts: 61 symbols -> 1830 pairs; 8000 -> ~32M.
+  EXPECT_EQ(all_pairs(61).size(), 1830u);
+}
+
+TEST(SymMatrix, PackedStorageRoundTrip) {
+  SymMatrix m(3, 0.0);
+  m.set(0, 1, 0.5);
+  m.set(2, 1, -0.25);  // reversed indices hit the same slot
+  m.fill_diagonal(1.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m(1, 2), -0.25);
+  EXPECT_DOUBLE_EQ(m(2, 2), 1.0);
+  EXPECT_EQ(m.packed_size(), 6u);
+
+  const auto rebuilt = SymMatrix::from_packed(3, m.packed());
+  EXPECT_DOUBLE_EQ(SymMatrix::max_abs_diff(m, rebuilt), 0.0);
+}
+
+TEST(ReturnWindows, ReadyAfterWindowPushes) {
+  ReturnWindows w(2, 5, true);
+  std::vector<double> r = {0.01, -0.01};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(w.ready());
+    w.push(r);
+  }
+  w.push(r);
+  EXPECT_TRUE(w.ready());
+}
+
+TEST(ReturnWindows, CopyWindowIsOldestToNewest) {
+  ReturnWindows w(1, 3, false);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) w.push({x});
+  double out[3];
+  w.copy_window(0, out);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+  EXPECT_DOUBLE_EQ(out[2], 5.0);
+}
+
+TEST(ReturnWindows, IncrementalPearsonMatchesBatchEveryStep) {
+  constexpr std::size_t n = 5;
+  constexpr std::size_t window = 12;
+  ReturnWindows w(n, window, true);
+  mm::Rng rng(4);
+  std::vector<std::vector<double>> history(n);
+
+  for (int step = 0; step < 500; ++step) {
+    std::vector<double> r(n);
+    const double f = rng.normal();
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] = 0.5 * f + rng.normal();
+      history[i].push_back(r[i]);
+    }
+    w.push(r);
+    if (!w.ready()) continue;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::size_t lo = history[i].size() - window;
+        const double batch =
+            pearson(history[i].data() + lo, history[j].data() + lo, window);
+        ASSERT_NEAR(w.pearson(i, j), batch, 1e-9)
+            << "pair (" << i << "," << j << ") at step " << step;
+      }
+    }
+  }
+}
+
+TEST(ReturnWindows, SumsTrackWindowExactly) {
+  ReturnWindows w(2, 3, true);
+  w.push({1.0, 10.0});
+  w.push({2.0, 20.0});
+  w.push({3.0, 30.0});
+  EXPECT_DOUBLE_EQ(w.sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(w.sum_sq(1), 100.0 + 400.0 + 900.0);
+  EXPECT_DOUBLE_EQ(w.cross_sum(0, 1), 10.0 + 40.0 + 90.0);
+  w.push({4.0, 40.0});  // evicts (1, 10)
+  EXPECT_DOUBLE_EQ(w.sum(0), 9.0);
+  EXPECT_DOUBLE_EQ(w.cross_sum(0, 1), 40.0 + 90.0 + 160.0);
+}
+
+TEST(ReturnWindows, CrossSumsOptional) {
+  ReturnWindows w(3, 4, false);
+  EXPECT_FALSE(w.tracks_cross_sums());
+  for (int i = 0; i < 4; ++i) w.push({0.1, 0.2, 0.3});
+  // pearson requires cross sums; copy_window still works.
+  double out[4];
+  w.copy_window(2, out);
+  EXPECT_DOUBLE_EQ(out[3], 0.3);
+}
+
+TEST(ReturnWindows, LongStreamNumericalStability) {
+  // The periodic rebuild must keep running sums faithful over tens of
+  // thousands of pushes.
+  constexpr std::size_t window = 50;
+  ReturnWindows w(2, window, true);
+  mm::Rng rng(5);
+  std::vector<double> hx, hy;
+  for (int step = 0; step < 30000; ++step) {
+    const double f = rng.normal();
+    const double x = f + rng.normal();
+    const double y = f + rng.normal();
+    w.push({x, y});
+    hx.push_back(x);
+    hy.push_back(y);
+  }
+  const std::size_t lo = hx.size() - window;
+  const double batch = pearson(hx.data() + lo, hy.data() + lo, window);
+  EXPECT_NEAR(w.pearson(0, 1), batch, 1e-8);
+}
+
+}  // namespace
+}  // namespace mm::stats
