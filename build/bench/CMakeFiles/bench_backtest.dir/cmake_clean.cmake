@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backtest.dir/bench_backtest.cpp.o"
+  "CMakeFiles/bench_backtest.dir/bench_backtest.cpp.o.d"
+  "bench_backtest"
+  "bench_backtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

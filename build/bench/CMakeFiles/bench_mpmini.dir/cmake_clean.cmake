@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpmini.dir/bench_mpmini.cpp.o"
+  "CMakeFiles/bench_mpmini.dir/bench_mpmini.cpp.o.d"
+  "bench_mpmini"
+  "bench_mpmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ablations.dir/repro_ablations.cpp.o"
+  "CMakeFiles/repro_ablations.dir/repro_ablations.cpp.o.d"
+  "repro_ablations"
+  "repro_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

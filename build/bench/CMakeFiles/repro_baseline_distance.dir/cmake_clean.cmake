@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_baseline_distance.dir/repro_baseline_distance.cpp.o"
+  "CMakeFiles/repro_baseline_distance.dir/repro_baseline_distance.cpp.o.d"
+  "repro_baseline_distance"
+  "repro_baseline_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_baseline_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_figure1.dir/repro_figure1.cpp.o"
+  "CMakeFiles/repro_figure1.dir/repro_figure1.cpp.o.d"
+  "repro_figure1"
+  "repro_figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

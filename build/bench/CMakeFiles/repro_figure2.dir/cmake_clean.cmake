@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_figure2.dir/repro_figure2.cpp.o"
+  "CMakeFiles/repro_figure2.dir/repro_figure2.cpp.o.d"
+  "repro_figure2"
+  "repro_figure2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_figure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_future_params.dir/repro_future_params.cpp.o"
+  "CMakeFiles/repro_future_params.dir/repro_future_params.cpp.o.d"
+  "repro_future_params"
+  "repro_future_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_future_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_future_shortfall.dir/repro_future_shortfall.cpp.o"
+  "CMakeFiles/repro_future_shortfall.dir/repro_future_shortfall.cpp.o.d"
+  "repro_future_shortfall"
+  "repro_future_shortfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_future_shortfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

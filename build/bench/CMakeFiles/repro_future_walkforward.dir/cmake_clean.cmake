@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_future_walkforward.dir/repro_future_walkforward.cpp.o"
+  "CMakeFiles/repro_future_walkforward.dir/repro_future_walkforward.cpp.o.d"
+  "repro_future_walkforward"
+  "repro_future_walkforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_future_walkforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_report.dir/repro_report.cpp.o"
+  "CMakeFiles/repro_report.dir/repro_report.cpp.o.d"
+  "repro_report"
+  "repro_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_section4_scaling.dir/repro_section4_scaling.cpp.o"
+  "CMakeFiles/repro_section4_scaling.dir/repro_section4_scaling.cpp.o.d"
+  "repro_section4_scaling"
+  "repro_section4_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_section4_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

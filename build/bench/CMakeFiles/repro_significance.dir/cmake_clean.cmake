@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_significance.dir/repro_significance.cpp.o"
+  "CMakeFiles/repro_significance.dir/repro_significance.cpp.o.d"
+  "repro_significance"
+  "repro_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

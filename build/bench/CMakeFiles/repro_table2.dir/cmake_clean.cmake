@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table2.dir/repro_table2.cpp.o"
+  "CMakeFiles/repro_table2.dir/repro_table2.cpp.o.d"
+  "repro_table2"
+  "repro_table2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table4.dir/repro_table4.cpp.o"
+  "CMakeFiles/repro_table4.dir/repro_table4.cpp.o.d"
+  "repro_table4"
+  "repro_table4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table5.dir/repro_table5.cpp.o"
+  "CMakeFiles/repro_table5.dir/repro_table5.cpp.o.d"
+  "repro_table5"
+  "repro_table5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

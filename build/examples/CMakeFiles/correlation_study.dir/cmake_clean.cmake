@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_study.dir/correlation_study.cpp.o"
+  "CMakeFiles/correlation_study.dir/correlation_study.cpp.o.d"
+  "correlation_study"
+  "correlation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

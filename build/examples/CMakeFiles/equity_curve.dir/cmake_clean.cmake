@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equity_curve.dir/equity_curve.cpp.o"
+  "CMakeFiles/equity_curve.dir/equity_curve.cpp.o.d"
+  "equity_curve"
+  "equity_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equity_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sector_discovery.dir/sector_discovery.cpp.o"
+  "CMakeFiles/sector_discovery.dir/sector_discovery.cpp.o.d"
+  "sector_discovery"
+  "sector_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sector_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_common.dir/cli.cpp.o"
+  "CMakeFiles/mm_common.dir/cli.cpp.o.d"
+  "CMakeFiles/mm_common.dir/log.cpp.o"
+  "CMakeFiles/mm_common.dir/log.cpp.o.d"
+  "CMakeFiles/mm_common.dir/strings.cpp.o"
+  "CMakeFiles/mm_common.dir/strings.cpp.o.d"
+  "libmm_common.a"
+  "libmm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backtester.cpp" "src/core/CMakeFiles/mm_core.dir/backtester.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/backtester.cpp.o.d"
+  "/root/repo/src/core/distance.cpp" "src/core/CMakeFiles/mm_core.dir/distance.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/distance.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/mm_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/mm_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/mm_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/mm_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/portfolio.cpp" "src/core/CMakeFiles/mm_core.dir/portfolio.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/portfolio.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/mm_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/significance.cpp" "src/core/CMakeFiles/mm_core.dir/significance.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/significance.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/mm_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/core/walkforward.cpp" "src/core/CMakeFiles/mm_core.dir/walkforward.cpp.o" "gcc" "src/core/CMakeFiles/mm_core.dir/walkforward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/marketdata/CMakeFiles/mm_marketdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpmini/CMakeFiles/mm_mpmini.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

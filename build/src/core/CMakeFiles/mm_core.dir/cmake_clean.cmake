@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_core.dir/backtester.cpp.o"
+  "CMakeFiles/mm_core.dir/backtester.cpp.o.d"
+  "CMakeFiles/mm_core.dir/distance.cpp.o"
+  "CMakeFiles/mm_core.dir/distance.cpp.o.d"
+  "CMakeFiles/mm_core.dir/experiment.cpp.o"
+  "CMakeFiles/mm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/mm_core.dir/metrics.cpp.o"
+  "CMakeFiles/mm_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/mm_core.dir/optimizer.cpp.o"
+  "CMakeFiles/mm_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mm_core.dir/params.cpp.o"
+  "CMakeFiles/mm_core.dir/params.cpp.o.d"
+  "CMakeFiles/mm_core.dir/portfolio.cpp.o"
+  "CMakeFiles/mm_core.dir/portfolio.cpp.o.d"
+  "CMakeFiles/mm_core.dir/report.cpp.o"
+  "CMakeFiles/mm_core.dir/report.cpp.o.d"
+  "CMakeFiles/mm_core.dir/significance.cpp.o"
+  "CMakeFiles/mm_core.dir/significance.cpp.o.d"
+  "CMakeFiles/mm_core.dir/strategy.cpp.o"
+  "CMakeFiles/mm_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/mm_core.dir/walkforward.cpp.o"
+  "CMakeFiles/mm_core.dir/walkforward.cpp.o.d"
+  "libmm_core.a"
+  "libmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dagflow/context.cpp" "src/dagflow/CMakeFiles/mm_dagflow.dir/context.cpp.o" "gcc" "src/dagflow/CMakeFiles/mm_dagflow.dir/context.cpp.o.d"
+  "/root/repo/src/dagflow/graph.cpp" "src/dagflow/CMakeFiles/mm_dagflow.dir/graph.cpp.o" "gcc" "src/dagflow/CMakeFiles/mm_dagflow.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpmini/CMakeFiles/mm_mpmini.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

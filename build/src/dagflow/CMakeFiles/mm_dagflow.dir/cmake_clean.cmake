@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_dagflow.dir/context.cpp.o"
+  "CMakeFiles/mm_dagflow.dir/context.cpp.o.d"
+  "CMakeFiles/mm_dagflow.dir/graph.cpp.o"
+  "CMakeFiles/mm_dagflow.dir/graph.cpp.o.d"
+  "libmm_dagflow.a"
+  "libmm_dagflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_dagflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

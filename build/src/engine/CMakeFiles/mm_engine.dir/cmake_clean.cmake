@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_engine.dir/components.cpp.o"
+  "CMakeFiles/mm_engine.dir/components.cpp.o.d"
+  "CMakeFiles/mm_engine.dir/execution.cpp.o"
+  "CMakeFiles/mm_engine.dir/execution.cpp.o.d"
+  "CMakeFiles/mm_engine.dir/pipeline.cpp.o"
+  "CMakeFiles/mm_engine.dir/pipeline.cpp.o.d"
+  "libmm_engine.a"
+  "libmm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marketdata/bars.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/bars.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/bars.cpp.o.d"
+  "/root/repo/src/marketdata/calendar.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/calendar.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/calendar.cpp.o.d"
+  "/root/repo/src/marketdata/cleaner.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/cleaner.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/cleaner.cpp.o.d"
+  "/root/repo/src/marketdata/feed.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/feed.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/feed.cpp.o.d"
+  "/root/repo/src/marketdata/generator.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/generator.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/generator.cpp.o.d"
+  "/root/repo/src/marketdata/symbols.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/symbols.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/symbols.cpp.o.d"
+  "/root/repo/src/marketdata/taq.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/taq.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/taq.cpp.o.d"
+  "/root/repo/src/marketdata/tickdb.cpp" "src/marketdata/CMakeFiles/mm_marketdata.dir/tickdb.cpp.o" "gcc" "src/marketdata/CMakeFiles/mm_marketdata.dir/tickdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

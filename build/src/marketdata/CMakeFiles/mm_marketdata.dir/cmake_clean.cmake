@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_marketdata.dir/bars.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/bars.cpp.o.d"
+  "CMakeFiles/mm_marketdata.dir/calendar.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/calendar.cpp.o.d"
+  "CMakeFiles/mm_marketdata.dir/cleaner.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/cleaner.cpp.o.d"
+  "CMakeFiles/mm_marketdata.dir/feed.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/feed.cpp.o.d"
+  "CMakeFiles/mm_marketdata.dir/generator.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/generator.cpp.o.d"
+  "CMakeFiles/mm_marketdata.dir/symbols.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/symbols.cpp.o.d"
+  "CMakeFiles/mm_marketdata.dir/taq.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/taq.cpp.o.d"
+  "CMakeFiles/mm_marketdata.dir/tickdb.cpp.o"
+  "CMakeFiles/mm_marketdata.dir/tickdb.cpp.o.d"
+  "libmm_marketdata.a"
+  "libmm_marketdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_marketdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

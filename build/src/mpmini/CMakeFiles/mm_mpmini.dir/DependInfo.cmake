@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpmini/comm.cpp" "src/mpmini/CMakeFiles/mm_mpmini.dir/comm.cpp.o" "gcc" "src/mpmini/CMakeFiles/mm_mpmini.dir/comm.cpp.o.d"
+  "/root/repo/src/mpmini/environment.cpp" "src/mpmini/CMakeFiles/mm_mpmini.dir/environment.cpp.o" "gcc" "src/mpmini/CMakeFiles/mm_mpmini.dir/environment.cpp.o.d"
+  "/root/repo/src/mpmini/mailbox.cpp" "src/mpmini/CMakeFiles/mm_mpmini.dir/mailbox.cpp.o" "gcc" "src/mpmini/CMakeFiles/mm_mpmini.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mpmini/request.cpp" "src/mpmini/CMakeFiles/mm_mpmini.dir/request.cpp.o" "gcc" "src/mpmini/CMakeFiles/mm_mpmini.dir/request.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

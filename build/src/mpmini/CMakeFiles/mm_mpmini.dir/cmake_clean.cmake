@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_mpmini.dir/comm.cpp.o"
+  "CMakeFiles/mm_mpmini.dir/comm.cpp.o.d"
+  "CMakeFiles/mm_mpmini.dir/environment.cpp.o"
+  "CMakeFiles/mm_mpmini.dir/environment.cpp.o.d"
+  "CMakeFiles/mm_mpmini.dir/mailbox.cpp.o"
+  "CMakeFiles/mm_mpmini.dir/mailbox.cpp.o.d"
+  "CMakeFiles/mm_mpmini.dir/request.cpp.o"
+  "CMakeFiles/mm_mpmini.dir/request.cpp.o.d"
+  "libmm_mpmini.a"
+  "libmm_mpmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_mpmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/mm_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/boxplot.cpp" "src/stats/CMakeFiles/mm_stats.dir/boxplot.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/boxplot.cpp.o.d"
+  "/root/repo/src/stats/cluster.cpp" "src/stats/CMakeFiles/mm_stats.dir/cluster.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/cluster.cpp.o.d"
+  "/root/repo/src/stats/corr_engine.cpp" "src/stats/CMakeFiles/mm_stats.dir/corr_engine.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/corr_engine.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/mm_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/mm_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/inference.cpp" "src/stats/CMakeFiles/mm_stats.dir/inference.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/inference.cpp.o.d"
+  "/root/repo/src/stats/maronna.cpp" "src/stats/CMakeFiles/mm_stats.dir/maronna.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/maronna.cpp.o.d"
+  "/root/repo/src/stats/pearson.cpp" "src/stats/CMakeFiles/mm_stats.dir/pearson.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/pearson.cpp.o.d"
+  "/root/repo/src/stats/psd.cpp" "src/stats/CMakeFiles/mm_stats.dir/psd.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/psd.cpp.o.d"
+  "/root/repo/src/stats/rank_corr.cpp" "src/stats/CMakeFiles/mm_stats.dir/rank_corr.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/rank_corr.cpp.o.d"
+  "/root/repo/src/stats/windows.cpp" "src/stats/CMakeFiles/mm_stats.dir/windows.cpp.o" "gcc" "src/stats/CMakeFiles/mm_stats.dir/windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpmini/CMakeFiles/mm_mpmini.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/mm_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/boxplot.cpp.o"
+  "CMakeFiles/mm_stats.dir/boxplot.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/cluster.cpp.o"
+  "CMakeFiles/mm_stats.dir/cluster.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/corr_engine.cpp.o"
+  "CMakeFiles/mm_stats.dir/corr_engine.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/correlation.cpp.o"
+  "CMakeFiles/mm_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/mm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/inference.cpp.o"
+  "CMakeFiles/mm_stats.dir/inference.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/maronna.cpp.o"
+  "CMakeFiles/mm_stats.dir/maronna.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/pearson.cpp.o"
+  "CMakeFiles/mm_stats.dir/pearson.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/psd.cpp.o"
+  "CMakeFiles/mm_stats.dir/psd.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/rank_corr.cpp.o"
+  "CMakeFiles/mm_stats.dir/rank_corr.cpp.o.d"
+  "CMakeFiles/mm_stats.dir/windows.cpp.o"
+  "CMakeFiles/mm_stats.dir/windows.cpp.o.d"
+  "libmm_stats.a"
+  "libmm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

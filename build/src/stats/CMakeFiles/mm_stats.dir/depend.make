@@ -1,0 +1,2 @@
+# Empty dependencies file for mm_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backtester.cpp" "tests/CMakeFiles/test_backtester.dir/test_backtester.cpp.o" "gcc" "tests/CMakeFiles/test_backtester.dir/test_backtester.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/mm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/marketdata/CMakeFiles/mm_marketdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/dagflow/CMakeFiles/mm_dagflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpmini/CMakeFiles/mm_mpmini.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

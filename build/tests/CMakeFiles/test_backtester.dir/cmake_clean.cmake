@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backtester.dir/test_backtester.cpp.o"
+  "CMakeFiles/test_backtester.dir/test_backtester.cpp.o.d"
+  "test_backtester"
+  "test_backtester.pdb"
+  "test_backtester[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backtester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

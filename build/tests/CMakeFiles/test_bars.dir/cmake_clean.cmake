@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bars.dir/test_bars.cpp.o"
+  "CMakeFiles/test_bars.dir/test_bars.cpp.o.d"
+  "test_bars"
+  "test_bars.pdb"
+  "test_bars[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boxplot.dir/test_boxplot.cpp.o"
+  "CMakeFiles/test_boxplot.dir/test_boxplot.cpp.o.d"
+  "test_boxplot"
+  "test_boxplot.pdb"
+  "test_boxplot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boxplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

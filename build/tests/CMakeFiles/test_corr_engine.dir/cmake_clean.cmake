@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corr_engine.dir/test_corr_engine.cpp.o"
+  "CMakeFiles/test_corr_engine.dir/test_corr_engine.cpp.o.d"
+  "test_corr_engine"
+  "test_corr_engine.pdb"
+  "test_corr_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

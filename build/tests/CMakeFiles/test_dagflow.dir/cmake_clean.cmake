@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dagflow.dir/test_dagflow.cpp.o"
+  "CMakeFiles/test_dagflow.dir/test_dagflow.cpp.o.d"
+  "test_dagflow"
+  "test_dagflow.pdb"
+  "test_dagflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dagflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

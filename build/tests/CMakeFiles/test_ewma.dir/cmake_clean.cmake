@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ewma.dir/test_ewma.cpp.o"
+  "CMakeFiles/test_ewma.dir/test_ewma.cpp.o.d"
+  "test_ewma"
+  "test_ewma.pdb"
+  "test_ewma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ewma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feed.dir/test_feed.cpp.o"
+  "CMakeFiles/test_feed.dir/test_feed.cpp.o.d"
+  "test_feed"
+  "test_feed.pdb"
+  "test_feed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maronna.dir/test_maronna.cpp.o"
+  "CMakeFiles/test_maronna.dir/test_maronna.cpp.o.d"
+  "test_maronna"
+  "test_maronna.pdb"
+  "test_maronna[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maronna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_maronna.
+# This may be replaced when dependencies are built.

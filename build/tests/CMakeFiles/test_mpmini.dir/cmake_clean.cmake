@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpmini.dir/test_mpmini.cpp.o"
+  "CMakeFiles/test_mpmini.dir/test_mpmini.cpp.o.d"
+  "test_mpmini"
+  "test_mpmini.pdb"
+  "test_mpmini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

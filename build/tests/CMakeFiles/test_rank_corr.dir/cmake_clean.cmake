@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_corr.dir/test_rank_corr.cpp.o"
+  "CMakeFiles/test_rank_corr.dir/test_rank_corr.cpp.o.d"
+  "test_rank_corr"
+  "test_rank_corr.pdb"
+  "test_rank_corr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_sweep.dir/test_strategy_sweep.cpp.o"
+  "CMakeFiles/test_strategy_sweep.dir/test_strategy_sweep.cpp.o.d"
+  "test_strategy_sweep"
+  "test_strategy_sweep.pdb"
+  "test_strategy_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

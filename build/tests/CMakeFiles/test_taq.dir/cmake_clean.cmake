@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taq.dir/test_taq.cpp.o"
+  "CMakeFiles/test_taq.dir/test_taq.cpp.o.d"
+  "test_taq"
+  "test_taq.pdb"
+  "test_taq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tickdb.dir/test_tickdb.cpp.o"
+  "CMakeFiles/test_tickdb.dir/test_tickdb.cpp.o.d"
+  "test_tickdb"
+  "test_tickdb.pdb"
+  "test_tickdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tickdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trades.dir/test_trades.cpp.o"
+  "CMakeFiles/test_trades.dir/test_trades.cpp.o.d"
+  "test_trades"
+  "test_trades.pdb"
+  "test_trades[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walkforward.dir/test_walkforward.cpp.o"
+  "CMakeFiles/test_walkforward.dir/test_walkforward.cpp.o.d"
+  "test_walkforward"
+  "test_walkforward.pdb"
+  "test_walkforward[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walkforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
