@@ -4,6 +4,8 @@
 // and the parallel engine across worker counts.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "mpmini/environment.hpp"
 #include "stats/corr_engine.hpp"
@@ -147,6 +149,50 @@ void BM_MatrixStepMaronna(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (n * (n - 1) / 2));
 }
 BENCHMARK(BM_MatrixStepMaronna)->Arg(10)->Arg(20);
+
+// Cold vs warm full-matrix Maronna step at the paper's full scale
+// (n up to 61 symbols, M = 120): the warm-start headline numbers for
+// BENCH_corr.json. Both variants use the same MaronnaConfig so the only
+// difference is the fixed-point seeding; `accuracy` reports the maximum
+// absolute warm-vs-cold matrix entry difference seen while timing.
+void matrix_step_maronna_seeded(benchmark::State& state, bool warm_start) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  CorrEngineConfig cfg;
+  cfg.type = Ctype::maronna;
+  cfg.window = 120;
+  cfg.warm_start = warm_start;
+  CorrEngineConfig other_cfg = cfg;
+  other_cfg.warm_start = !warm_start;
+  CorrelationCalculator calc(cfg, n);
+  CorrelationCalculator other(other_cfg, n);
+  const auto stream = factor_stream(n, 200, 5);
+  for (const auto& r : stream) calc.push(r);
+  for (const auto& r : stream) other.push(r);
+  double max_diff = 0.0;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    calc.push(stream[next]);
+    const auto m = calc.matrix();
+    benchmark::DoNotOptimize(m);
+    state.PauseTiming();
+    other.push(stream[next]);
+    max_diff = std::max(max_diff, SymMatrix::max_abs_diff(m, other.matrix()));
+    next = (next + 1) % stream.size();
+    state.ResumeTiming();
+  }
+  state.counters["accuracy"] = max_diff;
+  state.SetItemsProcessed(state.iterations() * (n * (n - 1) / 2));
+}
+
+void BM_MatrixStepMaronnaCold(benchmark::State& state) {
+  matrix_step_maronna_seeded(state, /*warm_start=*/false);
+}
+BENCHMARK(BM_MatrixStepMaronnaCold)->Arg(20)->Arg(61)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixStepMaronnaWarm(benchmark::State& state) {
+  matrix_step_maronna_seeded(state, /*warm_start=*/true);
+}
+BENCHMARK(BM_MatrixStepMaronnaWarm)->Arg(20)->Arg(61)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelEngineRanks(benchmark::State& state) {
   // The paper's parallel correlation engine: pair shards across ranks. On a

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Build and run the correlation-kernel benchmarks, writing google-benchmark
+# JSON to BENCH_corr.json at the repo root. Usage: scripts/bench_json.sh
+# [build-dir] (default: build).
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j --target bench_json
+echo "Wrote $repo_root/BENCH_corr.json"

@@ -51,15 +51,17 @@ double MarketCorrSeries::at(stats::Ctype ctype, std::size_t pair_index,
 
 MarketCorrSeries compute_market_corr_series(const std::vector<std::vector<double>>& bam,
                                             std::int64_t corr_window, bool need_maronna,
-                                            const stats::MaronnaConfig& maronna_config) {
+                                            const stats::MaronnaConfig& maronna_config,
+                                            bool warm_maronna) {
   return compute_market_corr_series(bam, corr_window, need_maronna, maronna_config,
-                                    stats::all_pairs(bam.size()));
+                                    stats::all_pairs(bam.size()), warm_maronna);
 }
 
 MarketCorrSeries compute_market_corr_series(const std::vector<std::vector<double>>& bam,
                                             std::int64_t corr_window, bool need_maronna,
                                             const stats::MaronnaConfig& maronna_config,
-                                            const std::vector<stats::PairIndex>& pairs) {
+                                            const std::vector<stats::PairIndex>& pairs,
+                                            bool warm_maronna) {
   const std::size_t n = bam.size();
   MM_ASSERT_MSG(n >= 2, "need at least two symbols");
   const auto smax = static_cast<std::int64_t>(bam[0].size());
@@ -85,24 +87,43 @@ MarketCorrSeries compute_market_corr_series(const std::vector<std::vector<double
   stats::ReturnWindows windows(n, static_cast<std::size_t>(corr_window),
                                /*track_cross_sums=*/true);
   std::vector<double> step_returns(n);
-  std::vector<double> wx(static_cast<std::size_t>(corr_window));
-  std::vector<double> wy(static_cast<std::size_t>(corr_window));
+  // Shared unwrap arena: each symbol's ring buffer is unwrapped once per
+  // step (O(n·M)) and every pair reads contiguous views, instead of paying
+  // a per-pair window copy (O(pairs·M)).
+  const auto m = static_cast<std::size_t>(corr_window);
+  std::vector<double> arena(need_maronna ? n * m : 0);
+  stats::WarmMaronna warm(need_maronna && warm_maronna ? pairs.size() : 0,
+                          maronna_config);
+  // Per-symbol MAD-degeneracy flags, refreshed once per step (the warm
+  // estimator trusts them instead of rescanning windows per pair).
+  std::vector<unsigned char> mad_zero(warm_maronna ? n : 0, 0);
 
   for (std::int64_t s = 1; s < smax; ++s) {
     for (std::size_t i = 0; i < n; ++i)
       step_returns[i] = returns[i][static_cast<std::size_t>(s - 1)];
     windows.push(step_returns);
+    warm.advance();
     if (!windows.ready() || s < corr_window) continue;
 
+    if (need_maronna) {
+      windows.unwrap_all(arena.data());
+      if (warm_maronna)
+        for (std::size_t i = 0; i < n; ++i)
+          mad_zero[i] = stats::mad_is_zero(arena.data() + i * m, m) ? 1 : 0;
+    }
     const auto si = static_cast<std::size_t>(s);
     for (std::size_t k = 0; k < pairs.size(); ++k) {
       const auto [i, j] = pairs[k];
       out.pearson[k][si] = windows.pearson(i, j);
       if (need_maronna) {
-        windows.copy_window(i, wx.data());
-        windows.copy_window(j, wy.data());
-        out.maronna[k][si] = stats::maronna(wx.data(), wy.data(), wx.size(),
-                                            maronna_config);
+        const double* x = arena.data() + i * m;
+        const double* y = arena.data() + j * m;
+        if (warm_maronna) {
+          const bool degenerate = mad_zero[i] != 0 || mad_zero[j] != 0;
+          out.maronna[k][si] = warm.estimate(k, x, y, m, degenerate);
+        } else {
+          out.maronna[k][si] = stats::maronna(x, y, m, maronna_config);
+        }
       }
     }
   }

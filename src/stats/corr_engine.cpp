@@ -1,51 +1,84 @@
 #include "stats/corr_engine.hpp"
 
+#include "common/timer.hpp"
 #include "mpmini/collectives.hpp"
 #include "stats/psd.hpp"
 
 namespace mm::stats {
+namespace {
+
+// Warm-start state is only materialized for the robust measures.
+std::size_t warm_slots(const CorrEngineConfig& config, std::size_t symbols) {
+  if (!config.warm_start || config.type == Ctype::pearson) return 0;
+  return symbols * (symbols - 1) / 2;
+}
+
+// The unwrap arena serves the Maronna/Combined per-pair kernels; pure
+// Pearson engines never read it.
+std::size_t arena_size(const CorrEngineConfig& config, std::size_t symbols) {
+  return config.type == Ctype::pearson ? 0 : symbols * config.window;
+}
+
+}  // namespace
 
 CorrelationCalculator::CorrelationCalculator(const CorrEngineConfig& config,
                                              std::size_t symbols)
     : config_(config),
       // Cross sums are only needed for Pearson (and Combined's Pearson half).
       windows_(symbols, config.window, config.type != Ctype::maronna),
-      scratch_x_(config.window),
-      scratch_y_(config.window) {}
+      unwrap_(arena_size(config, symbols)),
+      warm_(warm_slots(config, symbols), config.maronna,
+            config.warm_restart_interval) {}
 
 void CorrelationCalculator::push(const std::vector<double>& returns) {
   windows_.push(returns);
+  warm_.advance();
+}
+
+void CorrelationCalculator::ensure_unwrapped() const {
+  if (unwrap_step_ == windows_.steps() && unwrap_step_ > 0) return;
+  windows_.unwrap_all(unwrap_.data());
+  if (config_.warm_start) {
+    // Per-symbol MAD-degeneracy flags, computed once per step so the warm
+    // estimator doesn't rescan the windows for every pair (n scans vs n²/2).
+    mad_zero_.resize(windows_.symbols());
+    for (std::size_t s = 0; s < windows_.symbols(); ++s)
+      mad_zero_[s] = mad_is_zero(window_view(s), windows_.window()) ? 1 : 0;
+  }
+  unwrap_step_ = windows_.steps();
 }
 
 double CorrelationCalculator::pair(std::size_t i, std::size_t j) const {
   MM_ASSERT_MSG(ready(), "correlation requested before window is full");
-  switch (config_.type) {
-    case Ctype::pearson:
-      return windows_.pearson(i, j);
-    case Ctype::maronna: {
-      windows_.copy_window(i, scratch_x_.data());
-      windows_.copy_window(j, scratch_y_.data());
-      return maronna(scratch_x_.data(), scratch_y_.data(), windows_.window(),
-                     config_.maronna);
-    }
-    case Ctype::combined: {
-      windows_.copy_window(i, scratch_x_.data());
-      windows_.copy_window(j, scratch_y_.data());
-      const double robust = maronna(scratch_x_.data(), scratch_y_.data(),
-                                    windows_.window(), config_.maronna);
-      return combine(windows_.pearson(i, j), robust);
-    }
+  if (config_.type == Ctype::pearson) return windows_.pearson(i, j);
+
+  ensure_unwrapped();
+  const double* x = window_view(i);
+  const double* y = window_view(j);
+  const std::size_t m = windows_.window();
+
+  double robust;
+  if (config_.warm_start) {
+    const bool degenerate = mad_zero_[i] != 0 || mad_zero_[j] != 0;
+    robust = warm_.estimate(pair_slot(symbols(), i, j), x, y, m, degenerate);
+  } else {
+    robust = maronna(x, y, m, config_.maronna);
   }
-  MM_ASSERT_MSG(false, "unreachable Ctype");
-  return 0.0;
+
+  if (config_.type == Ctype::maronna) return robust;
+  return combine(windows_.pearson(i, j), robust);
 }
 
 SymMatrix CorrelationCalculator::matrix() const {
   const std::size_t n = symbols();
   SymMatrix m(n, 0.0);
-  m.fill_diagonal(1.0);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = i + 1; j < n; ++j) m.set(i, j, pair(i, j));
+  if (config_.type == Ctype::pearson) {
+    windows_.pearson_matrix(m);
+  } else {
+    m.fill_diagonal(1.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) m.set(i, j, pair(i, j));
+  }
   if (config_.repair_psd && !is_psd(m)) m = nearest_psd_correlation(m);
   return m;
 }
@@ -53,40 +86,55 @@ SymMatrix CorrelationCalculator::matrix() const {
 ParallelCorrelationEngine::ParallelCorrelationEngine(mpi::Comm& comm,
                                                      const CorrEngineConfig& config,
                                                      std::size_t symbols)
-    : comm_(comm), calc_(config, symbols) {
-  const auto pairs = all_pairs(symbols);
-  for (std::size_t k = 0; k < pairs.size(); ++k) {
-    if (static_cast<int>(k % static_cast<std::size_t>(comm.size())) == comm.rank())
-      my_pairs_.push_back(pairs[k]);
-  }
+    : comm_(comm), calc_(config, symbols), pairs_(all_pairs(symbols)) {
+  // Contiguous block shards, balanced to within one pair: the first `rem`
+  // ranks take one extra.
+  const auto world = static_cast<std::size_t>(comm.size());
+  const std::size_t base = pairs_.size() / world;
+  const std::size_t rem = pairs_.size() % world;
+  offsets_.resize(world + 1);
+  offsets_[0] = 0;
+  for (std::size_t r = 0; r < world; ++r)
+    offsets_[r + 1] = offsets_[r] + base + (r < rem ? 1 : 0);
+  mine_.reserve(local_pair_count());
 }
 
 SymMatrix ParallelCorrelationEngine::step(const std::vector<double>& returns) {
+  Stopwatch watch;
   // Rank 0's return vector is authoritative; everyone mirrors the windows so
   // no window state ever needs to move.
   auto r = mpi::bcast_vector(comm_, returns, 0);
   calc_.push(r);
+  timings_.broadcast = watch.elapsed_seconds();
 
   const std::size_t n = calc_.symbols();
   if (!calc_.ready()) return SymMatrix{};
 
-  // Compute my shard.
-  std::vector<double> mine;
-  mine.reserve(my_pairs_.size());
-  for (const auto& p : my_pairs_) mine.push_back(calc_.pair(p.i, p.j));
+  // Compute my block of the canonical pair order.
+  watch.reset();
+  const auto rank = static_cast<std::size_t>(comm_.rank());
+  mine_.clear();
+  for (std::size_t k = offsets_[rank]; k < offsets_[rank + 1]; ++k)
+    mine_.push_back(calc_.pair(pairs_[k].i, pairs_[k].j));
+  timings_.compute = watch.elapsed_seconds();
 
   // Exchange shards; every rank assembles the full matrix.
-  auto shards = mpi::allgather_vectors(comm_, mine);
+  watch.reset();
+  auto shards = mpi::allgather_vectors(comm_, mine_);
+  timings_.exchange = watch.elapsed_seconds();
+
+  watch.reset();
   SymMatrix m(n, 0.0);
   m.fill_diagonal(1.0);
-  const auto pairs = all_pairs(n);
   const auto world = static_cast<std::size_t>(comm_.size());
-  std::vector<std::size_t> cursor(world, 0);
-  for (std::size_t k = 0; k < pairs.size(); ++k) {
-    const std::size_t owner = k % world;
-    m.set(pairs[k].i, pairs[k].j, shards[owner][cursor[owner]++]);
+  for (std::size_t owner = 0; owner < world; ++owner) {
+    const std::vector<double>& shard = shards[owner];
+    const std::size_t begin = offsets_[owner];
+    for (std::size_t k = begin; k < offsets_[owner + 1]; ++k)
+      m.set(pairs_[k].i, pairs_[k].j, shard[k - begin]);
   }
   if (calc_.config().repair_psd && !is_psd(m)) m = nearest_psd_correlation(m);
+  timings_.assemble = watch.elapsed_seconds();
   return m;
 }
 

@@ -3,8 +3,10 @@
 // This is the enabling component of the paper (§II): producing the full
 // n × n correlation matrix over a sliding M-return window, every ∆s interval,
 // in an online fashion. Pearson entries come from ReturnWindows' O(1)
-// incremental sums; Maronna entries re-estimate each pair's 2×2 robust
-// scatter over the window (the expensive part the paper parallelizes [14]).
+// incremental sums (full matrices via the blocked pearson_matrix kernel);
+// Maronna entries re-estimate each pair's 2×2 robust scatter over the window
+// (the expensive part the paper parallelizes [14]), warm-started from the
+// previous step's converged estimate when `warm_start` is enabled.
 //
 // ParallelCorrelationEngine shards the n(n-1)/2 pairs across the ranks of an
 // mpmini communicator — the "Parallel Correlation Engine" box of Fig. 1.
@@ -26,6 +28,12 @@ struct CorrEngineConfig {
   // Repair the assembled matrix to PSD (meaningful for Maronna/Combined;
   // costs an O(n³) eigendecomposition per step).
   bool repair_psd = false;
+  // Warm-start Maronna from the previous step's converged estimate (see
+  // WarmMaronna). Results agree with the batch estimator to within the
+  // convergence tolerance instead of bit-for-bit, so this is opt-in.
+  bool warm_start = false;
+  // Cold-restart cadence for the warm-started path.
+  int warm_restart_interval = kWarmRestartInterval;
 };
 
 // Single-threaded engine: push one return per symbol per interval, then read
@@ -46,9 +54,29 @@ class CorrelationCalculator {
   SymMatrix matrix() const;
 
  private:
+  // Unwrap every symbol's ring buffer into the contiguous arena, once per
+  // step, shared by all pair estimates of the step.
+  void ensure_unwrapped() const;
+  const double* window_view(std::size_t symbol) const {
+    return unwrap_.data() + symbol * config_.window;
+  }
+
   CorrEngineConfig config_;
   ReturnWindows windows_;
-  mutable std::vector<double> scratch_x_, scratch_y_;
+  // Step-scoped caches: pair() is logically const — these only memoize work
+  // derived from the current window state.
+  mutable std::vector<double> unwrap_;  // [symbol * window], oldest -> newest
+  mutable std::size_t unwrap_step_ = 0;  // windows_.steps() the arena reflects
+  mutable std::vector<unsigned char> mad_zero_;  // per-symbol, warm path only
+  mutable WarmMaronna warm_;
+};
+
+// Wall-clock breakdown of one ParallelCorrelationEngine::step, seconds.
+struct CorrStepTimings {
+  double broadcast = 0.0;  // return-vector bcast + window push
+  double compute = 0.0;    // this rank's pair shard estimation
+  double exchange = 0.0;   // allgather of the shards
+  double assemble = 0.0;   // matrix assembly (+ PSD repair if enabled)
 };
 
 // Pair-sharded parallel engine. All ranks of `comm` construct it with the
@@ -56,7 +84,10 @@ class CorrelationCalculator {
 // passes the market-wide return vector (other ranks' argument is ignored)
 // and every rank receives the assembled matrix (empty until windows fill).
 //
-// Shards are static and balanced: pair k goes to rank k % size.
+// Shards are static, contiguous blocks of the canonical pair order, balanced
+// to within one pair: rank r owns pairs [offsets[r], offsets[r+1]). Block
+// sharding keeps each rank's warm-start state and window rows cache-resident
+// and makes shard assembly a linear copy instead of a round-robin scatter.
 class ParallelCorrelationEngine {
  public:
   ParallelCorrelationEngine(mpi::Comm& comm, const CorrEngineConfig& config,
@@ -66,12 +97,21 @@ class ParallelCorrelationEngine {
   SymMatrix step(const std::vector<double>& returns);
 
   bool ready() const { return calc_.ready(); }
-  std::size_t local_pair_count() const { return my_pairs_.size(); }
+  std::size_t local_pair_count() const {
+    const auto r = static_cast<std::size_t>(comm_.rank());
+    return offsets_[r + 1] - offsets_[r];
+  }
+
+  // Kernel timings of the most recent step() on this rank.
+  const CorrStepTimings& last_timings() const { return timings_; }
 
  private:
   mpi::Comm& comm_;
   CorrelationCalculator calc_;
-  std::vector<PairIndex> my_pairs_;
+  std::vector<PairIndex> pairs_;      // canonical order, built once
+  std::vector<std::size_t> offsets_;  // size() + 1 block boundaries
+  std::vector<double> mine_;          // this rank's shard values, reused
+  CorrStepTimings timings_;
 };
 
 }  // namespace mm::stats

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/windows.hpp"  // kRebuildInterval — shared drift-bound policy
+
 namespace mm::stats {
 
 double pearson(const double* x, const double* y, std::size_t n) {
@@ -69,7 +71,7 @@ void SlidingPearson::push(double x, double y) {
   sum_xy_ += x * y;
 
   // Periodic exact rebuild bounds the accumulated cancellation error.
-  if (++pushes_ % 8192 == 0) rebuild();
+  if (++pushes_ % kRebuildInterval == 0) rebuild();
 }
 
 void SlidingPearson::rebuild() {

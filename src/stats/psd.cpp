@@ -77,7 +77,27 @@ EigenResult jacobi_eigen(const SymMatrix& m, int max_sweeps, double tol) {
 double min_eigenvalue(const SymMatrix& m) { return jacobi_eigen(m).values.front(); }
 
 bool is_psd(const SymMatrix& m, double tolerance) {
-  return min_eigenvalue(m) >= -tolerance;
+  // Attempted Cholesky factorization of m + tol·I, which succeeds iff the
+  // shifted matrix is positive definite — i.e. min eigenvalue of m >= -tol
+  // (up to rounding). One O(n³/6) pass instead of a multi-sweep Jacobi
+  // eigensolve; this check runs on every engine step, the repair only on
+  // actual indefiniteness.
+  const std::size_t n = m.size();
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = m(j, j) + tolerance;
+    for (std::size_t k = 0; k < j; ++k) d -= l[j * n + k] * l[j * n + k];
+    if (!(d > 0.0)) return false;  // non-positive pivot or NaN
+    const double root = std::sqrt(d);
+    l[j * n + j] = root;
+    const double inv = 1.0 / root;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = m(j, i);
+      for (std::size_t k = 0; k < j; ++k) s -= l[i * n + k] * l[j * n + k];
+      l[i * n + j] = s * inv;
+    }
+  }
+  return true;
 }
 
 SymMatrix nearest_correlation_higham(const SymMatrix& m, int max_iterations,

@@ -84,4 +84,12 @@ inline std::vector<PairIndex> all_pairs(std::size_t n) {
   return out;
 }
 
+// Canonical slot of the unordered pair (i < j) in all_pairs(n) order —
+// row-major upper triangle without the diagonal. O(1); lets engines keep
+// per-pair state in a flat array without materializing the pair list.
+inline std::size_t pair_slot(std::size_t n, std::size_t i, std::size_t j) {
+  MM_ASSERT(i < j && j < n);
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
 }  // namespace mm::stats

@@ -13,7 +13,8 @@ ReturnWindows::ReturnWindows(std::size_t symbols, std::size_t window,
       sum_(symbols, 0.0),
       sum_sq_(symbols, 0.0),
       last_value_(symbols, 0.0),
-      run_length_(symbols, 0) {
+      run_length_(symbols, 0),
+      evict_scratch_(symbols, 0.0) {
   MM_ASSERT_MSG(symbols >= 1, "ReturnWindows needs at least one symbol");
   MM_ASSERT_MSG(window >= 2, "ReturnWindows window must be >= 2");
   if (track_cross_sums) cross_ = SymMatrix(symbols, 0.0);
@@ -26,20 +27,14 @@ void ReturnWindows::push(const std::vector<double>& returns) {
   const bool cross = tracks_cross_sums();
 
   if (evicting) {
-    // Remove the oldest column (the slot we are about to overwrite).
+    // Stage the oldest column (the slot we are about to overwrite) so the
+    // cross-sum update below can fuse eviction and insertion into a single
+    // pass over the packed triangle.
     for (std::size_t i = 0; i < symbols_; ++i) {
       const double old = data_[i * window_ + head_];
+      evict_scratch_[i] = old;
       sum_[i] -= old;
       sum_sq_[i] -= old * old;
-    }
-    if (cross) {
-      for (std::size_t i = 0; i < symbols_; ++i) {
-        const double oi = data_[i * window_ + head_];
-        for (std::size_t j = i + 1; j < symbols_; ++j) {
-          const double oj = data_[j * window_ + head_];
-          cross_.set(i, j, cross_(i, j) - oi * oj);
-        }
-      }
     }
   }
 
@@ -55,11 +50,31 @@ void ReturnWindows::push(const std::vector<double>& returns) {
       run_length_[i] = 1;
     }
   }
+
   if (cross) {
-    for (std::size_t i = 0; i < symbols_; ++i) {
-      const double xi = returns[i];
-      for (std::size_t j = i + 1; j < symbols_; ++j) {
-        cross_.set(i, j, cross_(i, j) + xi * returns[j]);
+    // One linear walk over the packed upper triangle (row i's off-diagonal
+    // segment is contiguous), streaming the new and evicted columns from two
+    // n-sized arrays that stay cache-resident. Fusing evict+insert halves
+    // the O(n²) triangle traffic versus separate passes.
+    double* cp = cross_.packed().data();
+    const double* r = returns.data();
+    const double* old = evict_scratch_.data();
+    std::size_t base = 0;
+    if (evicting) {
+      for (std::size_t i = 0; i < symbols_; ++i) {
+        double* row = cp + base;  // row[k] == Σ x_i x_{i+k}
+        const double xi = r[i];
+        const double oi = old[i];
+        for (std::size_t k = 1; k < symbols_ - i; ++k)
+          row[k] += xi * r[i + k] - oi * old[i + k];
+        base += symbols_ - i;
+      }
+    } else {
+      for (std::size_t i = 0; i < symbols_; ++i) {
+        double* row = cp + base;
+        const double xi = r[i];
+        for (std::size_t k = 1; k < symbols_ - i; ++k) row[k] += xi * r[i + k];
+        base += symbols_ - i;
       }
     }
   }
@@ -68,7 +83,7 @@ void ReturnWindows::push(const std::vector<double>& returns) {
   ++count_;
 
   // Bound floating-point drift in the running sums.
-  if (count_ % 8192 == 0) rebuild_sums();
+  if (count_ % kRebuildInterval == 0) rebuild_sums();
 }
 
 void ReturnWindows::rebuild_sums() {
@@ -97,9 +112,23 @@ void ReturnWindows::rebuild_sums() {
 void ReturnWindows::copy_window(std::size_t symbol, double* out) const {
   MM_ASSERT(symbol < symbols_);
   MM_ASSERT_MSG(ready(), "copy_window before the window is full");
-  // Oldest element is at head_ (the next overwrite target) once full.
+  // Oldest element is at head_ (the next overwrite target) once full: the
+  // ring unwraps as two contiguous segments.
   const double* row = data_.data() + symbol * window_;
-  for (std::size_t t = 0; t < window_; ++t) out[t] = row[(head_ + t) % window_];
+  const std::size_t tail = window_ - head_;
+  std::copy(row + head_, row + window_, out);
+  std::copy(row, row + head_, out + tail);
+}
+
+void ReturnWindows::unwrap_all(double* arena) const {
+  MM_ASSERT_MSG(ready(), "unwrap_all before the window is full");
+  const std::size_t tail = window_ - head_;
+  for (std::size_t i = 0; i < symbols_; ++i) {
+    const double* row = data_.data() + i * window_;
+    double* out = arena + i * window_;
+    std::copy(row + head_, row + window_, out);
+    std::copy(row, row + head_, out + tail);
+  }
 }
 
 double ReturnWindows::cross_sum(std::size_t i, std::size_t j) const {
@@ -125,6 +154,50 @@ double ReturnWindows::pearson(std::size_t i, std::size_t j) const {
   const double denom = std::sqrt(vi * vj);
   if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
   return std::clamp(cov / denom, -1.0, 1.0);
+}
+
+void ReturnWindows::pearson_matrix(SymMatrix& out) const {
+  MM_ASSERT_MSG(ready(), "pearson_matrix before the window is full");
+  MM_ASSERT_MSG(tracks_cross_sums(), "cross sums not tracked");
+  if (out.size() != symbols_) out = SymMatrix(symbols_, 0.0);
+
+  // Per-symbol variance and degeneracy, hoisted out of the O(n²) loop. The
+  // expressions match pearson() exactly so every entry is bit-identical.
+  const auto n = static_cast<double>(window_);
+  variance_scratch_.resize(symbols_);
+  degenerate_scratch_.resize(symbols_);
+  for (std::size_t i = 0; i < symbols_; ++i) {
+    const double vi = sum_sq_[i] - sum_[i] * sum_[i] / n;
+    variance_scratch_[i] = vi;
+    degenerate_scratch_[i] =
+        run_length_[i] >= window_ || vi <= 1e-12 * sum_sq_[i];
+  }
+
+  // Both packed triangles share one layout, so the kernel is a single linear
+  // walk over each with contiguous row segments.
+  const double* cp = cross_.packed().data();
+  double* op = out.packed().data();
+  std::size_t base = 0;
+  for (std::size_t i = 0; i < symbols_; ++i) {
+    const double sum_i = sum_[i];
+    const double vi = variance_scratch_[i];
+    const bool degenerate_i = degenerate_scratch_[i] != 0;
+    const double* crow = cp + base;
+    double* orow = op + base;
+    orow[0] = 1.0;
+    for (std::size_t k = 1; k < symbols_ - i; ++k) {
+      const std::size_t j = i + k;
+      double r = 0.0;
+      if (!degenerate_i && degenerate_scratch_[j] == 0) {
+        const double cov = crow[k] - sum_i * sum_[j] / n;
+        const double denom = std::sqrt(vi * variance_scratch_[j]);
+        if (denom > 0.0 && std::isfinite(denom))
+          r = std::clamp(cov / denom, -1.0, 1.0);
+      }
+      orow[k] = r;
+    }
+    base += symbols_ - i;
+  }
 }
 
 }  // namespace mm::stats

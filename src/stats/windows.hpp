@@ -5,6 +5,15 @@
 // the last M returns per symbol plus the running sums that make incremental
 // Pearson O(1) per pair per step: per-symbol Σx and Σx², and (optionally)
 // per-pair Σ x_i x_j.
+//
+// Two bulk kernels serve the matrix engines:
+//   * unwrap_all — unwraps every symbol's ring buffer into one contiguous
+//     time-ordered arena, O(n·M) per step, so per-pair estimators (Maronna)
+//     read plain `const double*` views instead of paying a ring-buffer copy
+//     per pair (O(n²·M) per step).
+//   * pearson_matrix — fills a whole SymMatrix by walking the packed cross-
+//     sum triangle and the packed output triangle linearly, hoisting the
+//     per-symbol variance terms; entries are bit-identical to pearson(i, j).
 #pragma once
 
 #include <cstddef>
@@ -14,6 +23,12 @@
 #include "stats/sym_matrix.hpp"
 
 namespace mm::stats {
+
+// Exact-rebuild cadence for incremental running sums: every this many pushes
+// the sums are recomputed from the buffered window, bounding floating-point
+// drift. One shared policy for every sliding accumulator (ReturnWindows,
+// SlidingPearson).
+inline constexpr std::size_t kRebuildInterval = 8192;
 
 class ReturnWindows {
  public:
@@ -35,6 +50,18 @@ class ReturnWindows {
   // Copy symbol i's window (oldest -> newest) into out[0..window).
   void copy_window(std::size_t symbol, double* out) const;
 
+  // Unwrap every symbol's window into `arena` (size symbols·window, row-major:
+  // symbol i occupies arena[i·window .. (i+1)·window), oldest -> newest).
+  // One O(n·M) pass shared by all pairs of the step.
+  void unwrap_all(double* arena) const;
+
+  // True when symbol i's window holds one identical value in every slot —
+  // zero dispersion, which running sums cannot detect through their own
+  // roundoff residue. Tracked via value run lengths, O(1).
+  bool constant_window(std::size_t symbol) const {
+    return run_length_[symbol] >= window_;
+  }
+
   double sum(std::size_t symbol) const { return sum_[symbol]; }
   double sum_sq(std::size_t symbol) const { return sum_sq_[symbol]; }
   double cross_sum(std::size_t i, std::size_t j) const;
@@ -42,6 +69,12 @@ class ReturnWindows {
   // Incremental windowed Pearson from the running sums. Requires ready() and
   // cross-sum tracking.
   double pearson(std::size_t i, std::size_t j) const;
+
+  // Full-matrix Pearson: every entry equals pearson(i, j) bit-for-bit, but
+  // computed by one linear walk over the packed triangles with per-symbol
+  // variances hoisted out of the inner loop. Diagonal is set to 1. Requires
+  // ready() and cross-sum tracking.
+  void pearson_matrix(SymMatrix& out) const;
 
  private:
   void rebuild_sums();
@@ -57,6 +90,12 @@ class ReturnWindows {
   // detect reliably through their own roundoff residue.
   std::vector<double> last_value_;
   std::vector<std::size_t> run_length_;
+  // Scratch reused by push(): the evicted column, staged so the cross-sum
+  // update can fuse eviction and insertion into one pass over the triangle.
+  std::vector<double> evict_scratch_;
+  // Scratch reused by pearson_matrix(): per-symbol variance + degeneracy.
+  mutable std::vector<double> variance_scratch_;
+  mutable std::vector<unsigned char> degenerate_scratch_;
   SymMatrix cross_;  // Σ x_i x_j, including i == j on the diagonal (== sum_sq)
 };
 
