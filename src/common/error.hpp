@@ -27,6 +27,7 @@ enum class Errc {
   already_exists,
   capacity,
   shutdown,
+  timeout,
   numeric,
   internal,
 };
@@ -41,6 +42,7 @@ inline const char* to_string(Errc c) {
     case Errc::already_exists: return "already_exists";
     case Errc::capacity: return "capacity";
     case Errc::shutdown: return "shutdown";
+    case Errc::timeout: return "timeout";
     case Errc::numeric: return "numeric";
     case Errc::internal: return "internal";
   }

@@ -1,5 +1,7 @@
 #include "dagflow/graph.hpp"
 
+#include <mutex>
+#include <optional>
 #include <set>
 
 #include "common/strings.hpp"
@@ -99,7 +101,7 @@ std::string Graph::to_dot() const {
   return out;
 }
 
-void Graph::run() {
+RunResult Graph::run(const RunOptions& options) {
   if (auto st = validate(); !st)
     throw std::runtime_error("dagflow: invalid graph: " + st.error().message);
 
@@ -113,32 +115,71 @@ void Graph::run() {
       node_of_rank.push_back(static_cast<int>(i));
   }
 
-  mpi::Environment::run(rank_count(), [&](mpi::Comm& comm) {
-    const int node = node_of_rank[static_cast<std::size_t>(comm.rank())];
-    const Node& spec = nodes_[static_cast<std::size_t>(node)];
-    // Private group communicator per node (collective over the world).
-    mpi::Comm group = comm.split(node, comm.rank());
+  RunResult result;
+  result.nodes.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) result.nodes[i].name = nodes_[i].name;
+  std::mutex status_mutex;
 
-    const bool leader = comm.rank() == leader_rank[static_cast<std::size_t>(node)];
-    if (spec.fn) {
-      MM_ASSERT(leader);  // single-rank nodes have exactly one member
-      Context ctx(comm, node, spec.name, edges_, leader_rank);
-      spec.fn(ctx);
-      // Automatic EOS on anything the node left open, then drain remaining
-      // input so upstream emitters blocked on credits can always finish.
-      ctx.close_all_outputs();
-      while (ctx.recv()) {
-      }
-    } else if (leader) {
-      Context ctx(comm, node, spec.name, edges_, leader_rank);
-      spec.group_fn(&ctx, group);
-      ctx.close_all_outputs();
-      while (ctx.recv()) {
-      }
-    } else {
-      spec.group_fn(nullptr, group);
-    }
-  });
+  mpi::Environment::run(
+      rank_count(),
+      [&](mpi::Comm& comm) {
+        const int node = node_of_rank[static_cast<std::size_t>(comm.rank())];
+        const Node& spec = nodes_[static_cast<std::size_t>(node)];
+        NodeStatus local;           // this rank's observations only
+        std::optional<Context> ctx; // leaders only; built after the split
+
+        try {
+          // Private group communicator per node (collective over the world).
+          mpi::Comm group = comm.split(node, comm.rank());
+          const bool leader = comm.rank() == leader_rank[static_cast<std::size_t>(node)];
+          if (leader)
+            ctx.emplace(comm, node, spec.name, edges_, leader_rank,
+                        options.pump_timeout);
+          if (spec.fn) {
+            MM_ASSERT(leader);  // single-rank nodes have exactly one member
+            spec.fn(*ctx);
+          } else {
+            spec.group_fn(leader ? &*ctx : nullptr, group);
+          }
+        } catch (const std::exception& e) {
+          local.failed = true;
+          local.error = e.what();
+        } catch (...) {
+          local.failed = true;
+          local.error = "unknown exception";
+        }
+
+        if (ctx) {
+          // Teardown runs even for a failed node: poison (or close) whatever
+          // the function left open, then drain remaining input so upstream
+          // emitters blocked on credits can always finish. Guarded, because a
+          // fault-plan kill makes every transport op throw — downstream then
+          // discovers the silence via its pump deadline instead.
+          try {
+            if (local.failed)
+              ctx->fail_all_outputs();
+            else
+              ctx->close_all_outputs();
+            while (ctx->recv()) {
+            }
+          } catch (...) {
+          }
+          local.upstream_failed = ctx->upstream_failed();
+          local.timed_out = ctx->timed_out();
+        }
+
+        std::lock_guard<std::mutex> lock(status_mutex);
+        NodeStatus& status = result.nodes[static_cast<std::size_t>(node)];
+        if (local.failed && !status.failed) {
+          status.failed = true;
+          status.error = local.error;
+        }
+        status.upstream_failed = status.upstream_failed || local.upstream_failed;
+        status.timed_out = status.timed_out || local.timed_out;
+      },
+      options.fault);
+
+  return result;
 }
 
 }  // namespace mm::dag

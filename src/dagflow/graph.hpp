@@ -13,15 +13,24 @@
 //     a live feed);
 //   * end-of-stream propagation — a node's outputs are closed automatically
 //     when its function returns; Context::recv() drains inputs until all
-//     upstream nodes have closed.
+//     upstream nodes have closed;
+//   * failure containment — an exception escaping a node function is caught
+//     by the run harness, the node's outputs are closed with a NodeFailure
+//     marker (poisoning the downstream lineage), its inputs are drained, and
+//     run() reports a per-node status instead of tearing down the process.
+//     Nodes that consume a poisoned input to end-of-stream re-propagate the
+//     marker when their own outputs close, so sinks can tell a degraded
+//     stream from a healthy one.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "mpmini/comm.hpp"
+#include "mpmini/fault.hpp"
 
 namespace mm::dag {
 
@@ -42,6 +51,38 @@ struct Edge {
   int to_node = -1;
   int to_port = 0;
   int capacity = 64;  // in-flight messages before the sender blocks
+};
+
+// Outcome of one node after run(): did its own function fail, and did its
+// input lineage include a failure (marker or transport timeout)?
+struct NodeStatus {
+  std::string name;
+  bool failed = false;           // the node function threw (incl. RankKilled)
+  bool upstream_failed = false;  // an input closed with a failure marker
+  bool timed_out = false;        // a pump deadline expired on this node
+  std::string error;             // what() of the node's own exception
+
+  bool ok() const { return !failed && !upstream_failed && !timed_out; }
+};
+
+struct RunResult {
+  std::vector<NodeStatus> nodes;  // indexed by node id
+
+  bool ok() const {
+    for (const auto& n : nodes)
+      if (!n.ok()) return false;
+    return true;
+  }
+};
+
+struct RunOptions {
+  // Fault plan installed on the mpmini world (tests and chaos drills).
+  mpi::FaultPlan fault{};
+  // Bound on every transport wait inside a node (0 = wait forever). Required
+  // for bounded-time completion when ranks can die without a dying breath:
+  // a node whose upstream goes silent past the deadline treats the stream as
+  // failed instead of hanging.
+  std::chrono::milliseconds pump_timeout{0};
 };
 
 class Graph {
@@ -68,8 +109,10 @@ class Graph {
   Status validate() const;
 
   // Execute: spawns one rank per node and blocks until every node function
-  // has returned and all streams have drained.
-  void run();
+  // has returned and all streams have drained. Node exceptions are contained
+  // (see header comment) and reported in the result; only an invalid graph
+  // throws.
+  RunResult run(const RunOptions& options = {});
 
   // Graphviz rendering of the topology (node names, port labels, capacities)
   // for documentation and debugging.

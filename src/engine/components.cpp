@@ -1,6 +1,9 @@
 #include "engine/components.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "core/strategy.hpp"
 #include "dagflow/context.hpp"
@@ -214,102 +217,185 @@ dag::GroupNodeFn make_parallel_correlation_stage(std::size_t symbols,
                                                  std::int64_t corr_window,
                                                  bool need_maronna,
                                                  stats::MaronnaConfig maronna_config,
-                                                 int fan_out, StageStats* stats) {
+                                                 int fan_out, StageStats* stats,
+                                                 std::chrono::milliseconds replica_deadline) {
   MM_ASSERT(fan_out >= 1);
-  return [symbols, corr_window, need_maronna, maronna_config, fan_out,
-          stats](dag::Context* ctx, mpi::Comm& group) {
+  return [symbols, corr_window, need_maronna, maronna_config, fan_out, stats,
+          replica_deadline](dag::Context* ctx, mpi::Comm& group) {
     const auto all = stats::all_pairs(symbols);
-    // Static shard: pair k -> group rank k % size.
-    std::vector<stats::PairIndex> mine;
-    std::vector<std::size_t> shard_sizes(static_cast<std::size_t>(group.size()), 0);
-    for (std::size_t k = 0; k < all.size(); ++k) {
-      const auto owner = k % static_cast<std::size_t>(group.size());
-      ++shard_sizes[owner];
-      if (static_cast<int>(owner) == group.rank()) mine.push_back(all[k]);
-    }
+    const bool bounded = replica_deadline.count() > 0;
 
     stats::ReturnWindows windows(symbols, static_cast<std::size_t>(corr_window),
                                  /*track_cross_sums=*/true);
     std::vector<double> wx(static_cast<std::size_t>(corr_window));
     std::vector<double> wy(static_cast<std::size_t>(corr_window));
 
-    // Group protocol, one round per snapshot: leader broadcasts
-    // {kind, interval, returns}; kind 0 terminates the group.
+    const auto estimate = [&](const stats::PairIndex& p, mpi::Packer& out) {
+      out.put<double>(windows.pearson(p.i, p.j));
+      if (need_maronna) {
+        windows.copy_window(p.i, wx.data());
+        windows.copy_window(p.j, wy.data());
+        out.put<double>(
+            stats::maronna(wx.data(), wy.data(), wx.size(), maronna_config));
+      }
+    };
+
+    // Group protocol, one round per snapshot. The leader sends each live
+    // replica {round_step, round_no, alive, interval, returns}; replicas
+    // answer {round_no, shard doubles}. Pair k is owned by
+    // alive[k % alive.size()] — the rotation reshards automatically when a
+    // replica drops out. round_no makes duplicated frames (fault injection)
+    // detectable on both sides. round_done terminates a replica.
+    constexpr int tag_round = 1;
+    constexpr int tag_shard = 2;
     constexpr std::uint8_t round_step = 1;
     constexpr std::uint8_t round_done = 0;
 
-    while (true) {
-      mpi::Packer round;
-      Snapshot snap;
-      if (group.rank() == 0) {
-        auto msg = ctx->recv();
-        if (!msg) {
-          round.put<std::uint8_t>(round_done);
+    if (group.rank() != 0) {
+      // Replica: serve rounds until the leader says done or goes silent past
+      // the deadline (leader dead, or this replica resharded away).
+      std::uint64_t next_round = 0;
+      while (true) {
+        std::vector<std::uint8_t> bytes;
+        if (bounded) {
+          auto r = group.recv_for(replica_deadline, 0, tag_round);
+          if (!r) return;
+          bytes = std::move(*r);
         } else {
-          mpi::Unpacker u(msg->bytes);
-          MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
-                    RecordType::snapshot);
-          snap = Snapshot::unpack(u);
-          bump(stats, 1, 0, 1, 0);
-          round.put<std::uint8_t>(round_step);
-          round.put<std::int64_t>(snap.interval);
-          round.put_vector(snap.returns);
+          bytes = group.recv(0, tag_round);
         }
-      }
-      auto bytes = round.take();
-      group.bcast_bytes(bytes, 0);
-      mpi::Unpacker u(bytes);
-      if (u.get<std::uint8_t>() == round_done) return;
+        mpi::Unpacker u(bytes);
+        const auto kind = u.get<std::uint8_t>();
+        const auto round_no = u.get<std::uint64_t>();
+        if (kind == round_done) return;
+        if (round_no < next_round) continue;  // duplicated round frame
+        next_round = round_no + 1;
+        const auto alive = u.get_vector<std::int32_t>();
+        const auto interval = u.get<std::int64_t>();
+        const auto returns = u.get_vector<double>();
+        if (!returns.empty()) windows.push(returns);
+        const bool valid = windows.ready() && interval >= corr_window;
 
-      std::int64_t interval = 0;
-      std::vector<double> returns;
-      if (group.rank() == 0) {
-        interval = snap.interval;
-        returns = snap.returns;
-      } else {
-        interval = u.get<std::int64_t>();
-        returns = u.get_vector<double>();
+        mpi::Packer shard;
+        shard.put<std::uint64_t>(round_no);
+        if (valid) {
+          for (std::size_t k = 0; k < all.size(); ++k)
+            if (alive[k % alive.size()] == group.rank()) estimate(all[k], shard);
+        }
+        group.send(0, tag_shard, shard.take());
       }
-      if (!returns.empty()) windows.push(returns);
-      const bool valid = windows.ready() && interval >= corr_window;
+      return;
+    }
 
-      // Shard estimation.
-      mpi::Packer shard;
-      if (valid) {
-        for (const auto& p : mine) {
-          shard.put<double>(windows.pearson(p.i, p.j));
-          if (need_maronna) {
-            windows.copy_window(p.i, wx.data());
-            windows.copy_window(p.j, wy.data());
-            shard.put<double>(
-                stats::maronna(wx.data(), wy.data(), wx.size(), maronna_config));
+    // Leader.
+    std::vector<std::int32_t> alive;
+    for (int r = 0; r < group.size(); ++r) alive.push_back(r);
+    std::uint64_t round_no = 0;
+
+    while (auto msg = ctx->recv()) {
+      mpi::Unpacker u(msg->bytes);
+      MM_ASSERT(static_cast<RecordType>(u.get<std::uint8_t>()) ==
+                RecordType::snapshot);
+      auto snap = Snapshot::unpack(u);
+      bump(stats, 1, 0, 1, 0);
+
+      // The assignment every party uses this round (alive may shrink below).
+      const std::vector<std::int32_t> round_alive = alive;
+
+      mpi::Packer round;
+      round.put<std::uint8_t>(round_step);
+      round.put<std::uint64_t>(round_no);
+      round.put_vector(round_alive);
+      round.put<std::int64_t>(snap.interval);
+      round.put_vector(snap.returns);
+      const auto round_bytes = round.take();
+      for (const auto m : round_alive)
+        if (m != 0) group.send(m, tag_round, round_bytes);
+
+      if (!snap.returns.empty()) windows.push(snap.returns);
+      const bool valid = windows.ready() && snap.interval >= corr_window;
+
+      // Bounded gather: a replica that misses the deadline is resharded away
+      // for good (a missed round also desyncs its window mirror, so it must
+      // never contribute again) and its pairs are recomputed locally below.
+      std::vector<std::vector<std::uint8_t>> shard_of(
+          static_cast<std::size_t>(group.size()));
+      std::vector<bool> have(static_cast<std::size_t>(group.size()), false);
+      for (const auto m : round_alive) {
+        if (m == 0) continue;
+        const auto deadline = std::chrono::steady_clock::now() + replica_deadline;
+        while (true) {
+          std::vector<std::uint8_t> bytes;
+          if (bounded) {
+            const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            auto r = group.recv_for(std::max(budget, std::chrono::milliseconds{1}),
+                                    m, tag_shard);
+            if (!r) {
+              alive.erase(std::remove(alive.begin(), alive.end(), m), alive.end());
+              if (stats) stats->faults.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            bytes = std::move(*r);
+          } else {
+            bytes = group.recv(m, tag_shard);
           }
+          mpi::Unpacker su(bytes);
+          if (su.get<std::uint64_t>() != round_no) continue;  // stale duplicate
+          shard_of[static_cast<std::size_t>(m)] = std::move(bytes);
+          have[static_cast<std::size_t>(m)] = true;
+          break;
         }
       }
-      auto gathered = group.gather_bytes(shard.take(), 0);
-      if (group.rank() != 0) continue;
 
-      // Leader: assemble the canonical-order frame and emit.
+      // Assemble the canonical-order frame: the leader computes its own
+      // shard and stands in for any replica that missed the deadline; it
+      // mirrors every window, so the frame matches the healthy run exactly.
       CorrFrame frame;
-      frame.interval = interval;
+      frame.interval = snap.interval;
       frame.prices = std::move(snap.prices);
       frame.valid = valid;
       if (valid) {
         frame.pearson.resize(all.size());
         if (need_maronna) frame.maronna.resize(all.size());
-        std::vector<mpi::Unpacker> unpackers;
-        unpackers.reserve(gathered.size());
-        for (const auto& g : gathered) unpackers.emplace_back(g);
+        std::vector<std::optional<mpi::Unpacker>> unpackers(
+            static_cast<std::size_t>(group.size()));
+        for (const auto m : round_alive) {
+          if (m == 0 || !have[static_cast<std::size_t>(m)]) continue;
+          unpackers[static_cast<std::size_t>(m)].emplace(
+              shard_of[static_cast<std::size_t>(m)]);
+          unpackers[static_cast<std::size_t>(m)]->get<std::uint64_t>();
+        }
         for (std::size_t k = 0; k < all.size(); ++k) {
-          const auto owner = k % static_cast<std::size_t>(group.size());
-          frame.pearson[k] = unpackers[owner].get<double>();
-          if (need_maronna) frame.maronna[k] = unpackers[owner].get<double>();
+          const auto owner = round_alive[k % round_alive.size()];
+          if (owner != 0 && have[static_cast<std::size_t>(owner)]) {
+            auto& up = *unpackers[static_cast<std::size_t>(owner)];
+            frame.pearson[k] = up.get<double>();
+            if (need_maronna) frame.maronna[k] = up.get<double>();
+          } else {
+            frame.pearson[k] = windows.pearson(all[k].i, all[k].j);
+            if (need_maronna) {
+              windows.copy_window(all[k].i, wx.data());
+              windows.copy_window(all[k].j, wy.data());
+              frame.maronna[k] =
+                  stats::maronna(wx.data(), wy.data(), wx.size(), maronna_config);
+            }
+          }
         }
       }
       const auto packed = frame.pack();
       for (int port = 0; port < fan_out; ++port) ctx->emit(port, packed);
       bump(stats, 0, static_cast<std::uint64_t>(fan_out), 0, 1);
+      ++round_no;
     }
+
+    // End of stream: release the surviving replicas.
+    mpi::Packer done;
+    done.put<std::uint8_t>(round_done);
+    done.put<std::uint64_t>(round_no);
+    const auto done_bytes = done.take();
+    for (const auto m : alive)
+      if (m != 0) group.send(m, tag_round, done_bytes);
   };
 }
 
@@ -489,6 +575,11 @@ dag::NodeFn make_master(MasterReport* report, RiskConfig risk, StageStats* stats
     for (const auto& [interval, flows] : basket_flow)
       for (const auto& [symbol, net] : flows)
         report->netted_order_shares += std::abs(net);
+
+    // Degradation section: which strategy streams ended in a failure marker
+    // (or silence) rather than a clean end-of-day.
+    report->degraded = ctx.upstream_failed();
+    report->failed_strategies = ctx.failed_input_ports();
   };
 }
 

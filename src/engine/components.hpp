@@ -19,6 +19,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -44,6 +45,9 @@ struct StageStats {
   std::atomic<std::uint64_t> records_out{0};
   std::atomic<std::uint64_t> items_in{0};   // e.g. quotes, intervals
   std::atomic<std::uint64_t> items_out{0};
+  // Fault events the stage absorbed (e.g. a correlation replica resharded
+  // away after missing its deadline).
+  std::atomic<std::uint64_t> faults{0};
 };
 
 // Risk limits enforced (observationally) by the master: Fig. 1's master
@@ -89,6 +93,14 @@ struct MasterReport {
                ? 1.0 - netted_order_shares / raw_order_shares
                : 0.0;
   }
+
+  // Degradation section: true when at least one of the master's input
+  // streams closed with a failure marker (or went silent past the deadline)
+  // instead of a clean end-of-day. The report then covers only the healthy
+  // strategies.
+  bool degraded = false;
+  // Master input ports (== strategy worker indices) whose stream failed.
+  std::vector<int> failed_strategies;
 };
 
 // --- collectors ---------------------------------------------------------
@@ -116,16 +128,21 @@ dag::NodeFn make_correlation_stage(std::size_t symbols, std::int64_t corr_window
                                    StageStats* stats = nullptr);
 
 // Multi-rank variant: Fig. 1's "Parallel Correlation Engine" as a dagflow
-// group node. The leader receives snapshots and broadcasts the return vector
-// to the group; every member mirrors the sliding windows and estimates its
-// static shard of the n(n-1)/2 pairs; shards gather back at the leader, which
+// group node. The leader receives snapshots and sends the return vector to
+// every live replica; every member mirrors the sliding windows and estimates
+// its shard of the n(n-1)/2 pairs; shards come back to the leader, which
 // emits frames identical to the single-rank stage.
-dag::GroupNodeFn make_parallel_correlation_stage(std::size_t symbols,
-                                                 std::int64_t corr_window,
-                                                 bool need_maronna,
-                                                 stats::MaronnaConfig maronna_config,
-                                                 int fan_out,
-                                                 StageStats* stats = nullptr);
+//
+// With replica_deadline > 0 the gather is bounded: a replica that misses the
+// deadline is removed from the shard rotation (pairs reshard onto the
+// survivors from the next round on) and its shard for the current round is
+// recomputed by the leader, which mirrors every window — so the emitted
+// frames stay bit-identical to the healthy run. Each resharding event bumps
+// StageStats::faults. With replica_deadline == 0 every wait blocks forever.
+dag::GroupNodeFn make_parallel_correlation_stage(
+    std::size_t symbols, std::int64_t corr_window, bool need_maronna,
+    stats::MaronnaConfig maronna_config, int fan_out, StageStats* stats = nullptr,
+    std::chrono::milliseconds replica_deadline = std::chrono::milliseconds{0});
 
 // --- clustering --------------------------------------------------------------
 // The [12] companion workload: consume CorrFrames and, every

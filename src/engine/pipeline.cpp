@@ -58,9 +58,9 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
       config.correlation_replicas > 1
           ? graph.add_group_node(
                 "correlation",
-                make_parallel_correlation_stage(config.symbols, base.corr_window,
-                                                need_maronna, config.maronna,
-                                                corr_fan_out, stats[3].get()),
+                make_parallel_correlation_stage(
+                    config.symbols, base.corr_window, need_maronna, config.maronna,
+                    corr_fan_out, stats[3].get(), config.replica_deadline),
                 config.correlation_replicas)
           : graph.add_node(
                 "correlation",
@@ -109,8 +109,12 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
     graph.connect(cluster_node, 0, cluster_sink, 0, config.channel_capacity);
   }
 
+  dag::RunOptions options;
+  options.fault = config.fault;
+  options.pump_timeout = config.stage_deadline;
+
   Stopwatch watch;
-  graph.run();
+  const dag::RunResult run_result = graph.run(options);
 
   PipelineResult result;
   result.master = std::move(master);
@@ -120,20 +124,23 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
   result.quotes_per_second =
       result.wall_seconds > 0.0 ? static_cast<double>(quotes_in) / result.wall_seconds
                                 : 0.0;
+  result.degraded = !run_result.ok();
+  for (const auto& status : run_result.nodes)
+    if (!status.ok()) result.faults.push_back(status);
   const char* names[] = {"collector", "cleaner", "snapshot", "correlation"};
   for (std::size_t i = 0; i < 4; ++i)
     result.stages.push_back({names[i], stats[i]->records_in.load(),
                              stats[i]->records_out.load(), stats[i]->items_in.load(),
-                             stats[i]->items_out.load()});
+                             stats[i]->items_out.load(), stats[i]->faults.load()});
   for (int w = 0; w < k; ++w) {
     const auto& s = *stats[4 + static_cast<std::size_t>(w)];
     result.stages.push_back({"strategy-" + std::to_string(w), s.records_in.load(),
                              s.records_out.load(), s.items_in.load(),
-                             s.items_out.load()});
+                             s.items_out.load(), s.faults.load()});
   }
   const auto& ms = *stats[n_stages - 1];
   result.stages.push_back({"master", ms.records_in.load(), ms.records_out.load(),
-                           ms.items_in.load(), ms.items_out.load()});
+                           ms.items_in.load(), ms.items_out.load(), ms.faults.load()});
   return result;
 }
 

@@ -10,12 +10,15 @@
 // master's report plus per-stage throughput.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "core/params.hpp"
+#include "dagflow/graph.hpp"
 #include "engine/components.hpp"
 #include "marketdata/generator.hpp"
+#include "mpmini/fault.hpp"
 
 namespace mm::engine {
 
@@ -39,6 +42,18 @@ struct PipelineConfig {
   // Optional tickdb source; when empty the in-memory quote vector is used.
   std::string tickdb_root;
   md::Date date{2008, 3, 3};
+
+  // --- fault tolerance -----------------------------------------------------
+  // Injected faults (tests and chaos drills); default plan is inactive.
+  mpi::FaultPlan fault{};
+  // Bound on every transport wait inside a stage (0 = wait forever). With a
+  // deadline, a stage whose upstream dies finishes its day degraded instead
+  // of hanging, and run_pipeline() returns in bounded time under any
+  // single-stage failure.
+  std::chrono::milliseconds stage_deadline{0};
+  // Deadline for one correlation replica's shard; a replica that misses it
+  // is resharded onto the survivors (see make_parallel_correlation_stage).
+  std::chrono::milliseconds replica_deadline{0};
 };
 
 struct StageReport {
@@ -47,6 +62,7 @@ struct StageReport {
   std::uint64_t records_out = 0;
   std::uint64_t items_in = 0;
   std::uint64_t items_out = 0;
+  std::uint64_t faults = 0;  // fault events the stage absorbed (resharding)
 };
 
 struct PipelineResult {
@@ -57,6 +73,11 @@ struct PipelineResult {
   double wall_seconds = 0.0;
   std::uint64_t quotes_in = 0;
   double quotes_per_second = 0.0;
+
+  // Degradation section: true when any node failed, inherited a poisoned
+  // stream, or hit a deadline; `faults` lists those nodes' statuses.
+  bool degraded = false;
+  std::vector<dag::NodeStatus> faults;
 };
 
 // Stream `quotes` (one day, time-sorted) through the Fig. 1 graph.

@@ -1,22 +1,45 @@
 #include "marketdata/cleaner.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mm::md {
+namespace {
+
+double median_of(std::vector<double> v) {
+  const auto mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    const auto lower =
+        *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (lower + m);
+  }
+  return m;
+}
+
+}  // namespace
 
 bool SymbolFilter::accept(const Quote& quote) {
   const double x = quote.bam();
   if (seen_ < config_.warmup_ticks) {
-    // Warmup: seed the estimators.
-    if (seen_ == 0) {
-      mean_ = x;
-      dev_ = x * config_.min_dev_frac;
-    } else {
-      const double err = x - mean_;
-      mean_ += config_.mean_gain * err;
-      dev_ += config_.dev_gain * (std::abs(err) - dev_);
-    }
+    // Warmup: accept unconditionally, and seed the live-phase estimators
+    // from the window's median (center) and MAD (spread). Robust seeding
+    // means one fat-fingered tick in the warmup window neither drags the
+    // mean toward itself nor inflates the deviation into a band so wide the
+    // filter is blind for the rest of the session.
+    warmup_.push_back(x);
+    const double med = median_of(warmup_);
+    std::vector<double> abs_dev(warmup_.size());
+    for (std::size_t i = 0; i < warmup_.size(); ++i)
+      abs_dev[i] = std::abs(warmup_[i] - med);
+    mean_ = med;
+    dev_ = std::max(median_of(std::move(abs_dev)), med * config_.min_dev_frac);
     ++seen_;
+    if (seen_ == config_.warmup_ticks) {
+      warmup_.clear();
+      warmup_.shrink_to_fit();
+    }
     return true;
   }
 

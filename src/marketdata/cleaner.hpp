@@ -24,7 +24,10 @@ struct CleanerConfig {
   // deviations" in the paper). Real return distributions are fat-tailed, so
   // the band is wider than a Gaussian rule of thumb would suggest.
   double band_k = 5.0;
-  // Quotes accepted unconditionally while the estimators warm up.
+  // Quotes accepted unconditionally while the estimators warm up. The live
+  // phase starts from the median/MAD of this window, not from an EWMA seeded
+  // at the first quote — a fat-fingered opening tick must not anchor the
+  // mean and blind the band to genuine outliers for the rest of the day.
   int warmup_ticks = 8;
   // Deviation floor as a fraction of price, so a quiet stretch cannot shrink
   // the band to zero and start rejecting good ticks.
@@ -56,6 +59,7 @@ class SymbolFilter {
   double dev_ = 0.0;
   int seen_ = 0;
   int consecutive_rejects_ = 0;
+  std::vector<double> warmup_;  // BAMs buffered for the median/MAD seed
 };
 
 // Multi-symbol streaming cleaner with drop accounting.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <thread>
 
 #include "mpmini/serde.hpp"
 
@@ -12,11 +13,20 @@ World::World(int size) {
   MM_ASSERT_MSG(size > 0, "World size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  op_counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) op_counts_[static_cast<std::size_t>(i)] = 0;
 }
 
 Mailbox& World::mailbox(int world_rank) {
   MM_ASSERT(world_rank >= 0 && world_rank < size());
   return *mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+void World::check_op(int world_rank) {
+  if (fault_plan_.kill_rank != world_rank) return;
+  const auto op = ++op_counts_[static_cast<std::size_t>(world_rank)];
+  if (op >= fault_plan_.kill_at_op) throw RankKilled(world_rank);
 }
 
 Comm::Comm(World* world, std::uint64_t comm_id, int rank, std::vector<int> members)
@@ -31,15 +41,26 @@ int Comm::next_collective_tag() {
   return reserved_tag_base + static_cast<int>(collective_seq_++ % (1u << 22));
 }
 
+void Comm::fault_point() { world_->check_op(members_[static_cast<std::size_t>(rank_)]); }
+
 void Comm::internal_send(int dest, int tag, std::vector<std::uint8_t> payload) {
   MM_ASSERT_MSG(dest >= 0 && dest < size(), "send: destination rank out of range");
+  fault_point();
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
   msg.comm_id = comm_id_;
   msg.sequence = send_seq_++;
   msg.payload = std::move(payload);
-  world_->mailbox(members_[static_cast<std::size_t>(dest)]).deliver(std::move(msg));
+  const int dest_world = members_[static_cast<std::size_t>(dest)];
+  const FaultPlan& plan = world_->fault_plan();
+  if (plan.active()) {
+    const FaultDecision decision = plan.decide(msg, dest_world);
+    if (decision.drop) return;
+    if (decision.delay.count() > 0) std::this_thread::sleep_for(decision.delay);
+    if (decision.duplicate) world_->mailbox(dest_world).deliver(msg);
+  }
+  world_->mailbox(dest_world).deliver(std::move(msg));
 }
 
 void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
@@ -54,6 +75,7 @@ Request Comm::isend(int dest, int tag, std::vector<std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> Comm::recv(int source, int tag, RecvStatus* status) {
+  fault_point();
   Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
   auto ticket = box.post_recv(comm_id_, source, tag);
   Message msg = box.wait(ticket);
@@ -65,17 +87,52 @@ std::vector<std::uint8_t> Comm::recv(int source, int tag, RecvStatus* status) {
   return std::move(msg.payload);
 }
 
+Expected<std::vector<std::uint8_t>> Comm::recv_for(std::chrono::milliseconds timeout,
+                                                   int source, int tag,
+                                                   RecvStatus* status) {
+  fault_point();
+  Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
+  auto ticket = box.post_recv(comm_id_, source, tag);
+  std::optional<Message> msg;
+  if (box.wait_for(ticket, timeout)) {
+    msg = box.wait(ticket);  // returns immediately: ticket is done
+  } else {
+    msg = box.cancel(ticket);  // may still succeed if completion raced us
+  }
+  if (!msg.has_value())
+    return Error(Errc::timeout, "recv_for: no matching message within deadline");
+  if (status != nullptr) {
+    status->source = msg->source;
+    status->tag = msg->tag;
+    status->byte_count = msg->payload.size();
+  }
+  return std::move(msg->payload);
+}
+
 Request Comm::irecv(int source, int tag) {
+  fault_point();
   Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
   return Request::receiving(&box, box.post_recv(comm_id_, source, tag));
 }
 
 RecvStatus Comm::probe(int source, int tag) {
+  fault_point();
   return world_->mailbox(members_[static_cast<std::size_t>(rank_)])
       .probe(comm_id_, source, tag);
 }
 
+Expected<RecvStatus> Comm::probe_for(std::chrono::milliseconds timeout, int source,
+                                     int tag) {
+  fault_point();
+  RecvStatus status;
+  if (!world_->mailbox(members_[static_cast<std::size_t>(rank_)])
+           .probe_for(comm_id_, source, tag, timeout, &status))
+    return Error(Errc::timeout, "probe_for: no matching message within deadline");
+  return status;
+}
+
 bool Comm::iprobe(int source, int tag, RecvStatus* status) {
+  fault_point();
   return world_->mailbox(members_[static_cast<std::size_t>(rank_)])
       .iprobe(comm_id_, source, tag, status);
 }

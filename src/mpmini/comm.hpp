@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "mpmini/fault.hpp"
 #include "mpmini/mailbox.hpp"
 #include "mpmini/message.hpp"
 #include "mpmini/request.hpp"
@@ -29,12 +31,23 @@ class World {
   Mailbox& mailbox(int world_rank);
   std::uint64_t allocate_comm_id() { return next_comm_id_.fetch_add(1); }
 
+  // Install the fault plan BEFORE any rank thread starts (never concurrently
+  // with traffic); ranks read it without synchronization afterwards.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  // Advance `world_rank`'s operation counter; throws RankKilled once the
+  // fault plan's kill step is reached (and on every operation after it).
+  void check_op(int world_rank);
+
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<std::uint64_t> next_comm_id_{1};
+  FaultPlan fault_plan_{};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> op_counts_;
 };
 
 // One rank's handle on a communicator. Each rank thread owns its own Comm
@@ -58,8 +71,22 @@ class Comm {
                                  RecvStatus* status = nullptr);
   Request irecv(int source = any_source, int tag = any_tag);
 
+  // Deadline receive: the payload, or Errc::timeout if no matching message
+  // arrived in time. On timeout the posted receive is withdrawn — a message
+  // arriving later stays available for future receives instead of being
+  // swallowed by an abandoned ticket.
+  Expected<std::vector<std::uint8_t>> recv_for(std::chrono::milliseconds timeout,
+                                               int source = any_source,
+                                               int tag = any_tag,
+                                               RecvStatus* status = nullptr);
+
   RecvStatus probe(int source = any_source, int tag = any_tag);
   bool iprobe(int source = any_source, int tag = any_tag, RecvStatus* status = nullptr);
+
+  // Deadline probe: the matching envelope (reserved for this thread, see
+  // Mailbox) or Errc::timeout.
+  Expected<RecvStatus> probe_for(std::chrono::milliseconds timeout,
+                                 int source = any_source, int tag = any_tag);
 
   // Combined send+receive (deadlock-free even when both peers call it
   // simultaneously, because sends are buffered).
@@ -136,6 +163,9 @@ class Comm {
   int next_collective_tag();
 
   void internal_send(int dest, int tag, std::vector<std::uint8_t> payload);
+
+  // Fault-plan hook at the start of every operation (may throw RankKilled).
+  void fault_point();
 
   World* world_ = nullptr;
   std::uint64_t comm_id_ = 0;

@@ -12,9 +12,15 @@
 namespace mm::mpi {
 
 void Environment::run(int world_size, const std::function<void(Comm&)>& rank_main) {
+  run(world_size, rank_main, FaultPlan{});
+}
+
+void Environment::run(int world_size, const std::function<void(Comm&)>& rank_main,
+                      const FaultPlan& fault) {
   MM_ASSERT_MSG(world_size > 0, "world_size must be positive");
 
   World world(world_size);
+  world.set_fault_plan(fault);
   std::vector<int> members(static_cast<std::size_t>(world_size));
   std::iota(members.begin(), members.end(), 0);
   const std::uint64_t world_comm_id = world.allocate_comm_id();

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "mpmini/comm.hpp"
+#include "mpmini/fault.hpp"
 
 namespace mm::mpi {
 
@@ -16,6 +17,14 @@ class Environment {
  public:
   // Runs `rank_main` on `world_size` ranks and blocks until all complete.
   static void run(int world_size, const std::function<void(Comm&)>& rank_main);
+
+  // Same, with a fault plan installed on the world before any rank starts.
+  // A rank killed by the plan surfaces as a rethrown RankKilled (first error
+  // wins) once every rank has finished — callers that inject kills must make
+  // the surviving ranks deadline-aware or they will wait on the dead rank
+  // forever.
+  static void run(int world_size, const std::function<void(Comm&)>& rank_main,
+                  const FaultPlan& fault);
 };
 
 }  // namespace mm::mpi

@@ -17,9 +17,17 @@ void Mailbox::deliver(Message msg) {
       return;
     }
   }
-  queue_.push_back(std::move(msg));
+  queue_.push_back({std::move(msg), false, {}});
   lock.unlock();
   cv_.notify_all();  // wake probers
+}
+
+std::deque<Mailbox::Queued>::iterator Mailbox::find_match(const RecvTicket& ticket) {
+  const auto me = std::this_thread::get_id();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (visible_to(*it, me) && matches(ticket, it->msg)) return it;
+  }
+  return queue_.end();
 }
 
 std::shared_ptr<RecvTicket> Mailbox::post_recv(std::uint64_t comm_id, int source,
@@ -30,14 +38,13 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(std::uint64_t comm_id, int source
   ticket->tag = tag;
 
   std::lock_guard<std::mutex> lock(mutex_);
-  // Earliest-arrived matching message wins.
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (matches(*ticket, *it)) {
-      ticket->message = std::move(*it);
-      ticket->done = true;
-      queue_.erase(it);
-      return ticket;
-    }
+  // Earliest-arrived matching message wins (skipping messages another
+  // thread's probe reserved; taking a message releases its reservation).
+  if (auto it = find_match(*ticket); it != queue_.end()) {
+    ticket->message = std::move(it->msg);
+    ticket->done = true;
+    queue_.erase(it);
+    return ticket;
   }
   pending_.push_back(ticket);
   return ticket;
@@ -47,6 +54,19 @@ Message Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return ticket->done; });
   return std::move(ticket->message);
+}
+
+bool Mailbox::wait_for(const std::shared_ptr<RecvTicket>& ticket,
+                       std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout, [&] { return ticket->done; });
+}
+
+std::optional<Message> Mailbox::cancel(const std::shared_ptr<RecvTicket>& ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket->done) return std::move(ticket->message);
+  pending_.remove(ticket);
+  return std::nullopt;
 }
 
 bool Mailbox::test(const std::shared_ptr<RecvTicket>& ticket) {
@@ -61,37 +81,64 @@ bool Mailbox::iprobe(std::uint64_t comm_id, int source, int tag, RecvStatus* sta
   probe_ticket.tag = tag;
 
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& msg : queue_) {
-    if (matches(probe_ticket, msg)) {
-      if (status != nullptr) {
-        status->source = msg.source;
-        status->tag = msg.tag;
-        status->byte_count = msg.payload.size();
-      }
-      return true;
-    }
+  const auto it = find_match(probe_ticket);
+  if (it == queue_.end()) return false;
+  if (status != nullptr) {
+    status->source = it->msg.source;
+    status->tag = it->msg.tag;
+    status->byte_count = it->msg.payload.size();
   }
-  return false;
+  return true;
 }
 
 RecvStatus Mailbox::probe(std::uint64_t comm_id, int source, int tag) {
+  RecvStatus status;
+  // A blocking probe cannot time out waiting on itself.
+  const bool found = probe_for(comm_id, source, tag,
+                               std::chrono::nanoseconds::max(), &status);
+  MM_ASSERT(found);
+  return status;
+}
+
+bool Mailbox::probe_for(std::uint64_t comm_id, int source, int tag,
+                        std::chrono::nanoseconds timeout, RecvStatus* status) {
   RecvTicket probe_ticket;
   probe_ticket.comm_id = comm_id;
   probe_ticket.source = source;
   probe_ticket.tag = tag;
 
+  const auto deadline = (timeout == std::chrono::nanoseconds::max())
+                            ? std::chrono::steady_clock::time_point::max()
+                            : std::chrono::steady_clock::now() + timeout;
+
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    for (const auto& msg : queue_) {
-      if (matches(probe_ticket, msg)) {
-        RecvStatus status;
-        status.source = msg.source;
-        status.tag = msg.tag;
-        status.byte_count = msg.payload.size();
-        return status;
+    if (auto it = find_match(probe_ticket); it != queue_.end()) {
+      it->reserved = true;
+      it->reserved_by = std::this_thread::get_id();
+      if (status != nullptr) {
+        status->source = it->msg.source;
+        status->tag = it->msg.tag;
+        status->byte_count = it->msg.payload.size();
       }
+      return true;
     }
-    cv_.wait(lock);
+    if (deadline == std::chrono::steady_clock::time_point::max()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last scan: the notification may have raced the deadline.
+      if (auto it = find_match(probe_ticket); it != queue_.end()) {
+        it->reserved = true;
+        it->reserved_by = std::this_thread::get_id();
+        if (status != nullptr) {
+          status->source = it->msg.source;
+          status->tag = it->msg.tag;
+          status->byte_count = it->msg.payload.size();
+        }
+        return true;
+      }
+      return false;
+    }
   }
 }
 

@@ -7,14 +7,25 @@
 //   * among queued messages, the earliest-arrived match wins, which together
 //     with locked FIFO delivery preserves per-(source, comm) non-overtaking;
 //   * among posted receives, the earliest-posted match wins.
+//
+// Probe/recv matching contract (the MPI_Mprobe problem): a blocking probe
+// RESERVES the message it reports for the probing thread. Reserved messages
+// are invisible to every other thread's receives and probes, so the classic
+// probe -> recv sequence can never lose its message to a concurrent wildcard
+// receive on another thread. The reservation is released when the probing
+// thread posts a matching receive (which then consumes exactly that message).
+// iprobe is advisory and does not reserve.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <thread>
 
 #include "mpmini/message.hpp"
 
@@ -43,29 +54,58 @@ class Mailbox {
   // Block until the ticket completes, then return its message.
   Message wait(const std::shared_ptr<RecvTicket>& ticket);
 
+  // Deadline wait: true once the ticket completed, false if the deadline
+  // passed first (the ticket stays posted — wait again, or cancel()).
+  bool wait_for(const std::shared_ptr<RecvTicket>& ticket,
+                std::chrono::nanoseconds timeout);
+
+  // Withdraw a posted receive (after a wait_for timeout). If the ticket
+  // completed in the meantime its message is returned — the caller must
+  // treat that as a successful receive, the message is not requeued.
+  std::optional<Message> cancel(const std::shared_ptr<RecvTicket>& ticket);
+
   // Non-blocking completion check.
   bool test(const std::shared_ptr<RecvTicket>& ticket);
 
   // Non-blocking probe: reports the envelope of the earliest matching queued
-  // message without consuming it.
+  // message without consuming or reserving it.
   bool iprobe(std::uint64_t comm_id, int source, int tag, RecvStatus* status);
 
-  // Blocking probe.
+  // Blocking probe; reserves the reported message for the calling thread.
   RecvStatus probe(std::uint64_t comm_id, int source, int tag);
+
+  // Deadline probe: true (and *status filled, message reserved) if a match
+  // arrived before the deadline.
+  bool probe_for(std::uint64_t comm_id, int source, int tag,
+                 std::chrono::nanoseconds timeout, RecvStatus* status);
 
   // Number of queued (undelivered-to-receiver) messages; for tests/stats.
   std::size_t queued() const;
 
  private:
+  struct Queued {
+    Message msg;
+    bool reserved = false;
+    std::thread::id reserved_by;
+  };
+
   static bool matches(const RecvTicket& ticket, const Message& msg) {
     return ticket.comm_id == msg.comm_id &&
            (ticket.source == any_source || ticket.source == msg.source) &&
            (ticket.tag == any_tag || ticket.tag == msg.tag);
   }
 
+  // A queued entry is visible to `thread` unless another thread reserved it.
+  static bool visible_to(const Queued& entry, std::thread::id thread) {
+    return !entry.reserved || entry.reserved_by == thread;
+  }
+
+  // Earliest queued match visible to the calling thread, or queue_.end().
+  std::deque<Queued>::iterator find_match(const RecvTicket& ticket);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::deque<Queued> queue_;
   std::list<std::shared_ptr<RecvTicket>> pending_;
 };
 

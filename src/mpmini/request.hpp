@@ -50,6 +50,20 @@ class Request {
     return msg;
   }
 
+  // Deadline wait: the message, or Errc::timeout if the operation has not
+  // completed in time. On timeout the request stays valid — wait again,
+  // wait_for again, or drop it (a dropped receive request stays posted).
+  Expected<Message> wait_for(std::chrono::milliseconds timeout) {
+    if (send_complete_) return Message{};
+    MM_ASSERT_MSG(ticket_ != nullptr, "wait_for() on an empty Request");
+    if (!mailbox_->wait_for(ticket_, timeout))
+      return Error(Errc::timeout, "Request::wait_for: not complete within deadline");
+    Message msg = mailbox_->wait(ticket_);  // returns immediately: ticket is done
+    send_complete_ = true;
+    ticket_.reset();
+    return msg;
+  }
+
  private:
   Mailbox* mailbox_ = nullptr;
   std::shared_ptr<RecvTicket> ticket_;

@@ -94,6 +94,49 @@ TEST(SymbolFilter, WarmupAcceptsEverything) {
   EXPECT_TRUE(f.accept(make_quote(0, 20.0)));
 }
 
+TEST(SymbolFilter, FatFingeredOpeningTickDoesNotBlindTheFilter) {
+  // Regression: the estimators used to be EWMA-seeded from quote #1. A
+  // fat-fingered opening print (500 vs a true level of 50) then anchored the
+  // mean between the two levels and inflated the deviation so much that a
+  // 10x outlier later in the session sat comfortably inside the band. The
+  // median/MAD warmup seed starts the live phase centred on the consensus
+  // price instead.
+  CleanerConfig cfg;
+  cfg.warmup_ticks = 8;
+  SymbolFilter f{cfg};
+  ASSERT_TRUE(f.accept(make_quote(0, 500.0)));  // bad opening print
+  for (int i = 1; i < cfg.warmup_ticks; ++i)
+    ASSERT_TRUE(f.accept(make_quote(0, 50.0 + 0.05 * (i % 2))));
+
+  // Seeded from the window's median, not dragged toward the bad print.
+  EXPECT_NEAR(f.mean(), 50.0, 1.0);
+  EXPECT_LT(f.deviation(), 1.0);
+
+  // A genuine outlier right after warmup is rejected...
+  EXPECT_FALSE(f.accept(make_quote(0, 490.0)));
+  // ...while quotes at the true level keep passing.
+  EXPECT_TRUE(f.accept(make_quote(0, 50.05)));
+  EXPECT_TRUE(f.accept(make_quote(0, 49.95)));
+}
+
+TEST(SymbolFilter, WarmupOutlierDoesNotInflateTheBand) {
+  // A single bad tick in the middle of the warmup window must leave the
+  // seeded deviation at the scale of normal tick jitter, not at the scale of
+  // the outlier's displacement.
+  CleanerConfig cfg;
+  cfg.warmup_ticks = 8;
+  SymbolFilter clean_f{cfg};
+  SymbolFilter dirty_f{cfg};
+  for (int i = 0; i < cfg.warmup_ticks; ++i) {
+    const double mid = 50.0 + 0.05 * (i % 2);
+    ASSERT_TRUE(clean_f.accept(make_quote(0, mid)));
+    ASSERT_TRUE(dirty_f.accept(make_quote(0, i == 3 ? 500.0 : mid)));
+  }
+  // The corrupted window seeds (almost) the same estimators as the clean one.
+  EXPECT_NEAR(dirty_f.mean(), clean_f.mean(), 0.5);
+  EXPECT_LT(dirty_f.deviation(), 10.0 * clean_f.deviation() + 0.1);
+}
+
 TEST(QuoteCleaner, DropsStructuralAndBandViolations) {
   QuoteCleaner cleaner(2, CleanerConfig{});
   std::vector<Quote> quotes;

@@ -353,5 +353,154 @@ TEST(GraphRun, InvalidGraphThrows) {
   EXPECT_THROW(g.run(), std::runtime_error);
 }
 
+// --- failure containment ----------------------------------------------------
+
+TEST(Containment, NodeExceptionIsReportedNotFatal) {
+  // Regression: an exception escaping a node function used to unwind through
+  // the rank thread and tear the whole process down. It must be contained
+  // and reported per node instead.
+  Graph g;
+  const int src = g.add_node("src", [](Context& ctx) {
+    for (int i = 0; i < 10; ++i) ctx.emit(0, pack_int(i));
+  });
+  const int bad = g.add_node("bad", [](Context& ctx) {
+    (void)ctx.recv();
+    throw std::runtime_error("boom at message 1");
+  });
+  g.connect(src, 0, bad, 0);
+
+  const RunResult result = g.run();
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(src)].failed);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(bad)].failed);
+  EXPECT_NE(result.nodes[static_cast<std::size_t>(bad)].error.find("boom"),
+            std::string::npos);
+  EXPECT_EQ(result.nodes[static_cast<std::size_t>(bad)].name, "bad");
+}
+
+TEST(Containment, FailureMarkerPoisonsTheDownstreamLineage) {
+  // src -> mid -> sink. mid dies after forwarding 5 messages; the sink must
+  // see those 5, then a closed-and-poisoned input — and the healthy relay in
+  // between must re-propagate the marker, not launder it into a clean EOS.
+  std::vector<int> sink_got;
+  bool sink_saw_failure = false;
+  std::vector<int> sink_failed_ports;
+
+  Graph g;
+  const int src = g.add_node("src", [](Context& ctx) {
+    for (int i = 0; i < 20; ++i) ctx.emit(0, pack_int(i));
+  });
+  const int mid = g.add_node("mid", [](Context& ctx) {
+    int forwarded = 0;
+    while (auto msg = ctx.recv()) {
+      ctx.emit(0, std::move(msg->bytes));
+      if (++forwarded == 5) throw std::runtime_error("mid died");
+    }
+  });
+  const int relay = g.add_node("relay", [](Context& ctx) {
+    while (auto msg = ctx.recv()) ctx.emit(0, std::move(msg->bytes));
+  });
+  const int sink = g.add_node("sink", [&](Context& ctx) {
+    while (auto msg = ctx.recv()) sink_got.push_back(unpack_int(msg->bytes));
+    sink_saw_failure = ctx.upstream_failed();
+    sink_failed_ports = ctx.failed_input_ports();
+  });
+  g.connect(src, 0, mid, 0);
+  g.connect(mid, 0, relay, 0);
+  g.connect(relay, 0, sink, 0);
+
+  const RunResult result = g.run();
+  EXPECT_EQ(sink_got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(sink_saw_failure);
+  EXPECT_EQ(sink_failed_ports, std::vector<int>{0});
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(mid)].failed);
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(relay)].failed);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(relay)].upstream_failed);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(sink)].upstream_failed);
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(src)].failed);
+}
+
+TEST(Containment, HealthySiblingsCompleteWhenOneBranchFails) {
+  // Fan-out: one consumer dies immediately, the other must still receive the
+  // full stream (the producer keeps emitting; the dead branch just degrades).
+  std::atomic<int> healthy_count{0};
+  Graph g;
+  const int src = g.add_node("src", [](Context& ctx) {
+    for (int i = 0; i < 50; ++i) {
+      ctx.emit(0, pack_int(i));
+      ctx.emit(1, pack_int(i));
+    }
+  });
+  const int bad = g.add_node("bad", [](Context&) -> void {
+    throw std::runtime_error("instant death");
+  });
+  const int good = g.add_node("good", [&](Context& ctx) {
+    while (ctx.recv()) ++healthy_count;
+  });
+  g.connect(src, 0, bad, 0);
+  g.connect(src, 1, good, 0);
+
+  const RunResult result = g.run();
+  EXPECT_EQ(healthy_count.load(), 50);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(bad)].failed);
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(good)].failed);
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(good)].upstream_failed);
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(src)].failed);
+}
+
+TEST(Containment, KilledRankDetectedViaPumpDeadline) {
+  // The fault plan kills the source mid-stream WITHOUT a dying breath: no
+  // EOS, no failure marker, just silence. Only the pump deadline lets the
+  // sink (and the graph) finish — and the silence is reported as a fault.
+  std::atomic<int> sink_count{0};
+  Graph g;
+  const int src = g.add_node("src", [](Context& ctx) {
+    for (int i = 0; i < 500; ++i) ctx.emit(0, pack_int(i));
+  });
+  const int sink = g.add_node("sink", [&](Context& ctx) {
+    while (ctx.recv()) ++sink_count;
+  });
+  g.connect(src, 0, sink, 0, /*capacity=*/8);
+
+  RunOptions options;
+  options.fault.kill_rank = 0;
+  options.fault.kill_at_op = 60;  // well past comm setup, well before 500 sends
+  options.pump_timeout = std::chrono::milliseconds{1000};
+
+  const RunResult result = g.run(options);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(src)].failed);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(sink)].upstream_failed);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(sink)].timed_out);
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(sink)].failed);
+  // Messages sent before the kill were delivered.
+  EXPECT_GT(sink_count.load(), 0);
+  EXPECT_LT(sink_count.load(), 500);
+}
+
+TEST(Containment, DeadConsumerDoesNotWedgeTheProducer) {
+  // The consumer is killed by the fault plan; with a bounded pump the
+  // producer's emit() declares the edge dead once credits stop coming back
+  // and the graph still completes.
+  Graph g;
+  const int src = g.add_node("src", [](Context& ctx) {
+    for (int i = 0; i < 500; ++i) ctx.emit(0, pack_int(i));
+  });
+  const int sink = g.add_node("sink", [&](Context& ctx) {
+    while (ctx.recv()) {
+    }
+  });
+  g.connect(src, 0, sink, 0, /*capacity=*/4);
+
+  RunOptions options;
+  options.fault.kill_rank = 1;
+  options.fault.kill_at_op = 60;
+  options.pump_timeout = std::chrono::milliseconds{1000};
+
+  const RunResult result = g.run(options);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(sink)].failed);
+  EXPECT_FALSE(result.nodes[static_cast<std::size_t>(src)].failed);
+  EXPECT_TRUE(result.nodes[static_cast<std::size_t>(src)].timed_out);
+}
+
 }  // namespace
 }  // namespace mm::dag

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <thread>
 
 #include "mpmini/collectives.hpp"
 #include "mpmini/environment.hpp"
@@ -290,6 +293,325 @@ TEST(Mailbox, ManyToOneStress) {
       for (int i = 0; i < per_producer; ++i) comm.send_value<int>(0, 1, i);
     }
   });
+}
+
+// --- deadline variants ------------------------------------------------------
+
+TEST(Deadline, RecvForTimesOutWithTypedError) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const auto result = comm.recv_for(std::chrono::milliseconds{30}, 1, 7);
+      ASSERT_FALSE(result.has_value());
+      EXPECT_EQ(result.error().code, Errc::timeout);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Deadline, RecvForReturnsPayloadOnArrival) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      RecvStatus status;
+      const auto result =
+          comm.recv_for(std::chrono::milliseconds{30000}, any_source, any_tag, &status);
+      ASSERT_TRUE(result.has_value());
+      ASSERT_EQ(result->size(), 1u);
+      EXPECT_EQ(result->front(), 42);
+      EXPECT_EQ(status.source, 1);
+      EXPECT_EQ(status.tag, 9);
+    } else {
+      comm.send(0, 9, {42});
+    }
+  });
+}
+
+TEST(Deadline, TimedOutRecvDoesNotSwallowLaterMessages) {
+  // Regression guard for ticket cancellation: a receive abandoned on timeout
+  // must be withdrawn, or the message arriving later completes a ticket
+  // nobody is waiting on and is lost to all future receives.
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      ASSERT_FALSE(comm.recv_for(std::chrono::milliseconds{30}, 1, 5).has_value());
+      comm.barrier();  // now let rank 1 send
+      EXPECT_EQ(comm.recv_value<int>(1, 5), 1);
+      EXPECT_EQ(comm.recv_value<int>(1, 5), 2);
+    } else {
+      comm.barrier();
+      comm.send_value<int>(0, 5, 1);
+      comm.send_value<int>(0, 5, 2);
+    }
+  });
+}
+
+TEST(Deadline, RequestWaitForTimesOutThenCompletes) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Request req = comm.irecv(1, 3);
+      const auto early = req.wait_for(std::chrono::milliseconds{30});
+      ASSERT_FALSE(early.has_value());
+      EXPECT_EQ(early.error().code, Errc::timeout);
+      comm.barrier();
+      const auto late = req.wait_for(std::chrono::milliseconds{30000});
+      ASSERT_TRUE(late.has_value());
+      ASSERT_EQ(late->payload.size(), 1u);
+      EXPECT_EQ(late->payload.front(), 7);
+    } else {
+      comm.barrier();
+      comm.send(0, 3, {7});
+    }
+  });
+}
+
+TEST(Deadline, ProbeForTimesOutAndThenFinds) {
+  Environment::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const auto missing = comm.probe_for(std::chrono::milliseconds{30}, 1, 4);
+      ASSERT_FALSE(missing.has_value());
+      EXPECT_EQ(missing.error().code, Errc::timeout);
+      comm.barrier();
+      const auto found = comm.probe_for(std::chrono::milliseconds{30000}, 1, 4);
+      ASSERT_TRUE(found.has_value());
+      EXPECT_EQ(found->tag, 4);
+      EXPECT_EQ(found->byte_count, 3u);
+      EXPECT_EQ(comm.recv(1, 4).size(), 3u);
+    } else {
+      comm.barrier();
+      comm.send(0, 4, {1, 2, 3});
+    }
+  });
+}
+
+// --- probe/recv matching contract -------------------------------------------
+
+TEST(ProbeRace, ProbedMessageIsReservedForTheProbingThread) {
+  // Regression for the probe -> recv steal: a message reported by a blocking
+  // probe must go to the probing thread even if another thread posts a
+  // wildcard receive in between.
+  Mailbox box;
+  Message first;
+  first.source = 0;
+  first.tag = 7;
+  first.comm_id = 1;
+  first.sequence = 0;
+  first.payload = {1};
+  box.deliver(first);
+
+  const RecvStatus st = box.probe(1, any_source, any_tag);
+  EXPECT_EQ(st.tag, 7);
+
+  // A wildcard receive from ANOTHER thread must not see the reserved message.
+  std::shared_ptr<RecvTicket> thief;
+  std::thread other([&] { thief = box.post_recv(1, any_source, any_tag); });
+  other.join();
+  EXPECT_FALSE(box.test(thief));
+
+  // The probing thread's own receive consumes exactly the probed message.
+  auto mine = box.post_recv(1, st.source, st.tag);
+  ASSERT_TRUE(box.test(mine));
+  EXPECT_EQ(box.wait(mine).payload.front(), 1);
+
+  // The thief's pending receive is served by the NEXT delivery.
+  Message second = first;
+  second.sequence = 1;
+  second.payload = {2};
+  box.deliver(second);
+  ASSERT_TRUE(box.test(thief));
+  EXPECT_EQ(box.wait(thief).payload.front(), 2);
+}
+
+TEST(ProbeRace, StressProbeThenRecvAlwaysCompletesImmediately) {
+  // Under the reservation contract, a receive posted right after a blocking
+  // probe is ALWAYS satisfied on the spot — a concurrent wildcard consumer
+  // can no longer snatch the probed message.
+  Mailbox box;
+  constexpr int prober_share = 150;
+  constexpr int thief_share = 150;
+
+  std::thread producer([&] {
+    for (int i = 0; i < prober_share + thief_share; ++i) {
+      Message m;
+      m.source = 0;
+      m.tag = 3;
+      m.comm_id = 1;
+      m.sequence = static_cast<std::uint64_t>(i);
+      m.payload = {static_cast<std::uint8_t>(i & 0xff)};
+      box.deliver(m);
+    }
+  });
+  std::thread thief([&] {
+    for (int i = 0; i < thief_share; ++i) (void)box.wait(box.post_recv(1, 0, 3));
+  });
+
+  int immediate = 0;
+  for (int i = 0; i < prober_share; ++i) {
+    const RecvStatus st = box.probe(1, any_source, any_tag);
+    auto ticket = box.post_recv(1, st.source, st.tag);
+    if (box.test(ticket)) ++immediate;
+    (void)box.wait(ticket);
+  }
+  producer.join();
+  thief.join();
+  EXPECT_EQ(immediate, prober_share);
+}
+
+// --- fault injection --------------------------------------------------------
+
+TEST(FaultPlan, DecisionsAreDeterministicPerEnvelope) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_prob = 0.3;
+  plan.duplicate_prob = 0.1;
+
+  int drops = 0;
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    Message m;
+    m.source = 0;
+    m.tag = 2;
+    m.comm_id = 1;
+    m.sequence = seq;
+    const auto a = plan.decide(m, 1);
+    const auto b = plan.decide(m, 1);
+    EXPECT_EQ(a.drop, b.drop);
+    EXPECT_EQ(a.duplicate, b.duplicate);
+    EXPECT_EQ(a.delay.count(), b.delay.count());
+    if (a.drop) ++drops;
+  }
+  // The hash behaves like the configured Bernoulli rate.
+  EXPECT_GT(drops, 200);
+  EXPECT_LT(drops, 400);
+}
+
+TEST(FaultPlan, ReservedTagsAreNeverFaulted) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 1.0;  // drop everything... except collective traffic
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    Message m;
+    m.source = 0;
+    m.tag = reserved_tag_base + static_cast<int>(seq);
+    m.comm_id = 1;
+    m.sequence = seq;
+    const auto d = plan.decide(m, 1);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.delay.count(), 0);
+  }
+}
+
+TEST(FaultPlan, DropsAreAppliedAndRunToRunDeterministic) {
+  constexpr int n = 200;
+  const auto run_once = [] {
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.drop_prob = 0.5;
+    int received = 0;
+    Environment::run(
+        2,
+        [&](Comm& comm) {
+          if (comm.rank() == 0) {
+            for (int i = 0; i < n; ++i) comm.send_value<int>(1, 1, i);
+            comm.barrier();
+          } else {
+            comm.barrier();  // all surviving sends are already queued
+            while (comm.iprobe(0, 1)) {
+              (void)comm.recv(0, 1);
+              ++received;
+            }
+          }
+        },
+        plan);
+    return received;
+  };
+
+  const int first = run_once();
+  EXPECT_GT(first, 0);
+  EXPECT_LT(first, n);
+  EXPECT_EQ(run_once(), first);  // same seed, same envelopes, same fault set
+}
+
+TEST(FaultPlan, DuplicatesDeliverTwice) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.duplicate_prob = 1.0;
+  int received = 0;
+  Environment::run(
+      2,
+      [&](Comm& comm) {
+        if (comm.rank() == 0) {
+          for (int i = 0; i < 10; ++i) comm.send_value<int>(1, 1, i);
+          comm.barrier();
+        } else {
+          comm.barrier();
+          while (comm.iprobe(0, 1)) {
+            (void)comm.recv(0, 1);
+            ++received;
+          }
+        }
+      },
+      plan);
+  EXPECT_EQ(received, 20);
+}
+
+TEST(FaultPlan, KilledRankThrowsAndStaysDead) {
+  FaultPlan plan;
+  plan.kill_rank = 1;
+  plan.kill_at_op = 3;  // two sends succeed, the third operation kills
+  std::vector<int> got;
+  EXPECT_THROW(
+      Environment::run(
+          2,
+          [&](Comm& comm) {
+            if (comm.rank() == 1) {
+              comm.send_value<int>(0, 1, 10);
+              comm.send_value<int>(0, 1, 11);
+              comm.send_value<int>(0, 1, 12);  // never delivered: rank dies here
+            } else {
+              got.push_back(comm.recv_value<int>(1, 1));
+              got.push_back(comm.recv_value<int>(1, 1));
+            }
+          },
+          plan),
+      RankKilled);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 10);
+  EXPECT_EQ(got[1], 11);
+}
+
+TEST(FaultPlan, DeadRankCannotSendDyingBreath) {
+  // Every operation at or past the kill step throws — including attempts to
+  // catch the first throw and "say goodbye".
+  FaultPlan plan;
+  plan.kill_rank = 0;
+  plan.kill_at_op = 1;
+  EXPECT_THROW(Environment::run(
+                   1,
+                   [&](Comm& comm) {
+                     try {
+                       comm.send_value<int>(0, 1, 1);
+                     } catch (const RankKilled&) {
+                       comm.send_value<int>(0, 1, 2);  // throws again
+                     }
+                   },
+                   plan),
+               RankKilled);
+}
+
+TEST(FaultPlan, DelayOnlySlowsButLosesNothing) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.delay_prob = 0.5;
+  plan.delay = std::chrono::microseconds{200};
+  Environment::run(
+      2,
+      [](Comm& comm) {
+        constexpr int n = 50;
+        if (comm.rank() == 0) {
+          for (int i = 0; i < n; ++i) comm.send_value<int>(1, 1, i);
+        } else {
+          for (int i = 0; i < n; ++i) EXPECT_EQ(comm.recv_value<int>(0, 1), i);
+        }
+      },
+      plan);
 }
 
 }  // namespace
