@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build and run the telemetry demo: one synthetic day through the Fig. 1
+# pipeline with metrics + tracing on, printing the metrics snapshot and
+# writing a Chrome-trace JSON (open it in chrome://tracing or
+# https://ui.perfetto.dev). Usage: scripts/obs_trace.sh [build-dir] [out.json]
+# (defaults: build, obs_demo.trace.json at the repo root).
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/obs_demo.trace.json"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j --target obs_demo
+"$build_dir/examples/obs_demo" --trace "$out"

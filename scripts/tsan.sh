@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Configure the ThreadSanitizer build tree and run the `tsan`-labeled test
-# subset (mpmini transport, dagflow graph execution, collectives, and the
-# engine fault matrix). Usage: scripts/tsan.sh [build-dir] (default:
-# build-tsan). Extra safety: TSAN_OPTIONS makes any race a hard failure.
+# subset (mpmini transport, dagflow graph execution, collectives, the engine
+# fault matrix, and the mm::obs sharded metrics). Usage: scripts/tsan.sh
+# [build-dir] (default: build-tsan). Extra safety: TSAN_OPTIONS makes any
+# race a hard failure.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -10,6 +11,6 @@ build_dir=${1:-"$repo_root/build-tsan"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$build_dir" -j --target \
-  test_mpmini test_collectives test_dagflow test_faults
+  test_mpmini test_collectives test_dagflow test_faults test_obs
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$build_dir" -L tsan --output-on-failure

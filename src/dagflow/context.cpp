@@ -16,8 +16,19 @@ constexpr std::uint8_t kind_fail = 2;  // NodeFailure marker: EOS + poisoned lin
 
 Context::Context(mpi::Comm& comm, int node, std::string name,
                  const std::vector<Edge>& edges, const std::vector<int>& leader_ranks,
-                 std::chrono::milliseconds pump_timeout)
-    : comm_(comm), node_(node), name_(std::move(name)), pump_timeout_(pump_timeout) {
+                 std::chrono::milliseconds pump_timeout, obs::Registry* metrics,
+                 obs::TraceRing* ring)
+    : comm_(comm),
+      node_(node),
+      name_(std::move(name)),
+      pump_timeout_(pump_timeout),
+      metrics_(metrics),
+      ring_(ring) {
+  if (metrics_ != nullptr) {
+    frames_in_ = &metrics_->counter("dag." + name_ + ".frames_in");
+    frames_out_ = &metrics_->counter("dag." + name_ + ".frames_out");
+    credit_stall_ns_ = &metrics_->counter("dag." + name_ + ".credit_stall_ns");
+  }
   for (std::size_t e = 0; e < edges.size(); ++e) {
     const Edge& edge = edges[e];
     if (edge.to_node == node) {
@@ -115,6 +126,7 @@ std::optional<InMessage> Context::recv() {
     // would cascade one stage's fault across its healthy peers.
     if (!pump(std::chrono::steady_clock::now() + 2 * pump_timeout_)) {
       // Transport silent: whoever still owes us a stream is presumed dead.
+      if (ring_ != nullptr) ring_->instant("recv-timeout");
       for (auto& in : inputs_) {
         if (in.open) {
           in.open = false;
@@ -130,6 +142,7 @@ std::optional<InMessage> Context::recv() {
   InMessage msg = std::move(ready_.front());
   ready_.pop_front();
   ++messages_in_;
+  if (frames_in_ != nullptr) frames_in_->add(1);
   return msg;
 }
 
@@ -143,18 +156,30 @@ void Context::emit(int port, std::vector<std::uint8_t> bytes) {
   // Backpressure: service the transport until a credit frees capacity. The
   // deadline is absolute across the whole wait — a consumer that returns no
   // credit within it is dead, and this edge degrades to a message sink.
-  const auto deadline = std::chrono::steady_clock::now() + pump_timeout_;
-  while (target->credits == 0) {
-    if (!pump(deadline)) {
-      target->open = false;
-      return;  // drop the message: nobody is consuming this edge
+  if (target->credits == 0) {
+    // Credit stall: the consumer is the bottleneck. Timed only on this slow
+    // path so the uncontended emit never reads the clock.
+    obs::ObsSpan span(ring_, "credit-stall");
+    const std::int64_t stall_start = credit_stall_ns_ != nullptr ? obs::now_ns() : 0;
+    const auto deadline = std::chrono::steady_clock::now() + pump_timeout_;
+    while (target->credits == 0) {
+      if (!pump(deadline)) {
+        if (ring_ != nullptr) ring_->instant("emit-timeout");
+        target->open = false;
+        if (credit_stall_ns_ != nullptr)
+          credit_stall_ns_->add(static_cast<std::uint64_t>(obs::now_ns() - stall_start));
+        return;  // drop the message: nobody is consuming this edge
+      }
     }
+    if (credit_stall_ns_ != nullptr)
+      credit_stall_ns_->add(static_cast<std::uint64_t>(obs::now_ns() - stall_start));
   }
 
   bytes.insert(bytes.begin(), kind_data);
   comm_.send(target->peer_node, data_tag(target->edge_id), std::move(bytes));
   --target->credits;
   ++messages_out_;
+  if (frames_out_ != nullptr) frames_out_->add(1);
 }
 
 void Context::close_output(int port) {

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "mpmini/comm.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace mm::dag {
 
@@ -28,9 +30,14 @@ class Context {
   // bounds every wait on the transport: zero means wait forever; a positive
   // value turns a silent transport into a fault (timed-out inputs are
   // treated as failed, a timed-out output is abandoned) instead of a hang.
+  // `metrics` and `ring` are optional telemetry hooks (see RunOptions): with
+  // a registry the context maintains dag.<name>.frames_in / frames_out /
+  // credit_stall_ns; with a ring it records emit-stall spans and timeout
+  // instants.
   Context(mpi::Comm& comm, int node, std::string name, const std::vector<Edge>& edges,
           const std::vector<int>& leader_ranks,
-          std::chrono::milliseconds pump_timeout = std::chrono::milliseconds{0});
+          std::chrono::milliseconds pump_timeout = std::chrono::milliseconds{0},
+          obs::Registry* metrics = nullptr, obs::TraceRing* ring = nullptr);
 
   const std::string& name() const { return name_; }
   int node() const { return node_; }
@@ -73,6 +80,10 @@ class Context {
   std::uint64_t messages_in() const { return messages_in_; }
   std::uint64_t messages_out() const { return messages_out_; }
 
+  // Telemetry hooks for component code (either may be null).
+  obs::Registry* metrics() const { return metrics_; }
+  obs::TraceRing* ring() const { return ring_; }
+
  private:
   struct InputEdge {
     int edge_id;
@@ -104,6 +115,11 @@ class Context {
   int node_;
   std::string name_;
   std::chrono::milliseconds pump_timeout_{0};
+  obs::Registry* metrics_ = nullptr;
+  obs::TraceRing* ring_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;        // dag.<name>.frames_in
+  obs::Counter* frames_out_ = nullptr;       // dag.<name>.frames_out
+  obs::Counter* credit_stall_ns_ = nullptr;  // dag.<name>.credit_stall_ns
   std::vector<InputEdge> inputs_;
   std::vector<OutputEdge> outputs_;
   std::deque<InMessage> ready_;  // data already pumped but not yet recv()ed

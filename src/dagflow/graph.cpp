@@ -128,13 +128,28 @@ RunResult Graph::run(const RunOptions& options) {
         NodeStatus local;           // this rank's observations only
         std::optional<Context> ctx; // leaders only; built after the split
 
+        // Telemetry: this rank's trace ring (pid = rank, tid = node, thread
+        // row named after the node) and the node's wall-time histogram.
+        obs::TraceRing* ring = nullptr;
+        if (options.trace != nullptr) {
+          ring = &options.trace->ring(comm.rank(),
+                                      format("rank %d", comm.rank()));
+          ring->set_tid(node);
+          options.trace->set_thread_name(comm.rank(), node, spec.name);
+        }
+        obs::Histogram* wall =
+            options.metrics != nullptr
+                ? &options.metrics->histogram("dag." + spec.name + ".wall_ns")
+                : nullptr;
+
         try {
           // Private group communicator per node (collective over the world).
           mpi::Comm group = comm.split(node, comm.rank());
           const bool leader = comm.rank() == leader_rank[static_cast<std::size_t>(node)];
           if (leader)
             ctx.emplace(comm, node, spec.name, edges_, leader_rank,
-                        options.pump_timeout);
+                        options.pump_timeout, options.metrics, ring);
+          obs::ObsSpan span(ring, "run", wall);
           if (spec.fn) {
             MM_ASSERT(leader);  // single-rank nodes have exactly one member
             spec.fn(*ctx);
@@ -156,6 +171,7 @@ RunResult Graph::run(const RunOptions& options) {
           // fault-plan kill makes every transport op throw — downstream then
           // discovers the silence via its pump deadline instead.
           try {
+            obs::ObsSpan span(ring, "drain");
             if (local.failed)
               ctx->fail_all_outputs();
             else
@@ -177,7 +193,7 @@ RunResult Graph::run(const RunOptions& options) {
         status.upstream_failed = status.upstream_failed || local.upstream_failed;
         status.timed_out = status.timed_out || local.timed_out;
       },
-      options.fault);
+      options.fault, options.metrics);
 
   return result;
 }

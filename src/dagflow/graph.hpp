@@ -31,6 +31,8 @@
 #include "common/error.hpp"
 #include "mpmini/comm.hpp"
 #include "mpmini/fault.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace mm::dag {
 
@@ -83,6 +85,16 @@ struct RunOptions {
   // a node whose upstream goes silent past the deadline treats the stream as
   // failed instead of hanging.
   std::chrono::milliseconds pump_timeout{0};
+
+  // --- telemetry (both optional; must outlive the run) --------------------
+  // Registry for runtime metrics: the mpmini world's transport counters plus
+  // per-node dag.<name>.frames_in / frames_out / credit_stall_ns counters and
+  // a dag.<name>.wall_ns histogram of node-function wall time.
+  obs::Registry* metrics = nullptr;
+  // Trace sink: one ring ("process") per rank, one named thread row per
+  // node; node run / teardown spans and emit-stall spans are recorded and
+  // can be drained to chrome://tracing JSON after run() returns.
+  obs::TraceSink* trace = nullptr;
 };
 
 class Graph {

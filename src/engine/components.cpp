@@ -8,6 +8,8 @@
 #include "core/strategy.hpp"
 #include "dagflow/context.hpp"
 #include "engine/messages.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "marketdata/bars.hpp"
 #include "marketdata/tickdb.hpp"
 #include "stats/cluster.hpp"
@@ -41,6 +43,12 @@ void emit_quotes(dag::Context& ctx, const std::vector<md::Quote>& quotes,
     ctx.emit(0, batch.pack());
     bump(stats, 0, 1, 0, batch.quotes.size());
   }
+}
+
+// Per-stage step histogram, registered on the run's registry (null when the
+// run records no metrics; ObsSpan treats a null histogram as "don't sample").
+obs::Histogram* step_histogram(dag::Context& ctx, const char* name) {
+  return ctx.metrics() != nullptr ? &ctx.metrics()->histogram(name) : nullptr;
 }
 
 }  // namespace
@@ -146,6 +154,7 @@ dag::NodeFn make_correlation_stage(std::size_t symbols, std::int64_t corr_window
   return [symbols, corr_window, need_maronna, maronna_config, fan_out,
           stats](dag::Context& ctx) {
     const auto pairs = stats::all_pairs(symbols);
+    obs::Histogram* step_ns = step_histogram(ctx, "engine.correlation.step_ns");
     stats::ReturnWindows windows(symbols, static_cast<std::size_t>(corr_window),
                                  /*track_cross_sums=*/true);
     std::vector<double> wx(static_cast<std::size_t>(corr_window));
@@ -157,6 +166,7 @@ dag::NodeFn make_correlation_stage(std::size_t symbols, std::int64_t corr_window
       auto snap = Snapshot::unpack(u);
       bump(stats, 1, 0, 1, 0);
 
+      obs::ObsSpan step(ctx.ring(), "corr-step", step_ns);
       if (!snap.returns.empty()) windows.push(snap.returns);
 
       CorrFrame frame;
@@ -176,6 +186,7 @@ dag::NodeFn make_correlation_stage(std::size_t symbols, std::int64_t corr_window
           }
         }
       }
+      step.close();
       const auto packed = frame.pack();
       for (int port = 0; port < fan_out; ++port) ctx.emit(port, packed);
       bump(stats, 0, static_cast<std::uint64_t>(fan_out), 0, 1);
@@ -288,6 +299,7 @@ dag::GroupNodeFn make_parallel_correlation_stage(std::size_t symbols,
     }
 
     // Leader.
+    obs::Histogram* step_ns = step_histogram(*ctx, "engine.correlation.step_ns");
     std::vector<std::int32_t> alive;
     for (int r = 0; r < group.size(); ++r) alive.push_back(r);
     std::uint64_t round_no = 0;
@@ -298,6 +310,7 @@ dag::GroupNodeFn make_parallel_correlation_stage(std::size_t symbols,
                 RecordType::snapshot);
       auto snap = Snapshot::unpack(u);
       bump(stats, 1, 0, 1, 0);
+      obs::ObsSpan step(ctx->ring(), "corr-round", step_ns);
 
       // The assignment every party uses this round (alive may shrink below).
       const std::vector<std::int32_t> round_alive = alive;
@@ -383,6 +396,7 @@ dag::GroupNodeFn make_parallel_correlation_stage(std::size_t symbols,
           }
         }
       }
+      step.close();
       const auto packed = frame.pack();
       for (int port = 0; port < fan_out; ++port) ctx->emit(port, packed);
       bump(stats, 0, static_cast<std::uint64_t>(fan_out), 0, 1);
@@ -405,6 +419,7 @@ dag::NodeFn make_strategy_stage(core::StrategyParams params,
                                 StageStats* stats) {
   return [params, pairs = std::move(pairs), strategy_id, smax,
           stats](dag::Context& ctx) {
+    obs::Histogram* step_ns = step_histogram(ctx, "engine.strategy.step_ns");
     std::vector<core::PairStrategy> machines;
     machines.reserve(pairs.size());
     for (std::size_t k = 0; k < pairs.size(); ++k) machines.emplace_back(params, smax);
@@ -455,6 +470,7 @@ dag::NodeFn make_strategy_stage(core::StrategyParams params,
         indexed = true;
       }
 
+      obs::ObsSpan step(ctx.ring(), "strategy-step", step_ns);
       for (std::size_t k = 0; k < pairs.size(); ++k) {
         auto& machine = machines[k];
         const double pi = frame.prices[pairs[k].i];

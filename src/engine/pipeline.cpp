@@ -109,15 +109,23 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
     graph.connect(cluster_node, 0, cluster_sink, 0, config.channel_capacity);
   }
 
+  // Telemetry: the caller's registry when supplied, else a private one whose
+  // aggregate outlives the run only through the snapshot below.
+  obs::Registry local_metrics;
+  obs::Registry* metrics = config.metrics != nullptr ? config.metrics : &local_metrics;
+
   dag::RunOptions options;
   options.fault = config.fault;
   options.pump_timeout = config.stage_deadline;
+  options.metrics = metrics;
+  options.trace = config.trace;
 
   Stopwatch watch;
   const dag::RunResult run_result = graph.run(options);
 
   PipelineResult result;
   result.master = std::move(master);
+  result.metrics = metrics->snapshot();
   result.clusters = std::move(cluster_log);
   result.wall_seconds = watch.elapsed_seconds();
   result.quotes_in = quotes_in;

@@ -19,6 +19,8 @@
 #include "engine/components.hpp"
 #include "marketdata/generator.hpp"
 #include "mpmini/fault.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace mm::engine {
 
@@ -54,6 +56,16 @@ struct PipelineConfig {
   // Deadline for one correlation replica's shard; a replica that misses it
   // is resharded onto the survivors (see make_parallel_correlation_stage).
   std::chrono::milliseconds replica_deadline{0};
+
+  // --- telemetry -----------------------------------------------------------
+  // Metrics registry shared by the transport, the dagflow runtime and the
+  // stage components. Null = a private per-run registry whose aggregate is
+  // returned in PipelineResult::metrics; pass your own to accumulate across
+  // days (run_pipeline_session does not reset it between days).
+  obs::Registry* metrics = nullptr;
+  // Optional trace sink: one ring per rank, one named row per node. Drain
+  // with TraceSink::write_file after the run for chrome://tracing/Perfetto.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct StageReport {
@@ -78,6 +90,11 @@ struct PipelineResult {
   // stream, or hit a deadline; `faults` lists those nodes' statuses.
   bool degraded = false;
   std::vector<dag::NodeStatus> faults;
+
+  // Structured telemetry aggregated over the run: mpmini transport counters,
+  // per-node dagflow frame/stall/wall metrics, and engine stage histograms
+  // (empty when built with MM_OBS_ENABLED=OFF).
+  obs::Snapshot metrics;
 };
 
 // Stream `quotes` (one day, time-sorted) through the Fig. 1 graph.

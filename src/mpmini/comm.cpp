@@ -8,6 +8,13 @@
 #include "mpmini/serde.hpp"
 
 namespace mm::mpi {
+namespace {
+
+inline void bump(obs::Counter* counter, std::uint64_t n = 1) {
+  if (counter != nullptr) counter->add(n);
+}
+
+}  // namespace
 
 World::World(int size) {
   MM_ASSERT_MSG(size > 0, "World size must be positive");
@@ -21,6 +28,19 @@ World::World(int size) {
 Mailbox& World::mailbox(int world_rank) {
   MM_ASSERT(world_rank >= 0 && world_rank < size());
   return *mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+void World::attach_obs(obs::Registry& registry) {
+  metrics_.send_messages = &registry.counter("mpmini.send.messages");
+  metrics_.send_bytes = &registry.counter("mpmini.send.bytes");
+  metrics_.recv_messages = &registry.counter("mpmini.recv.messages");
+  metrics_.recv_bytes = &registry.counter("mpmini.recv.bytes");
+  metrics_.timeouts = &registry.counter("mpmini.deadline.timeouts");
+  metrics_.faults_dropped = &registry.counter("mpmini.fault.dropped");
+  metrics_.faults_duplicated = &registry.counter("mpmini.fault.duplicated");
+  metrics_.faults_delayed = &registry.counter("mpmini.fault.delayed");
+  obs::Gauge& queue_peak = registry.gauge("mpmini.mailbox.queue_peak");
+  for (auto& mailbox : mailboxes_) mailbox->set_obs(&queue_peak);
 }
 
 void World::check_op(int world_rank) {
@@ -53,12 +73,24 @@ void Comm::internal_send(int dest, int tag, std::vector<std::uint8_t> payload) {
   msg.sequence = send_seq_++;
   msg.payload = std::move(payload);
   const int dest_world = members_[static_cast<std::size_t>(dest)];
+  const WorldObs& metrics = world_->metrics();
+  bump(metrics.send_messages);
+  bump(metrics.send_bytes, msg.payload.size());
   const FaultPlan& plan = world_->fault_plan();
   if (plan.active()) {
     const FaultDecision decision = plan.decide(msg, dest_world);
-    if (decision.drop) return;
-    if (decision.delay.count() > 0) std::this_thread::sleep_for(decision.delay);
-    if (decision.duplicate) world_->mailbox(dest_world).deliver(msg);
+    if (decision.drop) {
+      bump(metrics.faults_dropped);
+      return;
+    }
+    if (decision.delay.count() > 0) {
+      bump(metrics.faults_delayed);
+      std::this_thread::sleep_for(decision.delay);
+    }
+    if (decision.duplicate) {
+      bump(metrics.faults_duplicated);
+      world_->mailbox(dest_world).deliver(msg);
+    }
   }
   world_->mailbox(dest_world).deliver(std::move(msg));
 }
@@ -79,6 +111,8 @@ std::vector<std::uint8_t> Comm::recv(int source, int tag, RecvStatus* status) {
   Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
   auto ticket = box.post_recv(comm_id_, source, tag);
   Message msg = box.wait(ticket);
+  bump(world_->metrics().recv_messages);
+  bump(world_->metrics().recv_bytes, msg.payload.size());
   if (status != nullptr) {
     status->source = msg.source;
     status->tag = msg.tag;
@@ -99,8 +133,12 @@ Expected<std::vector<std::uint8_t>> Comm::recv_for(std::chrono::milliseconds tim
   } else {
     msg = box.cancel(ticket);  // may still succeed if completion raced us
   }
-  if (!msg.has_value())
+  if (!msg.has_value()) {
+    bump(world_->metrics().timeouts);
     return Error(Errc::timeout, "recv_for: no matching message within deadline");
+  }
+  bump(world_->metrics().recv_messages);
+  bump(world_->metrics().recv_bytes, msg->payload.size());
   if (status != nullptr) {
     status->source = msg->source;
     status->tag = msg->tag;
@@ -126,8 +164,10 @@ Expected<RecvStatus> Comm::probe_for(std::chrono::milliseconds timeout, int sour
   fault_point();
   RecvStatus status;
   if (!world_->mailbox(members_[static_cast<std::size_t>(rank_)])
-           .probe_for(comm_id_, source, tag, timeout, &status))
+           .probe_for(comm_id_, source, tag, timeout, &status)) {
+    bump(world_->metrics().timeouts);
     return Error(Errc::timeout, "probe_for: no matching message within deadline");
+  }
   return status;
 }
 

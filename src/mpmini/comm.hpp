@@ -20,8 +20,22 @@
 #include "mpmini/mailbox.hpp"
 #include "mpmini/message.hpp"
 #include "mpmini/request.hpp"
+#include "obs/registry.hpp"
 
 namespace mm::mpi {
+
+// Transport-level telemetry handles, resolved once per world when a registry
+// is attached (all null otherwise — the hot path checks one pointer).
+struct WorldObs {
+  obs::Counter* send_messages = nullptr;     // mpmini.send.messages
+  obs::Counter* send_bytes = nullptr;        // mpmini.send.bytes
+  obs::Counter* recv_messages = nullptr;     // mpmini.recv.messages
+  obs::Counter* recv_bytes = nullptr;        // mpmini.recv.bytes
+  obs::Counter* timeouts = nullptr;          // mpmini.deadline.timeouts
+  obs::Counter* faults_dropped = nullptr;    // mpmini.fault.dropped
+  obs::Counter* faults_duplicated = nullptr; // mpmini.fault.duplicated
+  obs::Counter* faults_delayed = nullptr;    // mpmini.fault.delayed
+};
 
 class World {
  public:
@@ -36,6 +50,11 @@ class World {
   void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
   const FaultPlan& fault_plan() const { return fault_plan_; }
 
+  // Register transport metrics on `registry` and start recording into them.
+  // Like the fault plan, attach BEFORE any rank thread starts.
+  void attach_obs(obs::Registry& registry);
+  const WorldObs& metrics() const { return metrics_; }
+
   // Advance `world_rank`'s operation counter; throws RankKilled once the
   // fault plan's kill step is reached (and on every operation after it).
   void check_op(int world_rank);
@@ -47,6 +66,7 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<std::uint64_t> next_comm_id_{1};
   FaultPlan fault_plan_{};
+  WorldObs metrics_{};
   std::unique_ptr<std::atomic<std::uint64_t>[]> op_counts_;
 };
 

@@ -16,11 +16,12 @@ void Environment::run(int world_size, const std::function<void(Comm&)>& rank_mai
 }
 
 void Environment::run(int world_size, const std::function<void(Comm&)>& rank_main,
-                      const FaultPlan& fault) {
+                      const FaultPlan& fault, obs::Registry* metrics) {
   MM_ASSERT_MSG(world_size > 0, "world_size must be positive");
 
   World world(world_size);
   world.set_fault_plan(fault);
+  if (metrics != nullptr) world.attach_obs(*metrics);
   std::vector<int> members(static_cast<std::size_t>(world_size));
   std::iota(members.begin(), members.end(), 0);
   const std::uint64_t world_comm_id = world.allocate_comm_id();

@@ -10,6 +10,7 @@
 
 #include "mpmini/comm.hpp"
 #include "mpmini/fault.hpp"
+#include "obs/registry.hpp"
 
 namespace mm::mpi {
 
@@ -23,8 +24,11 @@ class Environment {
   // wins) once every rank has finished — callers that inject kills must make
   // the surviving ranks deadline-aware or they will wait on the dead rank
   // forever.
+  //
+  // With a non-null `metrics` registry the world records transport telemetry
+  // into it (see WorldObs); the registry must outlive the run.
   static void run(int world_size, const std::function<void(Comm&)>& rank_main,
-                  const FaultPlan& fault);
+                  const FaultPlan& fault, obs::Registry* metrics = nullptr);
 };
 
 }  // namespace mm::mpi

@@ -18,6 +18,8 @@ void Mailbox::deliver(Message msg) {
     }
   }
   queue_.push_back({std::move(msg), false, {}});
+  if (queue_peak_ != nullptr)
+    queue_peak_->max_of(static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
   cv_.notify_all();  // wake probers
 }

@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "mpmini/message.hpp"
+#include "obs/registry.hpp"
 
 namespace mm::mpi {
 
@@ -82,6 +83,10 @@ class Mailbox {
   // Number of queued (undelivered-to-receiver) messages; for tests/stats.
   std::size_t queued() const;
 
+  // Telemetry: record this mailbox's queue-depth high watermark on `peak`
+  // (shared across the world's mailboxes). Set before traffic starts.
+  void set_obs(obs::Gauge* queue_peak) { queue_peak_ = queue_peak; }
+
  private:
   struct Queued {
     Message msg;
@@ -107,6 +112,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Queued> queue_;
   std::list<std::shared_ptr<RecvTicket>> pending_;
+  obs::Gauge* queue_peak_ = nullptr;
 };
 
 }  // namespace mm::mpi

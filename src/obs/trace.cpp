@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace mm::obs {
+namespace {
+
+// Minimal JSON string escape for event/process names (names are plain
+// identifiers in practice, but a stray quote must not corrupt the trace).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+Status write_string(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Error(Errc::io_error, "trace: cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size())
+    return Error(Errc::io_error, "trace: short write to " + path);
+  return {};
+}
+
+}  // namespace
+
+#if MM_OBS_ENABLED
+
+TraceRing::TraceRing(std::int32_t pid, std::int64_t epoch_ns, std::size_t capacity)
+    : pid_(pid), epoch_ns_(epoch_ns) {
+  events_.resize(capacity);
+}
+
+void TraceRing::push(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+                     bool instant) {
+  if (size_ == events_.size()) {
+    // Full: drop the newest rather than overwrite — the run's opening events
+    // (graph setup, first frames) are the ones post-mortems need intact.
+    ++dropped_;
+    return;
+  }
+  TraceEvent& e = events_[size_++];
+  std::snprintf(e.name, sizeof(e.name), "%s", name == nullptr ? "" : name);
+  e.instant = instant ? 1 : 0;
+  e.ts_ns = start_ns - epoch_ns_;
+  e.dur_ns = dur_ns;
+  e.tid = tid_;
+}
+
+TraceSink::TraceSink(std::size_t ring_capacity)
+    : epoch_ns_(now_ns()), ring_capacity_(ring_capacity) {}
+
+TraceRing& TraceSink::ring(std::int32_t pid, const std::string& process_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = rings_[pid];
+  if (!slot) {
+    slot = std::make_unique<TraceRing>(pid, epoch_ns_, ring_capacity_);
+    process_names_[pid] = process_name;
+  }
+  return *slot;
+}
+
+void TraceSink::set_thread_name(std::int32_t pid, std::int32_t tid,
+                                const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[{pid, tid}] = name;
+}
+
+std::string TraceSink::chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto append = [&](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += event;
+  };
+  for (const auto& [pid, name] : process_names_)
+    append(format("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  pid, escape(name).c_str()));
+  for (const auto& [key, name] : thread_names_)
+    append(format("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  key.first, key.second, escape(name).c_str()));
+  for (const auto& [pid, ring] : rings_) {
+    for (std::size_t i = 0; i < ring->size(); ++i) {
+      const TraceEvent& e = ring->event(i);
+      // chrome://tracing timestamps are microseconds (fractional allowed).
+      if (e.instant != 0) {
+        append(format("{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+                      "\"pid\":%d,\"tid\":%d}",
+                      escape(e.name).c_str(), static_cast<double>(e.ts_ns) / 1e3, pid,
+                      e.tid));
+      } else {
+        append(format("{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":%d,\"tid\":%d}",
+                      escape(e.name).c_str(), static_cast<double>(e.ts_ns) / 1e3,
+                      static_cast<double>(e.dur_ns) / 1e3, pid, e.tid));
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceSink::write_file(const std::string& path) const {
+  return write_string(path, chrome_json());
+}
+
+std::uint64_t TraceSink::total_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [pid, ring] : rings_) total += ring->size();
+  return total;
+}
+
+std::uint64_t TraceSink::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [pid, ring] : rings_) total += ring->dropped();
+  return total;
+}
+
+#else
+
+Status TraceSink::write_file(const std::string& path) const {
+  return write_string(path, chrome_json());
+}
+
+#endif  // MM_OBS_ENABLED
+
+}  // namespace mm::obs

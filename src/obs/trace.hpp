@@ -1,0 +1,188 @@
+// mm::obs tracing — per-rank rings of compact events drained to Chrome JSON.
+//
+// A TraceRing is a fixed-capacity, single-writer ring of 64-byte events owned
+// by one rank thread: recording a span is two steady_clock reads plus one
+// bounded memcpy, no locks and no allocation; when the ring is full the
+// newest events are dropped and counted. A TraceSink owns one ring per rank
+// ("process" in the viewer) and serializes them into the chrome://tracing /
+// Perfetto JSON format after the run — one process per rank, one named thread
+// per dagflow node.
+//
+// Recording is RAII: ObsSpan emits a complete ("X") event covering its own
+// lifetime and can simultaneously record the duration into a Histogram, which
+// is how dagflow keeps one timing mechanism for traces and metrics.
+//
+// With MM_OBS_ENABLED=0 every type here is a field-free no-op (ObsSpan does
+// not even read the clock) and chrome_json() returns an empty trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/registry.hpp"
+
+#if MM_OBS_ENABLED
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+#endif
+
+namespace mm::obs {
+
+#if MM_OBS_ENABLED
+
+// Absolute steady-clock nanoseconds (the time base for every trace event).
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TraceEvent {
+  char name[39];        // truncated copy; self-contained, no interning
+  std::uint8_t instant; // 1 = instant event, 0 = complete span
+  std::int64_t ts_ns;   // relative to the sink epoch
+  std::int64_t dur_ns;
+  std::int32_t tid;
+};
+static_assert(sizeof(TraceEvent) == 64, "one event per cache line");
+
+class TraceRing {
+ public:
+  TraceRing(std::int32_t pid, std::int64_t epoch_ns, std::size_t capacity);
+
+  // The thread row subsequent events belong to (a dagflow node id).
+  void set_tid(std::int32_t tid) { tid_ = tid; }
+  std::int32_t pid() const { return pid_; }
+
+  // Record a complete span [start_ns, start_ns + dur_ns) (absolute ns).
+  void complete(const char* name, std::int64_t start_ns, std::int64_t dur_ns) {
+    push(name, start_ns, dur_ns, /*instant=*/false);
+  }
+
+  // Record a zero-duration instant event at now.
+  void instant(const char* name) { push(name, now_ns(), 0, /*instant=*/true); }
+
+  std::size_t size() const { return size_; }
+  std::uint64_t dropped() const { return dropped_; }
+  const TraceEvent& event(std::size_t i) const { return events_[i]; }
+
+ private:
+  void push(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+            bool instant);
+
+  std::int32_t pid_;
+  std::int32_t tid_ = 0;
+  std::int64_t epoch_ns_;
+  std::vector<TraceEvent> events_;  // filled [0, size_)
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t ring_capacity = 1u << 16);
+
+  // The ring for rank `pid`, created (and its process named) on first use.
+  // Creation is mutex-guarded; the returned ring must only be written by the
+  // rank's own thread.
+  TraceRing& ring(std::int32_t pid, const std::string& process_name);
+
+  // Name the (pid, tid) row — e.g. the dagflow node running on that rank.
+  void set_thread_name(std::int32_t pid, std::int32_t tid, const std::string& name);
+
+  std::int64_t epoch_ns() const { return epoch_ns_; }
+
+  // Serialize all rings. Call after every writer thread has finished (the
+  // reader takes the registration mutex but events themselves are unsynchronized
+  // by design).
+  std::string chrome_json() const;
+  Status write_file(const std::string& path) const;
+
+  std::uint64_t total_events() const;
+  std::uint64_t total_dropped() const;
+
+ private:
+  std::int64_t epoch_ns_;
+  std::size_t ring_capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::int32_t, std::unique_ptr<TraceRing>> rings_;
+  std::map<std::int32_t, std::string> process_names_;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::string> thread_names_;
+};
+
+// RAII span: records its constructor→destructor lifetime as a trace event
+// on `ring` and/or a sample in `hist`. Null arguments are skipped; with both
+// null the span is free (no clock reads). `name` must outlive the span.
+class ObsSpan {
+ public:
+  ObsSpan(TraceRing* ring, const char* name, Histogram* hist = nullptr)
+      : ring_(ring), hist_(hist), name_(name) {
+    if (ring_ != nullptr || hist_ != nullptr) start_ns_ = now_ns();
+  }
+
+  // End the span now instead of at destruction (idempotent).
+  void close() {
+    if (ring_ == nullptr && hist_ == nullptr) return;
+    const std::int64_t dur = now_ns() - start_ns_;
+    if (ring_ != nullptr) ring_->complete(name_, start_ns_, dur);
+    if (hist_ != nullptr) hist_->record(dur);
+    ring_ = nullptr;
+    hist_ = nullptr;
+  }
+
+  ~ObsSpan() { close(); }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  TraceRing* ring_;
+  Histogram* hist_;
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+};
+
+#else  // !MM_OBS_ENABLED
+
+inline std::int64_t now_ns() noexcept { return 0; }
+
+class TraceRing {
+ public:
+  void set_tid(std::int32_t) {}
+  std::int32_t pid() const { return 0; }
+  void complete(const char*, std::int64_t, std::int64_t) {}
+  void instant(const char*) {}
+  std::size_t size() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t = 0) {}
+  TraceRing& ring(std::int32_t, const std::string&) { return ring_; }
+  void set_thread_name(std::int32_t, std::int32_t, const std::string&) {}
+  std::int64_t epoch_ns() const { return 0; }
+  std::string chrome_json() const { return "{\"traceEvents\":[]}"; }
+  Status write_file(const std::string& path) const;
+  std::uint64_t total_events() const { return 0; }
+  std::uint64_t total_dropped() const { return 0; }
+
+ private:
+  TraceRing ring_;
+};
+
+class ObsSpan {
+ public:
+  ObsSpan(TraceRing*, const char*, Histogram* = nullptr) {}
+  void close() {}
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+};
+
+#endif  // MM_OBS_ENABLED
+
+}  // namespace mm::obs

@@ -1,7 +1,7 @@
 #include "stats/corr_engine.hpp"
 
-#include "common/timer.hpp"
 #include "mpmini/collectives.hpp"
+#include "obs/trace.hpp"
 #include "stats/psd.hpp"
 
 namespace mm::stats {
@@ -85,8 +85,14 @@ SymMatrix CorrelationCalculator::matrix() const {
 
 ParallelCorrelationEngine::ParallelCorrelationEngine(mpi::Comm& comm,
                                                      const CorrEngineConfig& config,
-                                                     std::size_t symbols)
+                                                     std::size_t symbols,
+                                                     obs::Registry* registry)
     : comm_(comm), calc_(config, symbols), pairs_(all_pairs(symbols)) {
+  obs::Registry& reg = registry != nullptr ? *registry : obs::Registry::global();
+  h_broadcast_ = &reg.histogram("corr.step.broadcast_ns");
+  h_compute_ = &reg.histogram("corr.step.compute_ns");
+  h_exchange_ = &reg.histogram("corr.step.exchange_ns");
+  h_assemble_ = &reg.histogram("corr.step.assemble_ns");
   // Contiguous block shards, balanced to within one pair: the first `rem`
   // ranks take one extra.
   const auto world = static_cast<std::size_t>(comm.size());
@@ -100,30 +106,34 @@ ParallelCorrelationEngine::ParallelCorrelationEngine(mpi::Comm& comm,
 }
 
 SymMatrix ParallelCorrelationEngine::step(const std::vector<double>& returns) {
-  Stopwatch watch;
   // Rank 0's return vector is authoritative; everyone mirrors the windows so
   // no window state ever needs to move.
-  auto r = mpi::bcast_vector(comm_, returns, 0);
-  calc_.push(r);
-  timings_.broadcast = watch.elapsed_seconds();
+  {
+    obs::ObsSpan span(nullptr, "corr.broadcast", h_broadcast_);
+    auto r = mpi::bcast_vector(comm_, returns, 0);
+    calc_.push(r);
+  }
 
   const std::size_t n = calc_.symbols();
   if (!calc_.ready()) return SymMatrix{};
 
   // Compute my block of the canonical pair order.
-  watch.reset();
-  const auto rank = static_cast<std::size_t>(comm_.rank());
-  mine_.clear();
-  for (std::size_t k = offsets_[rank]; k < offsets_[rank + 1]; ++k)
-    mine_.push_back(calc_.pair(pairs_[k].i, pairs_[k].j));
-  timings_.compute = watch.elapsed_seconds();
+  {
+    obs::ObsSpan span(nullptr, "corr.compute", h_compute_);
+    const auto rank = static_cast<std::size_t>(comm_.rank());
+    mine_.clear();
+    for (std::size_t k = offsets_[rank]; k < offsets_[rank + 1]; ++k)
+      mine_.push_back(calc_.pair(pairs_[k].i, pairs_[k].j));
+  }
 
   // Exchange shards; every rank assembles the full matrix.
-  watch.reset();
-  auto shards = mpi::allgather_vectors(comm_, mine_);
-  timings_.exchange = watch.elapsed_seconds();
+  std::vector<std::vector<double>> shards;
+  {
+    obs::ObsSpan span(nullptr, "corr.exchange", h_exchange_);
+    shards = mpi::allgather_vectors(comm_, mine_);
+  }
 
-  watch.reset();
+  obs::ObsSpan span(nullptr, "corr.assemble", h_assemble_);
   SymMatrix m(n, 0.0);
   m.fill_diagonal(1.0);
   const auto world = static_cast<std::size_t>(comm_.size());
@@ -134,7 +144,6 @@ SymMatrix ParallelCorrelationEngine::step(const std::vector<double>& returns) {
       m.set(pairs_[k].i, pairs_[k].j, shard[k - begin]);
   }
   if (calc_.config().repair_psd && !is_psd(m)) m = nearest_psd_correlation(m);
-  timings_.assemble = watch.elapsed_seconds();
   return m;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mpmini/comm.hpp"
+#include "obs/registry.hpp"
 #include "stats/correlation.hpp"
 #include "stats/sym_matrix.hpp"
 #include "stats/windows.hpp"
@@ -71,14 +72,6 @@ class CorrelationCalculator {
   mutable WarmMaronna warm_;
 };
 
-// Wall-clock breakdown of one ParallelCorrelationEngine::step, seconds.
-struct CorrStepTimings {
-  double broadcast = 0.0;  // return-vector bcast + window push
-  double compute = 0.0;    // this rank's pair shard estimation
-  double exchange = 0.0;   // allgather of the shards
-  double assemble = 0.0;   // matrix assembly (+ PSD repair if enabled)
-};
-
 // Pair-sharded parallel engine. All ranks of `comm` construct it with the
 // same arguments, then call step() collectively once per interval; rank 0
 // passes the market-wide return vector (other ranks' argument is ignored)
@@ -88,10 +81,14 @@ struct CorrStepTimings {
 // to within one pair: rank r owns pairs [offsets[r], offsets[r+1]). Block
 // sharding keeps each rank's warm-start state and window rows cache-resident
 // and makes shard assembly a linear copy instead of a round-robin scatter.
+// Per-step kernel timings land in mm::obs nanosecond histograms on the given
+// registry (corr.step.broadcast_ns / compute_ns / exchange_ns / assemble_ns),
+// one sample per rank per step — read them with Registry::snapshot(). With a
+// null registry the process-wide obs::Registry::global() is used.
 class ParallelCorrelationEngine {
  public:
   ParallelCorrelationEngine(mpi::Comm& comm, const CorrEngineConfig& config,
-                            std::size_t symbols);
+                            std::size_t symbols, obs::Registry* registry = nullptr);
 
   // Collective. Returns the matrix once windows are full, else an empty one.
   SymMatrix step(const std::vector<double>& returns);
@@ -102,16 +99,17 @@ class ParallelCorrelationEngine {
     return offsets_[r + 1] - offsets_[r];
   }
 
-  // Kernel timings of the most recent step() on this rank.
-  const CorrStepTimings& last_timings() const { return timings_; }
-
  private:
   mpi::Comm& comm_;
   CorrelationCalculator calc_;
   std::vector<PairIndex> pairs_;      // canonical order, built once
   std::vector<std::size_t> offsets_;  // size() + 1 block boundaries
   std::vector<double> mine_;          // this rank's shard values, reused
-  CorrStepTimings timings_;
+  // Step-phase histograms (see class comment); handles resolved once.
+  obs::Histogram* h_broadcast_;
+  obs::Histogram* h_compute_;
+  obs::Histogram* h_exchange_;
+  obs::Histogram* h_assemble_;
 };
 
 }  // namespace mm::stats
