@@ -8,12 +8,43 @@
 
 #include <vector>
 
+#include "obs/heartbeat.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
 using namespace mm::obs;
+
+void BM_HeartbeatBeat(benchmark::State& state) {
+  // The liveness hot path: every transport op calls beat() — one relaxed
+  // store of a pre-incremented local sequence, no clock read, no RMW.
+  // Budgeted at under 10 ns (see BENCH_obs.json / DESIGN.md).
+#if MM_OBS_ENABLED
+  HeartbeatBoard board(1);
+  Pulse pulse;
+  pulse.slot = board.slot(0);
+#else
+  Pulse pulse;
+#endif
+  for (auto _ : state) {
+    pulse.beat();
+    benchmark::DoNotOptimize(&pulse);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeartbeatBeat);
+
+void BM_HeartbeatBeatUnarmed(benchmark::State& state) {
+  // Threads outside a monitored run: beat() is one null check.
+  Pulse pulse;
+  for (auto _ : state) {
+    pulse.beat();
+    benchmark::DoNotOptimize(&pulse);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeartbeatBeatUnarmed);
 
 void BM_CounterAdd(benchmark::State& state) {
   static Counter counter;  // shared across the threaded variants

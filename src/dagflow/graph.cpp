@@ -193,9 +193,20 @@ RunResult Graph::run(const RunOptions& options) {
         status.upstream_failed = status.upstream_failed || local.upstream_failed;
         status.timed_out = status.timed_out || local.timed_out;
       },
-      options.fault, options.metrics);
+      options.fault, options.metrics, options.heartbeat,
+      options.heartbeat_interval);
 
   return result;
+}
+
+std::vector<std::string> Graph::rank_node_names() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(rank_count()));
+  for (const auto& node : nodes_) {
+    for (int r = 0; r < node.replicas; ++r)
+      names.push_back(r == 0 ? node.name : format("%s#%d", node.name.c_str(), r));
+  }
+  return names;
 }
 
 }  // namespace mm::dag

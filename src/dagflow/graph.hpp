@@ -31,6 +31,7 @@
 #include "common/error.hpp"
 #include "mpmini/comm.hpp"
 #include "mpmini/fault.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -95,6 +96,11 @@ struct RunOptions {
   // node; node run / teardown spans and emit-stall spans are recorded and
   // can be drained to chrome://tracing JSON after run() returns.
   obs::TraceSink* trace = nullptr;
+  // Heartbeat board from the caller's monitoring plane (size >= rank_count()).
+  // Every rank thread publishes beats against it while the caller's
+  // HeartbeatMonitor watches for silence; see obs/heartbeat.hpp.
+  obs::HeartbeatBoard* heartbeat = nullptr;
+  std::chrono::nanoseconds heartbeat_interval{std::chrono::milliseconds{100}};
 };
 
 class Graph {
@@ -132,6 +138,11 @@ class Graph {
 
   // Total ranks required (sum of replica counts).
   int rank_count() const;
+
+  // World rank -> node name under run()'s layout (contiguous replica blocks,
+  // in add order); replicas beyond the leader are suffixed "#<index>". Lets
+  // monitoring label per-rank data with the component it runs.
+  std::vector<std::string> rank_node_names() const;
 
  private:
   struct Node {

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <optional>
+#include <thread>
 
 #include "core/strategy.hpp"
 #include "dagflow/context.hpp"
 #include "engine/messages.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "marketdata/bars.hpp"
@@ -27,22 +29,52 @@ void bump(StageStats* stats, std::uint64_t rec_in, std::uint64_t rec_out,
   stats->items_out += it_out;
 }
 
+// Sleep until the paced replay clock reaches `target_wall` — in chunks no
+// longer than the heartbeat interval, beating between chunks, so a pacing
+// collector reads as idle-but-alive to the monitor instead of going silent
+// for the duration of a long sleep.
+void paced_sleep_until(std::chrono::steady_clock::time_point target_wall) {
+  obs::Pulse& pulse = obs::pulse_this_thread();
+  const auto max_chunk = pulse.armed()
+                             ? pulse.interval()
+                             : std::chrono::nanoseconds{std::chrono::milliseconds{50}};
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= target_wall) return;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(target_wall - now);
+    std::this_thread::sleep_for(remaining < max_chunk ? remaining : max_chunk);
+    pulse.beat();
+  }
+}
+
 void emit_quotes(dag::Context& ctx, const std::vector<md::Quote>& quotes,
-                 std::size_t batch_size, StageStats* stats) {
+                 std::size_t batch_size, StageStats* stats, double replay_speedup) {
+  const bool paced = replay_speedup > 0.0 && !quotes.empty();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const md::TimeMs day_start = paced ? quotes.front().ts_ms : 0;
+
   QuoteBatch batch;
   batch.quotes.reserve(batch_size);
-  for (const auto& q : quotes) {
-    batch.quotes.push_back(q);
-    if (batch.quotes.size() == batch_size) {
-      ctx.emit(0, batch.pack());
-      bump(stats, 0, 1, 0, batch.quotes.size());
-      batch.quotes.clear();
+  const auto flush = [&] {
+    if (paced) {
+      // Emit each batch when its FIRST quote's market time comes due on the
+      // compressed clock; in-batch spread is below the pacing resolution.
+      const double elapsed_market_ms =
+          static_cast<double>(batch.quotes.front().ts_ms - day_start);
+      paced_sleep_until(wall_start +
+                        std::chrono::nanoseconds{static_cast<std::int64_t>(
+                            elapsed_market_ms * 1e6 / replay_speedup)});
     }
-  }
-  if (!batch.quotes.empty()) {
     ctx.emit(0, batch.pack());
     bump(stats, 0, 1, 0, batch.quotes.size());
+    batch.quotes.clear();
+  };
+  for (const auto& q : quotes) {
+    batch.quotes.push_back(q);
+    if (batch.quotes.size() == batch_size) flush();
   }
+  if (!batch.quotes.empty()) flush();
 }
 
 // Per-stage step histogram, registered on the run's registry (null when the
@@ -54,22 +86,25 @@ obs::Histogram* step_histogram(dag::Context& ctx, const char* name) {
 }  // namespace
 
 dag::NodeFn make_file_collector(std::vector<md::Quote> quotes, std::size_t batch_size,
-                                StageStats* stats) {
+                                StageStats* stats, double replay_speedup) {
   MM_ASSERT(batch_size > 0);
-  return [quotes = std::move(quotes), batch_size, stats](dag::Context& ctx) {
-    emit_quotes(ctx, quotes, batch_size, stats);
+  return [quotes = std::move(quotes), batch_size, stats,
+          replay_speedup](dag::Context& ctx) {
+    emit_quotes(ctx, quotes, batch_size, stats, replay_speedup);
   };
 }
 
 dag::NodeFn make_db_collector(std::string tickdb_root, md::Date date,
-                              std::size_t batch_size, StageStats* stats) {
+                              std::size_t batch_size, StageStats* stats,
+                              double replay_speedup) {
   MM_ASSERT(batch_size > 0);
-  return [root = std::move(tickdb_root), date, batch_size, stats](dag::Context& ctx) {
+  return [root = std::move(tickdb_root), date, batch_size, stats,
+          replay_speedup](dag::Context& ctx) {
     auto db = md::TickDb::open(root);
     MM_ASSERT_MSG(db.has_value(), "db collector: cannot open tickdb");
     auto quotes = db->read_day(date);
     MM_ASSERT_MSG(quotes.has_value(), "db collector: cannot read day");
-    emit_quotes(ctx, *quotes, batch_size, stats);
+    emit_quotes(ctx, *quotes, batch_size, stats, replay_speedup);
   };
 }
 

@@ -104,10 +104,18 @@ struct MasterReport {
 };
 
 // --- collectors ---------------------------------------------------------
+// replay_speedup > 0 paces emission by quote timestamps: the day is replayed
+// at `replay_speedup` x real time (e.g. 600 compresses 10 market minutes into
+// one wall second), so the pipeline runs long enough to be watched live on
+// /metrics. Pacing sleeps are chunked to the heartbeat interval with a beat
+// between chunks — a pacing collector is idle-but-alive, never suspect.
+// 0 (the default) emits as fast as downstream credits allow.
 dag::NodeFn make_file_collector(std::vector<md::Quote> quotes, std::size_t batch_size,
-                                StageStats* stats = nullptr);
+                                StageStats* stats = nullptr,
+                                double replay_speedup = 0.0);
 dag::NodeFn make_db_collector(std::string tickdb_root, md::Date date,
-                              std::size_t batch_size, StageStats* stats = nullptr);
+                              std::size_t batch_size, StageStats* stats = nullptr,
+                              double replay_speedup = 0.0);
 
 // --- cleaning ------------------------------------------------------------
 dag::NodeFn make_cleaner(std::size_t symbols, md::CleanerConfig config,

@@ -45,10 +45,11 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
       config.tickdb_root.empty()
           ? graph.add_node("collector",
                            make_file_collector(std::move(quotes), config.batch_size,
-                                               stats[0].get()))
+                                               stats[0].get(), config.replay_speedup))
           : graph.add_node("collector",
                            make_db_collector(config.tickdb_root, config.date,
-                                             config.batch_size, stats[0].get()));
+                                             config.batch_size, stats[0].get(),
+                                             config.replay_speedup));
   const int cleaner = graph.add_node(
       "cleaner", make_cleaner(config.symbols, config.cleaner, stats[1].get()));
   const int snapshot = graph.add_node(
@@ -113,19 +114,48 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
   // aggregate outlives the run only through the snapshot below.
   obs::Registry local_metrics;
   obs::Registry* metrics = config.metrics != nullptr ? config.metrics : &local_metrics;
+  // Shared-registry hygiene: result.metrics is a delta against run start, so
+  // a second day on the same registry reports only its own traffic.
+  const obs::Snapshot metrics_before = metrics->snapshot();
+
+  obs::LivePlane live(config.live, *metrics, config.trace);
+  live.begin_run(graph.rank_count(), graph.rank_node_names());
 
   dag::RunOptions options;
   options.fault = config.fault;
   options.pump_timeout = config.stage_deadline;
   options.metrics = metrics;
   options.trace = config.trace;
+  options.heartbeat = live.board();
+  options.heartbeat_interval = live.heartbeat_interval();
 
   Stopwatch watch;
   const dag::RunResult run_result = graph.run(options);
 
+  // Hand failed nodes to the live plane as crash entries (mapped to their
+  // leader rank); it merges in any rank the heartbeat monitor saw go silent
+  // and dumps a flight bundle if the set is non-empty.
+  std::vector<obs::CrashEntry> crashes;
+  const std::vector<std::string> rank_names = graph.rank_node_names();
+  for (const auto& status : run_result.nodes) {
+    if (!status.failed) continue;
+    obs::CrashEntry entry;
+    for (std::size_t r = 0; r < rank_names.size(); ++r) {
+      if (rank_names[r] == status.name) {
+        entry.rank = static_cast<int>(r);
+        break;
+      }
+    }
+    entry.node = status.name;
+    entry.reason = "exception";
+    entry.error = status.error;
+    crashes.push_back(std::move(entry));
+  }
+
   PipelineResult result;
   result.master = std::move(master);
-  result.metrics = metrics->snapshot();
+  result.live = live.end_run(std::move(crashes));
+  result.metrics = metrics->snapshot().delta(metrics_before);
   result.clusters = std::move(cluster_log);
   result.wall_seconds = watch.elapsed_seconds();
   result.quotes_in = quotes_in;

@@ -19,6 +19,7 @@
 #include "engine/components.hpp"
 #include "marketdata/generator.hpp"
 #include "mpmini/fault.hpp"
+#include "obs/live.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -66,6 +67,14 @@ struct PipelineConfig {
   // Optional trace sink: one ring per rank, one named row per node. Drain
   // with TraceSink::write_file after the run for chrome://tracing/Perfetto.
   obs::TraceSink* trace = nullptr;
+  // Live monitoring plane (heartbeat liveness, periodic snapshots, /metrics
+  // + /healthz HTTP exposition, crash flight recorder). Off by default; see
+  // obs/live.hpp. The plane monitors THIS run only — one board per world.
+  obs::LiveConfig live{};
+  // > 0 paces the collector by quote timestamps at this multiple of real
+  // time so the run lasts long enough to scrape mid-day (see components.hpp);
+  // 0 streams at full speed.
+  double replay_speedup = 0.0;
 };
 
 struct StageReport {
@@ -91,10 +100,16 @@ struct PipelineResult {
   bool degraded = false;
   std::vector<dag::NodeStatus> faults;
 
-  // Structured telemetry aggregated over the run: mpmini transport counters,
-  // per-node dagflow frame/stall/wall metrics, and engine stage histograms
-  // (empty when built with MM_OBS_ENABLED=OFF).
+  // Structured telemetry for THIS run: mpmini transport counters, per-node
+  // dagflow frame/stall/wall metrics, and engine stage histograms (empty when
+  // built with MM_OBS_ENABLED=OFF). When the caller shares one registry
+  // across days this is still per-run — a delta against the registry's state
+  // at run start — so back-to-back runs never bleed into each other.
   obs::Snapshot metrics;
+
+  // Live-plane outcome: final per-rank liveness, merged crash entries and the
+  // flight-recorder bundle path (default-empty when config.live is off).
+  obs::LiveReport live;
 };
 
 // Stream `quotes` (one day, time-sorted) through the Fig. 1 graph.

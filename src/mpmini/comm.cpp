@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "mpmini/serde.hpp"
+#include "obs/heartbeat.hpp"
 
 namespace mm::mpi {
 namespace {
@@ -40,13 +41,25 @@ void World::attach_obs(obs::Registry& registry) {
   metrics_.faults_duplicated = &registry.counter("mpmini.fault.duplicated");
   metrics_.faults_delayed = &registry.counter("mpmini.fault.delayed");
   obs::Gauge& queue_peak = registry.gauge("mpmini.mailbox.queue_peak");
+  // The gauge is a high watermark; a second run on the same registry must
+  // start from zero, not inherit the previous world's peak.
+  queue_peak.reset();
   for (auto& mailbox : mailboxes_) mailbox->set_obs(&queue_peak);
 }
 
 void World::check_op(int world_rank) {
+  // Heartbeat publish site: every transport operation beats the calling rank
+  // thread's pulse — one relaxed store when armed, one branch when not.
+  obs::Pulse& pulse = obs::pulse_this_thread();
+  pulse.beat();
   if (fault_plan_.kill_rank != world_rank) return;
   const auto op = ++op_counts_[static_cast<std::size_t>(world_rank)];
-  if (op >= fault_plan_.kill_at_op) throw RankKilled(world_rank);
+  if (op >= fault_plan_.kill_at_op) {
+    // A killed rank goes SILENT: no more beats, and its heartbeat slot is
+    // never retired — the monitor must detect the death from silence alone.
+    pulse.mark_dead();
+    throw RankKilled(world_rank);
+  }
 }
 
 Comm::Comm(World* world, std::uint64_t comm_id, int rank, std::vector<int> members)

@@ -16,8 +16,12 @@ void Environment::run(int world_size, const std::function<void(Comm&)>& rank_mai
 }
 
 void Environment::run(int world_size, const std::function<void(Comm&)>& rank_main,
-                      const FaultPlan& fault, obs::Registry* metrics) {
+                      const FaultPlan& fault, obs::Registry* metrics,
+                      obs::HeartbeatBoard* heartbeat,
+                      std::chrono::nanoseconds heartbeat_interval) {
   MM_ASSERT_MSG(world_size > 0, "world_size must be positive");
+  MM_ASSERT_MSG(heartbeat == nullptr || heartbeat->size() >= world_size,
+                "heartbeat board is smaller than the world");
 
   World world(world_size);
   world.set_fault_plan(fault);
@@ -34,9 +38,14 @@ void Environment::run(int world_size, const std::function<void(Comm&)>& rank_mai
   for (int rank = 0; rank < world_size; ++rank) {
     threads.emplace_back([&, rank] {
       log::set_thread_label(format("rank %d", rank));
+      obs::PulseGuard pulse(heartbeat, rank, heartbeat_interval);
       Comm comm(&world, world_comm_id, rank, members);
       try {
         rank_main(comm);
+        // Clean completion only: a killed rank's pulse is marked dead (this
+        // retire is then a no-op) and an exception path never gets here, so
+        // the monitor sees silence — `down`, never `done` — for real deaths.
+        pulse.retire();
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

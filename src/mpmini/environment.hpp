@@ -6,10 +6,12 @@
 // to the caller after all ranks have finished.
 #pragma once
 
+#include <chrono>
 #include <functional>
 
 #include "mpmini/comm.hpp"
 #include "mpmini/fault.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/registry.hpp"
 
 namespace mm::mpi {
@@ -27,8 +29,18 @@ class Environment {
   //
   // With a non-null `metrics` registry the world records transport telemetry
   // into it (see WorldObs); the registry must outlive the run.
+  //
+  // With a non-null `heartbeat` board (one slot per rank, owned by the
+  // caller's monitoring plane) every rank thread arms a pulse before
+  // rank_main and publishes beats from the transport hook and the mailbox's
+  // blocking waits. A rank that returns normally retires its slot (`done`);
+  // one that throws — fault-plan kill or its own exception — leaves the slot
+  // unretired and goes silent, which the heartbeat monitor reports as `down`.
   static void run(int world_size, const std::function<void(Comm&)>& rank_main,
-                  const FaultPlan& fault, obs::Registry* metrics = nullptr);
+                  const FaultPlan& fault, obs::Registry* metrics = nullptr,
+                  obs::HeartbeatBoard* heartbeat = nullptr,
+                  std::chrono::nanoseconds heartbeat_interval =
+                      std::chrono::milliseconds{100});
 };
 
 }  // namespace mm::mpi

@@ -1,6 +1,9 @@
 #include "mpmini/mailbox.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "obs/heartbeat.hpp"
 
 namespace mm::mpi {
 
@@ -54,14 +57,36 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(std::uint64_t comm_id, int source
 
 Message Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket) {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return ticket->done; });
+  obs::Pulse& pulse = obs::pulse_this_thread();
+  if (!pulse.armed()) {
+    cv_.wait(lock, [&] { return ticket->done; });
+  } else {
+    // Idle-but-alive: a rank blocked here with no traffic wakes every
+    // heartbeat interval to publish a beat, so it is never suspected.
+    while (!ticket->done) {
+      cv_.wait_for(lock, pulse.interval(), [&] { return ticket->done; });
+      pulse.beat();
+    }
+  }
   return std::move(ticket->message);
 }
 
 bool Mailbox::wait_for(const std::shared_ptr<RecvTicket>& ticket,
                        std::chrono::nanoseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
-  return cv_.wait_for(lock, timeout, [&] { return ticket->done; });
+  obs::Pulse& pulse = obs::pulse_this_thread();
+  if (!pulse.armed())
+    return cv_.wait_for(lock, timeout, [&] { return ticket->done; });
+  // Chunk the deadline wait into heartbeat intervals (see wait()).
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!ticket->done) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    cv_.wait_until(lock, std::min(deadline, now + pulse.interval()),
+                   [&] { return ticket->done; });
+    pulse.beat();
+  }
+  return true;
 }
 
 std::optional<Message> Mailbox::cancel(const std::shared_ptr<RecvTicket>& ticket) {
@@ -113,6 +138,7 @@ bool Mailbox::probe_for(std::uint64_t comm_id, int source, int tag,
                             ? std::chrono::steady_clock::time_point::max()
                             : std::chrono::steady_clock::now() + timeout;
 
+  obs::Pulse& pulse = obs::pulse_this_thread();
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     if (auto it = find_match(probe_ticket); it != queue_.end()) {
@@ -126,21 +152,26 @@ bool Mailbox::probe_for(std::uint64_t comm_id, int source, int tag,
       return true;
     }
     if (deadline == std::chrono::steady_clock::time_point::max()) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      // One last scan: the notification may have raced the deadline.
-      if (auto it = find_match(probe_ticket); it != queue_.end()) {
-        it->reserved = true;
-        it->reserved_by = std::this_thread::get_id();
-        if (status != nullptr) {
-          status->source = it->msg.source;
-          status->tag = it->msg.tag;
-          status->byte_count = it->msg.payload.size();
-        }
-        return true;
+      if (pulse.armed()) {
+        // Chunked wait so an idle prober keeps beating (see wait()).
+        cv_.wait_for(lock, pulse.interval());
+        pulse.beat();
+      } else {
+        cv_.wait(lock);
       }
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      // The scan at the top of this iteration was the post-deadline scan:
+      // a notification racing the deadline has already been honored.
       return false;
     }
+    auto target = deadline;
+    if (pulse.armed() && now + pulse.interval() < target)
+      target = now + pulse.interval();
+    cv_.wait_until(lock, target);
+    pulse.beat();  // single branch when unarmed
   }
 }
 

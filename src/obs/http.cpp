@@ -1,0 +1,156 @@
+#include "obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace mm::obs {
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+// Blocking full-buffer send; MSG_NOSIGNAL so a dropped client cannot SIGPIPE
+// the process.
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t sent =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (sent <= 0) return;
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+}  // namespace
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+Status MetricsServer::start(std::uint16_t port) {
+  if (running()) return Error{Errc::already_exists, "metrics server already running"};
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Error{Errc::io_error, format("socket(): %s", std::strerror(errno))};
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error{Errc::io_error,
+                 format("bind 127.0.0.1:%u: %s", port, std::strerror(err))};
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error{Errc::io_error, format("listen(): %s", std::strerror(err))};
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error{Errc::io_error, format("getsockname(): %s", std::strerror(err))};
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+  return {};
+}
+
+void MetricsServer::stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void MetricsServer::serve() {
+  // One request at a time: the stop flag is polled between connections, so
+  // stop() latency is bounded by the poll timeout plus one handler.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle(client);
+    ::close(client);
+  }
+}
+
+void MetricsServer::handle(int client) const {
+  timeval timeout{};
+  timeout.tv_sec = 2;  // a stalled client must not wedge the listener
+  ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buf[2048];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t got = ::recv(client, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    request.append(buf, static_cast<std::size_t>(got));
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  std::string method, target;
+  if (sp1 != std::string::npos && sp2 != std::string::npos) {
+    method = line.substr(0, sp1);
+    target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  if (const std::size_t q = target.find('?'); q != std::string::npos)
+    target.resize(q);
+
+  HttpResponse resp;
+  if (method != "GET") {
+    resp = HttpResponse{405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else if (const auto it = routes_.find(target); it == routes_.end()) {
+    resp = HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  } else {
+    resp = it->second();
+  }
+
+  std::string head = format(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      resp.status, reason_phrase(resp.status), resp.content_type.c_str(),
+      resp.body.size());
+  head += resp.body;
+  send_all(client, head);
+}
+
+}  // namespace mm::obs

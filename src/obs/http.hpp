@@ -1,0 +1,66 @@
+// Minimal loopback HTTP/1.1 listener for the monitoring plane.
+//
+// Serves registered routes (in practice /metrics and /healthz) from ONE
+// background thread on 127.0.0.1 only — this is an operator endpoint inside
+// the trading host, not a web server: no keep-alive, no TLS, no
+// concurrency, request line + headers capped at 8 KiB, every connection
+// closed after one response. Port 0 binds an ephemeral port; port() returns
+// the real one after start(), which is how tests (and the engine's
+// `port_out` hand-off) discover where to scrape.
+//
+// Handlers run on the listener thread, so anything they touch must be
+// thread-safe against the rest of the process (Registry snapshots and
+// HeartbeatMonitor reads are). Compiled identically with MM_OBS_ENABLED on
+// or off — the server only shuttles strings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace mm::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class MetricsServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  MetricsServer() = default;
+  ~MetricsServer();
+
+  // Register a handler for an exact path ("/metrics"). Call before start().
+  void route(const std::string& path, Handler handler);
+
+  // Bind 127.0.0.1:`port` (0 = ephemeral), start the listener thread.
+  Status start(std::uint16_t port);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+ private:
+  void serve();
+  void handle(int client) const;
+
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace mm::obs

@@ -1,0 +1,179 @@
+#include "obs/prometheus.hpp"
+
+#include "common/strings.hpp"
+
+namespace mm::obs {
+namespace {
+
+bool name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+}
+
+bool name_char(char c) { return name_start(c) || (c >= '0' && c <= '9'); }
+
+// HELP text escaping: backslash and newline (the only two the spec names).
+std::string help_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Trailing-zero-free double formatting (Prometheus accepts both; short forms
+// keep the exposition readable).
+std::string num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 && v < 1e15)
+    return format("%lld", static_cast<long long>(v));
+  return format("%.6g", v);
+}
+
+void family_header(std::string& out, const std::string& family,
+                   const std::string& raw, const char* kind, const char* type) {
+  out += "# HELP " + family + " marketminer " + std::string(kind) + " " +
+         help_escape(raw) + "\n";
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prom_name(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (const char c : raw) out.push_back(name_char(c) ? c : '_');
+  if (out.empty() || !name_start(out.front())) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prom_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prom_render(const Snapshot& snap, const std::string& prefix) {
+  std::string out;
+  for (const auto& m : snap.metrics) {
+    const std::string base = prom_name(prefix + m.name);
+    switch (m.kind) {
+      case MetricKind::counter: {
+        const std::string family = base + "_total";
+        family_header(out, family, m.name, "counter", "counter");
+        out += family + " " + num(static_cast<double>(m.value)) + "\n";
+        break;
+      }
+      case MetricKind::gauge: {
+        family_header(out, base, m.name, "gauge", "gauge");
+        out += base + " " + num(static_cast<double>(m.value)) + "\n";
+        break;
+      }
+      case MetricKind::histogram: {
+        family_header(out, base, m.name, "histogram", "histogram");
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.bounds.size() && i < m.buckets.size(); ++i) {
+          cumulative += m.buckets[i];
+          out += base + "_bucket{le=\"" +
+                 num(static_cast<double>(m.bounds[i])) + "\"} " +
+                 format("%llu", static_cast<unsigned long long>(cumulative)) + "\n";
+        }
+        out += base + "_bucket{le=\"+Inf\"} " +
+               format("%llu", static_cast<unsigned long long>(m.count)) + "\n";
+        out += base + "_sum " + num(static_cast<double>(m.sum)) + "\n";
+        out += base + "_count " +
+               format("%llu", static_cast<unsigned long long>(m.count)) + "\n";
+        const std::string quantiles = base + "_quantile";
+        family_header(out, quantiles, m.name, "histogram quantiles", "gauge");
+        for (const double q : {0.5, 0.95, 0.99})
+          out += quantiles + "{quantile=\"" + num(q) + "\"} " + num(m.quantile(q)) +
+                 "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string prom_render_health(const std::vector<RankHealth>& health,
+                               const std::vector<std::string>& rank_nodes,
+                               std::int64_t now_ns, const std::string& prefix) {
+  if (health.empty()) return {};
+  std::string out;
+  const auto labels = [&](std::size_t r) {
+    const std::string node = r < rank_nodes.size() ? rank_nodes[r] : std::string{};
+    return "{rank=\"" + std::to_string(r) + "\",node=\"" + prom_label_escape(node) +
+           "\"}";
+  };
+  const std::string up = prom_name(prefix + "heartbeat.up");
+  family_header(out, up, "1 while the rank is believed alive", "gauge", "gauge");
+  for (std::size_t r = 0; r < health.size(); ++r) {
+    const bool alive = health[r].state == Liveness::up ||
+                       health[r].state == Liveness::suspect;
+    out += up + labels(r) + " " + (alive ? "1" : "0") + "\n";
+  }
+  const std::string state = prom_name(prefix + "heartbeat.state");
+  family_header(out, state, "0 up, 1 suspect, 2 down, 3 done", "gauge", "gauge");
+  for (std::size_t r = 0; r < health.size(); ++r)
+    out += state + labels(r) + " " +
+           std::to_string(static_cast<int>(health[r].state)) + "\n";
+  const std::string seq = prom_name(prefix + "heartbeat.seq");
+  family_header(out, seq, "last observed heartbeat sequence", "gauge", "gauge");
+  for (std::size_t r = 0; r < health.size(); ++r)
+    out += seq + labels(r) + " " +
+           format("%llu", static_cast<unsigned long long>(health[r].seq)) + "\n";
+  const std::string age = prom_name(prefix + "heartbeat.age_seconds");
+  family_header(out, age, "seconds since the last observed beat", "gauge", "gauge");
+  for (std::size_t r = 0; r < health.size(); ++r) {
+    const double seconds =
+        static_cast<double>(now_ns - health[r].last_seen_ns) / 1e9;
+    out += age + labels(r) + " " + num(seconds < 0.0 ? 0.0 : seconds) + "\n";
+  }
+  const std::string missed = prom_name(prefix + "heartbeat.missed_scans");
+  family_header(out, missed, "consecutive scans without a beat", "gauge", "gauge");
+  for (std::size_t r = 0; r < health.size(); ++r)
+    out += missed + labels(r) + " " + std::to_string(health[r].missed_scans) + "\n";
+  return out;
+}
+
+std::string prom_render_rates(const RateSample& rates, std::int64_t now_ns,
+                              const std::string& prefix) {
+  std::string out;
+  const auto gauge = [&](const char* name, const char* help, double v) {
+    const std::string family = prom_name(prefix + name);
+    family_header(out, family, help, "gauge", "gauge");
+    out += family + " " + num(v) + "\n";
+  };
+  gauge("rate.messages_per_second", "transport receive rate over the last window",
+        rates.msgs_per_s);
+  gauge("rate.bytes_per_second", "transport byte rate over the last window",
+        rates.bytes_per_s);
+  gauge("rate.frames_per_second", "dagflow frame ingest rate over the last window",
+        rates.frames_per_s);
+  const std::string step = prom_name(prefix + "rate.step_latency_ns");
+  family_header(out, step, "windowed step-latency quantiles", "gauge", "gauge");
+  out += step + "{quantile=\"0.5\"} " + num(rates.p50_step_ns) + "\n";
+  out += step + "{quantile=\"0.95\"} " + num(rates.p95_step_ns) + "\n";
+  out += step + "{quantile=\"0.99\"} " + num(rates.p99_step_ns) + "\n";
+  gauge("snapshot.age_seconds", "seconds since the newest registry snapshot",
+        rates.t_ns > 0 ? static_cast<double>(now_ns - rates.t_ns) / 1e9 : 0.0);
+  return out;
+}
+
+}  // namespace mm::obs

@@ -17,6 +17,52 @@ std::vector<std::int64_t> default_latency_bounds_ns() {
   return bounds;  // last bound ≈ 4.3 s
 }
 
+double MetricValue::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  if (bounds.empty() || buckets.size() != bounds.size() + 1) return mean();
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == buckets.size() - 1)  // overflow: pinned to the last finite bound
+      return static_cast<double>(bounds.back());
+    const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double hi = static_cast<double>(bounds[i]);
+    return lo + (hi - lo) * ((rank - cumulative) / in_bucket);
+  }
+  return static_cast<double>(bounds.back());
+}
+
+Snapshot Snapshot::delta(const Snapshot& base) const {
+  Snapshot out = *this;
+  for (auto& m : out.metrics) {
+    if (m.kind == MetricKind::gauge) continue;  // levels: current value stands
+    const MetricValue* prev = base.find(m.name);
+    if (prev == nullptr || prev->kind != m.kind) continue;
+    if (m.kind == MetricKind::counter) {
+      m.value = m.value >= prev->value ? m.value - prev->value : m.value;
+      continue;
+    }
+    // Histogram: subtract only when the bucket layout matches (it always does
+    // for one registry; a re-registered histogram with new bounds passes
+    // through unchanged).
+    if (prev->bounds != m.bounds || prev->buckets.size() != m.buckets.size())
+      continue;
+    if (prev->count > m.count) continue;  // reset in between: keep current
+    m.count -= prev->count;
+    m.sum -= prev->sum;
+    for (std::size_t i = 0; i < m.buckets.size(); ++i)
+      m.buckets[i] -= std::min(m.buckets[i], prev->buckets[i]);
+  }
+  return out;
+}
+
 const MetricValue* Snapshot::find(const std::string& name) const {
   for (const auto& m : metrics)
     if (m.name == name) return &m;
@@ -28,6 +74,16 @@ std::int64_t Snapshot::counter_total(const std::string& prefix) const {
   for (const auto& m : metrics)
     if (m.kind == MetricKind::counter && m.name.rfind(prefix, 0) == 0)
       total += m.value;
+  return total;
+}
+
+std::int64_t Snapshot::counter_suffix_total(const std::string& suffix) const {
+  std::int64_t total = 0;
+  for (const auto& m : metrics) {
+    if (m.kind != MetricKind::counter || m.name.size() < suffix.size()) continue;
+    if (m.name.compare(m.name.size() - suffix.size(), suffix.size(), suffix) == 0)
+      total += m.value;
+  }
   return total;
 }
 
@@ -44,9 +100,12 @@ std::string Snapshot::to_string() const {
                       static_cast<long long>(m.value));
         break;
       case MetricKind::histogram:
-        out += format("%-48s histogram count=%llu mean=%.0f sum=%lld\n",
-                      m.name.c_str(), static_cast<unsigned long long>(m.count),
-                      m.mean(), static_cast<long long>(m.sum));
+        out += format(
+            "%-48s histogram count=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f "
+            "sum=%lld\n",
+            m.name.c_str(), static_cast<unsigned long long>(m.count), m.mean(),
+            m.quantile(0.50), m.quantile(0.95), m.quantile(0.99),
+            static_cast<long long>(m.sum));
         break;
     }
   }
@@ -64,9 +123,11 @@ std::string Snapshot::to_json() const {
                                                       : "histogram";
     out += format("{\"name\":\"%s\",\"kind\":\"%s\"", m.name.c_str(), kind);
     if (m.kind == MetricKind::histogram) {
-      out += format(",\"count\":%llu,\"sum\":%lld,\"bounds\":[",
+      out += format(",\"count\":%llu,\"sum\":%lld,\"p50\":%.1f,\"p95\":%.1f,"
+                    "\"p99\":%.1f,\"bounds\":[",
                     static_cast<unsigned long long>(m.count),
-                    static_cast<long long>(m.sum));
+                    static_cast<long long>(m.sum), m.quantile(0.50),
+                    m.quantile(0.95), m.quantile(0.99));
       for (std::size_t i = 0; i < m.bounds.size(); ++i)
         out += format(i == 0 ? "%lld" : ",%lld", static_cast<long long>(m.bounds[i]));
       out += "],\"buckets\":[";

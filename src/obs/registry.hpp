@@ -51,6 +51,14 @@ struct MetricValue {
   std::vector<std::uint64_t> buckets;
 
   double mean() const { return count > 0 ? static_cast<double>(sum) / count : 0.0; }
+
+  // Interpolated quantile estimate (q in [0, 1]) for a histogram: the rank
+  // q*count is located in the cumulative bucket counts and the value is
+  // linearly interpolated inside that bucket's [lower, upper) range. Samples
+  // in the overflow bucket are pinned to the last bound (the estimate cannot
+  // exceed it), mirroring Prometheus's histogram_quantile. Returns 0 when the
+  // histogram is empty, mean() when it has no bounds.
+  double quantile(double q) const;
 };
 
 struct Snapshot {
@@ -59,8 +67,19 @@ struct Snapshot {
   const MetricValue* find(const std::string& name) const;
   // Sum of `value` over counters whose name starts with `prefix`.
   std::int64_t counter_total(const std::string& prefix) const;
+  // Sum of `value` over counters whose name ends with `suffix`.
+  std::int64_t counter_suffix_total(const std::string& suffix) const;
   std::string to_string() const;  // human-readable table
   std::string to_json() const;    // {"metrics": [...]}
+
+  // Monotonic-delta view: this snapshot minus `base`. Counter values and
+  // histogram counts/sums/buckets subtract (clamped at zero, so a registry
+  // reset between the two snapshots degrades to the current values); gauges
+  // are levels and keep their current value. Metrics absent from `base` pass
+  // through unchanged. This is how one registry serves both a long-lived
+  // Prometheus scrape (monotonic totals) and per-run / per-interval views
+  // (deltas) without destructive resets.
+  Snapshot delta(const Snapshot& base) const;
 };
 
 // Default histogram bounds for nanosecond latencies: powers of four from

@@ -1,0 +1,339 @@
+// Heartbeat monitor tests: liveness transitions under a synthetic clock
+// (deterministic, no sleeps on the assertion path), pulse/guard behaviour on
+// real threads, and the end-to-end acceptance path — a fault-plan kill of a
+// pipeline stage detected by the heartbeat monitor within 2x the heartbeat
+// interval, with a flight-recorder bundle holding the dead rank's trace ring
+// and crash report.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "engine/pipeline.hpp"
+#include "marketdata/generator.hpp"
+#include "obs/heartbeat.hpp"
+
+namespace mm::obs {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+#if MM_OBS_ENABLED
+
+// Synthetic-clock fixture: the monitor's scan() takes the time explicitly,
+// so transitions are exact functions of (beats written, scan times) with no
+// wall clock involved. interval = 1000 "ns" keeps the arithmetic readable.
+class MonitorClock : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kInterval = 1000;
+
+  MonitorClock() : board_(3), monitor_(board_, make_config()) {}
+
+  static HeartbeatMonitor::Config make_config() {
+    HeartbeatMonitor::Config cfg;
+    cfg.interval = nanoseconds{kInterval};
+    cfg.suspect_after = 1.0;
+    cfg.dead_after = 1.5;
+    return cfg;
+  }
+
+  void beat(int rank) {
+    board_.slot(rank)->store(++seq_[static_cast<std::size_t>(rank)],
+                             std::memory_order_relaxed);
+  }
+
+  HeartbeatBoard board_;
+  HeartbeatMonitor monitor_;
+  std::uint64_t seq_[3] = {0, 0, 0};
+};
+
+TEST_F(MonitorClock, SilenceDegradesUpSuspectDownWithinTwoIntervals) {
+  int deaths = 0;
+  int dead_rank = -1;
+  monitor_.on_dead = [&](int rank, const RankHealth& h) {
+    ++deaths;
+    dead_rank = rank;
+    EXPECT_EQ(h.state, Liveness::down);
+  };
+
+  monitor_.scan(0);  // seeds last_seen for every rank
+  beat(0);
+  beat(1);
+  monitor_.scan(500);
+  EXPECT_EQ(monitor_.health(0).state, Liveness::up);
+  EXPECT_EQ(monitor_.health(1).state, Liveness::up);
+  EXPECT_EQ(monitor_.health(2).state, Liveness::up);  // 500 < 1.0x interval
+
+  // Rank 2 silent past 1.0x interval: suspected. The beating ranks last
+  // advanced at t=500, so they are comfortably inside the window.
+  monitor_.scan(1100);
+  EXPECT_EQ(monitor_.health(0).state, Liveness::up);
+  EXPECT_EQ(monitor_.health(2).state, Liveness::suspect);
+  EXPECT_EQ(deaths, 0);
+
+  // Past 1.5x interval: down, detection timestamped, callback fired — and the
+  // gap between the last observed beat and detection is under 2x interval
+  // (the ISSUE acceptance bound).
+  monitor_.scan(1600);
+  const RankHealth dead = monitor_.health(2);
+  EXPECT_EQ(dead.state, Liveness::down);
+  EXPECT_EQ(dead.detected_ns, 1600);
+  EXPECT_LE(dead.detected_ns - dead.last_seen_ns, 2 * kInterval);
+  EXPECT_EQ(deaths, 1);
+  EXPECT_EQ(dead_rank, 2);
+  ASSERT_EQ(monitor_.dead_ranks().size(), 1u);
+  EXPECT_EQ(monitor_.dead_ranks()[0], 2);
+
+  // Ranks 0/1 crossed into suspect at t=1600 (silent 1100 > interval)...
+  EXPECT_EQ(monitor_.health(0).state, Liveness::suspect);
+  // ...and a fresh beat recovers a suspect back to up.
+  beat(0);
+  monitor_.scan(1700);
+  EXPECT_EQ(monitor_.health(0).state, Liveness::up);
+
+  // Down is sticky: a zombie beat never resurrects a dead rank, and on_dead
+  // does not fire again.
+  beat(2);
+  monitor_.scan(1800);
+  EXPECT_EQ(monitor_.health(2).state, Liveness::down);
+  EXPECT_EQ(deaths, 1);
+}
+
+TEST_F(MonitorClock, IdleButAliveRankIsNeverSuspected) {
+  monitor_.scan(0);
+  // A blocked-in-recv rank beats once per interval from the mailbox wait
+  // loop. Simulate exactly that cadence over many intervals: never suspected.
+  std::int64_t now = 0;
+  for (int i = 0; i < 20; ++i) {
+    beat(0);
+    now += kInterval;
+    monitor_.scan(now);
+    ASSERT_EQ(monitor_.health(0).state, Liveness::up) << "interval " << i;
+    ASSERT_EQ(monitor_.health(0).missed_scans, 0u);
+  }
+}
+
+TEST_F(MonitorClock, RetirementOutranksSilence) {
+  monitor_.scan(0);
+  beat(1);
+  monitor_.scan(100);
+  board_.retire(1);
+  // Long past the dead threshold — but the slot is retired, so the verdict
+  // is done, never down, no matter how late the scan runs.
+  monitor_.scan(100 * kInterval);
+  EXPECT_EQ(monitor_.health(1).state, Liveness::done);
+  for (const int r : monitor_.dead_ranks()) EXPECT_NE(r, 1);  // others may die
+  // Done is terminal: further scans leave it alone.
+  monitor_.scan(200 * kInterval);
+  EXPECT_EQ(monitor_.health(1).state, Liveness::done);
+}
+
+TEST(MonitorThreads, SettleClassifiesRetiredVersusSilentRanks) {
+  HeartbeatBoard board(2);
+  HeartbeatMonitor::Config cfg;
+  cfg.interval = milliseconds{5};
+  HeartbeatMonitor monitor(board, cfg);
+
+  // Rank 0 completes cleanly (guard retires); rank 1 is "killed": mark_dead
+  // turns its guard's retire() into a no-op, so the board sees silence.
+  std::thread clean([&board] {
+    PulseGuard guard(&board, 0, milliseconds{5});
+    pulse_this_thread().beat();
+    guard.retire();
+  });
+  std::thread killed([&board] {
+    PulseGuard guard(&board, 1, milliseconds{5});
+    pulse_this_thread().beat();
+    pulse_this_thread().mark_dead();
+    guard.retire();  // must not retire: the rank died, it did not finish
+  });
+  clean.join();
+  killed.join();
+
+  // Cold settle (monitor never start()ed drives its own scans).
+  const int down = monitor.settle();
+  EXPECT_EQ(down, 1);
+  EXPECT_EQ(monitor.health(0).state, Liveness::done);
+  EXPECT_EQ(monitor.health(1).state, Liveness::down);
+}
+
+TEST(MonitorThreads, UnarmedPulseBeatsAreFreeAndInert) {
+  // Threads outside a run (no PulseGuard) call beat() from the transport hot
+  // path; it must be a harmless no-op.
+  Pulse& pulse = pulse_this_thread();
+  EXPECT_FALSE(pulse.armed());
+  pulse.beat();
+  pulse.beat();
+  EXPECT_FALSE(pulse.armed());
+}
+
+#endif  // MM_OBS_ENABLED
+
+// --- end-to-end: pipeline kill -> heartbeat detection -> flight bundle -----
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+engine::PipelineConfig live_base_config() {
+  engine::PipelineConfig cfg;
+  cfg.symbols = 4;
+  core::StrategyParams p = core::ParamGrid::base();
+  p.ctype = stats::Ctype::pearson;
+  p.divergence = 0.0005;
+  cfg.strategies = {p};
+  cfg.batch_size = 64;  // chatty transport: a mid-day kill step lands
+  return cfg;
+}
+
+// Rank layout (one rank per node, add order): collector=0, cleaner=1,
+// snapshot=2, correlation=3, strategy-0=4, master=5.
+constexpr int kStrategyRank = 4;
+
+TEST(LiveMonitorPipeline, KilledStageDetectedAndFlightBundleWritten) {
+  md::Universe universe = md::make_universe(4);
+  md::GeneratorConfig gen;
+  gen.quote_rate = 0.15;
+  const md::SyntheticDay day(universe, gen, 0);
+
+  const auto flight_dir =
+      std::filesystem::temp_directory_path() /
+      ("mm_flight_" + std::to_string(static_cast<long long>(::getpid())));
+  std::filesystem::remove_all(flight_dir);
+
+  TraceSink sink;
+  engine::PipelineConfig cfg = live_base_config();
+  cfg.fault.kill_rank = kStrategyRank;
+  cfg.fault.kill_at_op = 150;
+  cfg.stage_deadline = milliseconds{1000};
+  cfg.replica_deadline = milliseconds{1000};
+  cfg.trace = &sink;
+  cfg.live.enabled = true;
+  cfg.live.heartbeat_interval = milliseconds{200};
+  cfg.live.snapshot_period = milliseconds{100};
+  cfg.live.http_port = -1;  // no listener in this test
+  cfg.live.flight_dir = flight_dir.string();
+
+  const auto result = engine::run_pipeline(cfg, universe, day.quotes());
+  EXPECT_TRUE(result.degraded);
+
+#if MM_OBS_ENABLED
+  const auto& live = result.live;
+  ASSERT_TRUE(live.enabled);
+  ASSERT_EQ(live.health.size(), 6u);
+  ASSERT_EQ(live.rank_nodes.size(), 6u);
+  EXPECT_EQ(live.rank_nodes[kStrategyRank], "strategy-0");
+
+  // The kill was DETECTED by the heartbeat monitor — the rank is down, not
+  // done — and detection came within 2x the heartbeat interval of the last
+  // observed beat (the ISSUE acceptance bound).
+  const RankHealth& victim = live.health[kStrategyRank];
+  EXPECT_EQ(victim.state, Liveness::down);
+  const std::int64_t interval_ns = cfg.live.heartbeat_interval.count();
+  EXPECT_GT(victim.detected_ns, 0);
+  EXPECT_LE(victim.detected_ns - victim.last_seen_ns, 2 * interval_ns);
+
+  // The crash set names the victim by rank and node.
+  bool victim_reported = false;
+  for (const auto& crash : live.crashes) {
+    if (crash.rank != kStrategyRank) continue;
+    victim_reported = true;
+    EXPECT_EQ(crash.node, "strategy-0");
+  }
+  EXPECT_TRUE(victim_reported);
+
+  // Flight bundle: all four artifacts present, the crash report names the
+  // dead rank, and the trace holds the victim's ring (rows are keyed by
+  // "pid":<rank> in the Chrome JSON).
+  ASSERT_FALSE(live.flight_bundle.empty());
+  const std::filesystem::path bundle(live.flight_bundle);
+  ASSERT_TRUE(std::filesystem::is_directory(bundle));
+  for (const char* name :
+       {"crash_report.json", "trace.json", "snapshots.json", "metrics.prom"})
+    EXPECT_TRUE(std::filesystem::is_regular_file(bundle / name)) << name;
+
+  const std::string report = read_file(bundle / "crash_report.json");
+  EXPECT_NE(report.find("\"rank\":4"), std::string::npos);
+  EXPECT_NE(report.find("strategy-0"), std::string::npos);
+  EXPECT_NE(report.find("\"state\":\"down\""), std::string::npos);
+
+  const std::string trace = read_file(bundle / "trace.json");
+  EXPECT_NE(trace.find("\"pid\":4"), std::string::npos);
+
+  const std::string prom = read_file(bundle / "metrics.prom");
+  EXPECT_NE(prom.find("mm_mpmini_send_messages_total"), std::string::npos);
+
+  std::filesystem::remove_all(flight_dir);
+#endif  // MM_OBS_ENABLED
+}
+
+TEST(LiveMonitorPipeline, HealthyRunEndsAllDoneWithNoBundle) {
+  md::Universe universe = md::make_universe(4);
+  md::GeneratorConfig gen;
+  gen.quote_rate = 0.15;
+  const md::SyntheticDay day(universe, gen, 1);
+
+  engine::PipelineConfig cfg = live_base_config();
+  cfg.live.enabled = true;
+  cfg.live.heartbeat_interval = milliseconds{100};
+  cfg.live.http_port = -1;
+
+  const auto result = engine::run_pipeline(cfg, universe, day.quotes());
+  EXPECT_FALSE(result.degraded);
+
+#if MM_OBS_ENABLED
+  ASSERT_TRUE(result.live.enabled);
+  ASSERT_EQ(result.live.health.size(), 6u);
+  for (const auto& h : result.live.health)
+    EXPECT_EQ(h.state, Liveness::done) << liveness_name(h.state);
+  EXPECT_TRUE(result.live.crashes.empty());
+  EXPECT_TRUE(result.live.flight_bundle.empty());
+#else
+  EXPECT_FALSE(result.live.enabled);
+#endif
+}
+
+// Shared-registry hygiene (regression): two back-to-back runs on ONE registry
+// must each report only their own traffic in result.metrics — run 2's delta
+// matches run 1's instead of doubling.
+TEST(LiveMonitorPipeline, BackToBackRunsOnSharedRegistryDoNotBleed) {
+  md::Universe universe = md::make_universe(4);
+  md::GeneratorConfig gen;
+  gen.quote_rate = 0.15;
+  const md::SyntheticDay day(universe, gen, 2);
+
+  Registry shared;
+  engine::PipelineConfig cfg = live_base_config();
+  cfg.metrics = &shared;
+
+  const auto first = engine::run_pipeline(cfg, universe, day.quotes());
+  const auto second = engine::run_pipeline(cfg, universe, day.quotes());
+  ASSERT_FALSE(first.degraded);
+  ASSERT_FALSE(second.degraded);
+
+#if MM_OBS_ENABLED
+  const std::int64_t sent1 = first.metrics.counter_total("mpmini.send.messages");
+  const std::int64_t sent2 = second.metrics.counter_total("mpmini.send.messages");
+  ASSERT_GT(sent1, 0);
+  // Same quotes, same config: comparable traffic (exact counts can wiggle
+  // with flow-control timing), and definitely not ~2x the first run.
+  EXPECT_LT(sent2, sent1 + sent1 / 2);
+  EXPECT_GT(sent2, sent1 / 2);
+  // The registry itself accumulated both runs — the deltas partition it.
+  EXPECT_EQ(shared.snapshot().counter_total("mpmini.send.messages"), sent1 + sent2);
+#endif
+}
+
+}  // namespace
+}  // namespace mm::obs

@@ -356,6 +356,133 @@ TEST(ObsSnapshot, JsonRoundTripsThroughParser) {
 #endif
 }
 
+// --- quantiles and deltas (MetricValue/Snapshot are real in both modes) ----
+
+MetricValue make_histogram_value(std::vector<std::int64_t> bounds,
+                                 std::vector<std::uint64_t> buckets) {
+  MetricValue m;
+  m.name = "h";
+  m.kind = MetricKind::histogram;
+  m.bounds = std::move(bounds);
+  m.buckets = std::move(buckets);
+  for (const auto b : m.buckets) m.count += b;
+  return m;
+}
+
+TEST(ObsQuantile, InterpolatesLinearlyInsideBuckets) {
+  // 10 samples in [0, 100), 10 in [100, 200).
+  const MetricValue m = make_histogram_value({100, 200, 400}, {10, 10, 0, 0});
+  EXPECT_DOUBLE_EQ(m.quantile(0.25), 50.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.75), 150.0);
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), 200.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(m.quantile(-1.0), m.quantile(0.0));
+  EXPECT_DOUBLE_EQ(m.quantile(2.0), m.quantile(1.0));
+}
+
+TEST(ObsQuantile, OverflowSamplesArePinnedToLastBound) {
+  const MetricValue m = make_histogram_value({100, 200, 400}, {0, 0, 0, 5});
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 400.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.99), 400.0);
+}
+
+TEST(ObsQuantile, DegenerateShapes) {
+  MetricValue empty;
+  empty.kind = MetricKind::histogram;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  MetricValue no_bounds;  // falls back to the mean
+  no_bounds.kind = MetricKind::histogram;
+  no_bounds.count = 4;
+  no_bounds.sum = 100;
+  EXPECT_DOUBLE_EQ(no_bounds.quantile(0.95), 25.0);
+}
+
+TEST(ObsSnapshot, DeltaSubtractsCountersKeepsGauges) {
+  Snapshot base, now;
+  MetricValue c;
+  c.name = "sent";
+  c.kind = MetricKind::counter;
+  c.value = 100;
+  base.metrics.push_back(c);
+  c.value = 250;
+  now.metrics.push_back(c);
+  MetricValue g;
+  g.name = "depth";
+  g.kind = MetricKind::gauge;
+  g.value = 7;
+  base.metrics.push_back(g);
+  g.value = 3;
+  now.metrics.push_back(g);
+  MetricValue fresh;  // absent from base: passes through
+  fresh.name = "new.counter";
+  fresh.kind = MetricKind::counter;
+  fresh.value = 5;
+  now.metrics.push_back(fresh);
+
+  const Snapshot d = now.delta(base);
+  EXPECT_EQ(d.find("sent")->value, 150);
+  EXPECT_EQ(d.find("depth")->value, 3);  // gauges are levels, not totals
+  EXPECT_EQ(d.find("new.counter")->value, 5);
+}
+
+TEST(ObsSnapshot, DeltaSubtractsHistogramBucketsAndSurvivesReset) {
+  Snapshot base, now;
+  MetricValue h1 = make_histogram_value({100, 200}, {5, 5, 0});
+  h1.name = "lat";
+  h1.sum = 500;
+  base.metrics.push_back(h1);
+  MetricValue h2 = make_histogram_value({100, 200}, {5, 9, 1});
+  h2.name = "lat";
+  h2.sum = 1700;
+  now.metrics.push_back(h2);
+
+  const Snapshot d = now.delta(base);
+  const MetricValue* m = d.find("lat");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 5u);
+  EXPECT_EQ(m->sum, 1200);
+  EXPECT_EQ(m->buckets[0], 0u);
+  EXPECT_EQ(m->buckets[1], 4u);
+  EXPECT_EQ(m->buckets[2], 1u);
+
+  // Registry reset between snapshots (base count exceeds current): the delta
+  // degrades to the current values instead of underflowing.
+  const Snapshot reversed = base.delta(now);
+  EXPECT_EQ(reversed.find("lat")->count, 10u);
+}
+
+TEST(ObsSnapshot, CounterSuffixTotalSumsMatchingCounters) {
+  Snapshot snap;
+  for (const char* name : {"dag.a.frames_in", "dag.b.frames_in", "dag.a.frames_out"}) {
+    MetricValue c;
+    c.name = name;
+    c.kind = MetricKind::counter;
+    c.value = 10;
+    snap.metrics.push_back(c);
+  }
+  EXPECT_EQ(snap.counter_suffix_total(".frames_in"), 20);
+  EXPECT_EQ(snap.counter_suffix_total(".frames_out"), 10);
+  EXPECT_EQ(snap.counter_suffix_total(".absent"), 0);
+}
+
+#if MM_OBS_ENABLED
+TEST(ObsSnapshot, HistogramRendersQuantilesInTextAndJson) {
+  Registry registry;
+  Histogram& h = registry.histogram("step_ns", {100, 200, 400});
+  for (int i = 0; i < 10; ++i) h.record(50);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_NE(snap.to_string().find("p95="), std::string::npos);
+  Json doc;
+  ASSERT_TRUE(JsonParser(snap.to_json()).parse(&doc));
+  const Json& m = doc.get("metrics")->items.at(0);
+  ASSERT_NE(m.get("p95"), nullptr);
+  EXPECT_GT(m.get("p95")->number, 0.0);
+  EXPECT_LE(m.get("p95")->number, 100.0);
+}
+#endif  // MM_OBS_ENABLED
+
 // --- trace ring and Chrome JSON --------------------------------------------
 
 TEST(ObsTrace, ChromeJsonRoundTripsThroughParser) {
