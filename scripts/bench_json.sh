@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Build and run the correlation-kernel and mm::obs benchmarks, writing
-# google-benchmark JSON to BENCH_corr.json and BENCH_obs.json at the repo
-# root. Usage: scripts/bench_json.sh [build-dir] (default: build).
+# Build and run the correlation-kernel, mm::obs and mpmini-transport
+# benchmarks, writing google-benchmark JSON to BENCH_corr.json, BENCH_obs.json
+# and BENCH_mpmini.json at the repo root.
+# Usage: scripts/bench_json.sh [build-dir] (default: build).
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -9,4 +10,4 @@ build_dir=${1:-"$repo_root/build"}
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j --target bench_json
-echo "Wrote $repo_root/BENCH_corr.json and $repo_root/BENCH_obs.json"
+echo "Wrote $repo_root/BENCH_corr.json, $repo_root/BENCH_obs.json and $repo_root/BENCH_mpmini.json"

@@ -11,6 +11,6 @@ build_dir=${1:-"$repo_root/build-tsan"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$build_dir" -j --target \
-  test_mpmini test_collectives test_dagflow test_faults test_obs
+  test_mpmini test_transport test_collectives test_dagflow test_faults test_obs
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$build_dir" -L tsan --output-on-failure

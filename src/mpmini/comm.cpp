@@ -17,10 +17,14 @@ inline void bump(obs::Counter* counter, std::uint64_t n = 1) {
 
 }  // namespace
 
-World::World(int size) {
+World::World(int size) : World(size, transport_mode()) {}
+
+World::World(int size, TransportMode mode) : transport_(mode) {
   MM_ASSERT_MSG(size > 0, "World size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  if (transport_ == TransportMode::ring)
+    for (auto& mailbox : mailboxes_) mailbox->init_lanes(size);
   op_counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) op_counts_[static_cast<std::size_t>(i)] = 0;
@@ -41,10 +45,12 @@ void World::attach_obs(obs::Registry& registry) {
   metrics_.faults_duplicated = &registry.counter("mpmini.fault.duplicated");
   metrics_.faults_delayed = &registry.counter("mpmini.fault.delayed");
   obs::Gauge& queue_peak = registry.gauge("mpmini.mailbox.queue_peak");
-  // The gauge is a high watermark; a second run on the same registry must
-  // start from zero, not inherit the previous world's peak.
+  obs::Gauge& ring_peak = registry.gauge("mpmini.ring.depth_peak");
+  // The gauges are high watermarks; a second run on the same registry must
+  // start from zero, not inherit the previous world's peaks.
   queue_peak.reset();
-  for (auto& mailbox : mailboxes_) mailbox->set_obs(&queue_peak);
+  ring_peak.reset();
+  for (auto& mailbox : mailboxes_) mailbox->set_obs(&queue_peak, &ring_peak);
 }
 
 void World::check_op(int world_rank) {
@@ -89,6 +95,25 @@ void Comm::internal_send(int dest, int tag, std::vector<std::uint8_t> payload) {
   const WorldObs& metrics = world_->metrics();
   bump(metrics.send_messages);
   bump(metrics.send_bytes, msg.payload.size());
+
+  Mailbox& box = world_->mailbox(dest_world);
+  const int src_world = members_[static_cast<std::size_t>(rank_)];
+  // Hot-path transmit: a lane-ring push in ring mode (lock-free, no
+  // contention with other senders), the locked mailbox path otherwise — and
+  // also when the bounded ring is full, where deliver() drains this lane
+  // first so per-(source, comm) order still holds.
+  const auto transmit = [&](Message&& m) {
+    if (world_->transport() == TransportMode::ring) {
+      Lane& lane = box.lane_for_sender(src_world);
+      if (lane.ring.try_push(std::move(m))) {
+        lane.note_depth();
+        box.notify_ring_push();
+        return;
+      }
+    }
+    box.deliver(std::move(m));
+  };
+
   const FaultPlan& plan = world_->fault_plan();
   if (plan.active()) {
     const FaultDecision decision = plan.decide(msg, dest_world);
@@ -98,14 +123,18 @@ void Comm::internal_send(int dest, int tag, std::vector<std::uint8_t> payload) {
     }
     if (decision.delay.count() > 0) {
       bump(metrics.faults_delayed);
+      // The injected latency is served on the sending thread BEFORE any ring
+      // slot or mailbox lock is touched: a delayed message stalls its own
+      // sender's stream (per-source FIFO demands that) but never unrelated
+      // senders' traffic into the same rank.
       std::this_thread::sleep_for(decision.delay);
     }
     if (decision.duplicate) {
       bump(metrics.faults_duplicated);
-      world_->mailbox(dest_world).deliver(msg);
+      transmit(Message(msg));
     }
   }
-  world_->mailbox(dest_world).deliver(std::move(msg));
+  transmit(std::move(msg));
 }
 
 void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
@@ -122,8 +151,8 @@ Request Comm::isend(int dest, int tag, std::vector<std::uint8_t> payload) {
 std::vector<std::uint8_t> Comm::recv(int source, int tag, RecvStatus* status) {
   fault_point();
   Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
-  auto ticket = box.post_recv(comm_id_, source, tag);
-  Message msg = box.wait(ticket);
+  // Fast path: stack ticket inside the mailbox, zero allocation per receive.
+  Message msg = box.receive(comm_id_, source, tag);
   bump(world_->metrics().recv_messages);
   bump(world_->metrics().recv_bytes, msg.payload.size());
   if (status != nullptr) {
@@ -139,25 +168,22 @@ Expected<std::vector<std::uint8_t>> Comm::recv_for(std::chrono::milliseconds tim
                                                    RecvStatus* status) {
   fault_point();
   Mailbox& box = world_->mailbox(members_[static_cast<std::size_t>(rank_)]);
-  auto ticket = box.post_recv(comm_id_, source, tag);
-  std::optional<Message> msg;
-  if (box.wait_for(ticket, timeout)) {
-    msg = box.wait(ticket);  // returns immediately: ticket is done
-  } else {
-    msg = box.cancel(ticket);  // may still succeed if completion raced us
-  }
-  if (!msg.has_value()) {
+  Message msg;
+  // receive_for withdraws its (stack) ticket on timeout, so a message
+  // arriving later stays available for future receives instead of being
+  // swallowed by an abandoned ticket.
+  if (!box.receive_for(comm_id_, source, tag, timeout, &msg)) {
     bump(world_->metrics().timeouts);
     return Error(Errc::timeout, "recv_for: no matching message within deadline");
   }
   bump(world_->metrics().recv_messages);
-  bump(world_->metrics().recv_bytes, msg->payload.size());
+  bump(world_->metrics().recv_bytes, msg.payload.size());
   if (status != nullptr) {
-    status->source = msg->source;
-    status->tag = msg->tag;
-    status->byte_count = msg->payload.size();
+    status->source = msg.source;
+    status->tag = msg.tag;
+    status->byte_count = msg.payload.size();
   }
-  return std::move(msg->payload);
+  return std::move(msg.payload);
 }
 
 Request Comm::irecv(int source, int tag) {

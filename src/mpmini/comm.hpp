@@ -20,6 +20,7 @@
 #include "mpmini/mailbox.hpp"
 #include "mpmini/message.hpp"
 #include "mpmini/request.hpp"
+#include "mpmini/wait.hpp"
 #include "obs/registry.hpp"
 
 namespace mm::mpi {
@@ -39,9 +40,14 @@ struct WorldObs {
 
 class World {
  public:
+  // `mode` picks the intra-process transport: lock-free lane rings (default,
+  // or whatever MM_MPMINI_TRANSPORT says) or the legacy locked mailbox path
+  // (the bench's before/after baseline).
   explicit World(int size);
+  World(int size, TransportMode mode);
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
+  TransportMode transport() const { return transport_; }
   Mailbox& mailbox(int world_rank);
   std::uint64_t allocate_comm_id() { return next_comm_id_.fetch_add(1); }
 
@@ -64,6 +70,7 @@ class World {
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  TransportMode transport_ = TransportMode::ring;
   std::atomic<std::uint64_t> next_comm_id_{1};
   FaultPlan fault_plan_{};
   WorldObs metrics_{};

@@ -1,39 +1,268 @@
 #include "mpmini/mailbox.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
+#include "mpmini/wait.hpp"
 #include "obs/heartbeat.hpp"
 
 namespace mm::mpi {
 
-void Mailbox::deliver(Message msg) {
-  std::unique_lock<std::mutex> lock(mutex_);
+using Clock = std::chrono::steady_clock;
+
+namespace {
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+}  // namespace
+
+Mailbox::Mailbox() = default;
+
+Mailbox::~Mailbox() {
+  for (int s = 0; s < lane_count_; ++s)
+    delete lanes_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+  // Queued envelopes and pending tickets hold no owned resources beyond the
+  // pool blocks / shared_ptrs, which release themselves.
+  for (RecvTicket* t = pending_head_; t != nullptr;) {
+    RecvTicket* next = t->next;
+    t->self.reset();
+    t = next;
+  }
+}
+
+void Mailbox::init_lanes(int world_size) {
+  MM_ASSERT(world_size > 0 && lane_count_ == 0);
+  lanes_ = std::make_unique<std::atomic<Lane*>[]>(static_cast<std::size_t>(world_size));
+  for (int s = 0; s < world_size; ++s)
+    lanes_[static_cast<std::size_t>(s)].store(nullptr, std::memory_order_relaxed);
+  lane_count_ = world_size;
+}
+
+Lane& Mailbox::lane_for_sender(int source_world_rank) {
+  MM_ASSERT(source_world_rank >= 0 && source_world_rank < lane_count_);
+  auto& slot = lanes_[static_cast<std::size_t>(source_world_rank)];
+  // The slot is written only by `source_world_rank`'s own thread, so a plain
+  // check-then-create needs no CAS; the release store publishes the lane to
+  // the draining side.
+  Lane* lane = slot.load(std::memory_order_relaxed);
+  if (lane == nullptr) {
+    lane = new Lane(static_cast<std::size_t>(ring_capacity()), ring_peak_);
+    slot.store(lane, std::memory_order_release);
+  }
+  return *lane;
+}
+
+void Mailbox::set_obs(obs::Gauge* queue_peak, obs::Gauge* ring_depth_peak) {
+  queue_peak_ = queue_peak;
+  ring_peak_ = ring_depth_peak;
+  // Contract: called before traffic starts, so touching lanes is safe.
+  for (int s = 0; s < lane_count_; ++s) {
+    Lane* lane = lanes_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+    if (lane != nullptr) lane->depth_peak = ring_depth_peak;
+  }
+}
+
+// --- intrusive list plumbing (mutex_ held) ---------------------------------
+
+void Mailbox::pending_push_locked(RecvTicket* t) {
+  t->prev = pending_tail_;
+  t->next = nullptr;
+  if (pending_tail_ != nullptr)
+    pending_tail_->next = t;
+  else
+    pending_head_ = t;
+  pending_tail_ = t;
+}
+
+void Mailbox::pending_unlink_locked(RecvTicket* t) {
+  if (t->prev != nullptr)
+    t->prev->next = t->next;
+  else
+    pending_head_ = t->next;
+  if (t->next != nullptr)
+    t->next->prev = t->prev;
+  else
+    pending_tail_ = t->prev;
+  t->prev = nullptr;
+  t->next = nullptr;
+}
+
+void Mailbox::queue_push_locked(Envelope* e) {
+  e->prev = queue_tail_;
+  e->next = nullptr;
+  if (queue_tail_ != nullptr)
+    queue_tail_->next = e;
+  else
+    queue_head_ = e;
+  queue_tail_ = e;
+  ++queue_size_;
+  if (queue_peak_ != nullptr)
+    queue_peak_->max_of(static_cast<std::int64_t>(queue_size_));
+}
+
+void Mailbox::queue_unlink_locked(Envelope* e) {
+  if (e->prev != nullptr)
+    e->prev->next = e->next;
+  else
+    queue_head_ = e->next;
+  if (e->next != nullptr)
+    e->next->prev = e->prev;
+  else
+    queue_tail_ = e->prev;
+  e->prev = nullptr;
+  e->next = nullptr;
+  --queue_size_;
+}
+
+// --- matching core (mutex_ held) -------------------------------------------
+
+void Mailbox::complete_locked(RecvTicket* t, Message&& msg) {
+  pending_unlink_locked(t);
+  t->message = std::move(msg);
+  t->done.store(true, std::memory_order_release);
+  // Drop the self-reference last: for an abandoned irecv ticket this is the
+  // final owner, and nothing may touch *t afterwards.
+  auto keep = std::move(t->self);
+}
+
+void Mailbox::absorb_locked(Message&& msg) {
   // Earliest-posted matching receive wins.
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-    if (!(*it)->done && matches(**it, msg)) {
-      (*it)->message = std::move(msg);
-      (*it)->done = true;
-      pending_.erase(it);
-      lock.unlock();
-      cv_.notify_all();
+  for (RecvTicket* t = pending_head_; t != nullptr; t = t->next) {
+    if (matches(*t, msg)) {
+      complete_locked(t, std::move(msg));
       return;
     }
   }
-  queue_.push_back({std::move(msg), false, {}});
-  if (queue_peak_ != nullptr)
-    queue_peak_->max_of(static_cast<std::int64_t>(queue_.size()));
-  lock.unlock();
-  cv_.notify_all();  // wake probers
+  Envelope* e = pool_.acquire();
+  e->msg = std::move(msg);
+  queue_push_locked(e);
 }
 
-std::deque<Mailbox::Queued>::iterator Mailbox::find_match(const RecvTicket& ticket) {
-  const auto me = std::this_thread::get_id();
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (visible_to(*it, me) && matches(ticket, it->msg)) return it;
+bool Mailbox::drain_locked() {
+  bool any = false;
+  for (int s = 0; s < lane_count_; ++s) {
+    Lane* lane = lanes_[static_cast<std::size_t>(s)].load(std::memory_order_acquire);
+    if (lane == nullptr) continue;
+    Message msg;
+    while (lane->ring.try_pop(msg)) {
+      absorb_locked(std::move(msg));
+      any = true;
+    }
   }
-  return queue_.end();
+  return any;
 }
+
+Envelope* Mailbox::find_match_locked(const RecvTicket& ticket) {
+  const auto me = std::this_thread::get_id();
+  // Earliest-arrived matching message wins (skipping messages another
+  // thread's probe reserved; taking a message releases its reservation).
+  for (Envelope* e = queue_head_; e != nullptr; e = e->next) {
+    if (visible_to(*e, me) && matches(ticket, e->msg)) return e;
+  }
+  return nullptr;
+}
+
+Message Mailbox::take_locked(Envelope* e) {
+  Message msg = std::move(e->msg);
+  queue_unlink_locked(e);
+  pool_.release(e);
+  return msg;
+}
+
+bool Mailbox::lanes_nonempty() const noexcept {
+  for (int s = 0; s < lane_count_; ++s) {
+    const Lane* lane =
+        lanes_[static_cast<std::size_t>(s)].load(std::memory_order_acquire);
+    if (lane != nullptr && !lane->ring.empty()) return true;
+  }
+  return false;
+}
+
+// --- delivery ---------------------------------------------------------------
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Drain first: if this is the ring-overflow fallback, the sender's own
+    // lane backlog must be absorbed ahead of this message to preserve
+    // per-(source, comm) FIFO order.
+    drain_locked();
+    absorb_locked(std::move(msg));
+  }
+  cv_.notify_all();  // wake waiters and probers (locked path is always loud)
+}
+
+void Mailbox::notify_ring_push() noexcept {
+  // Eventcount publish side: the ring push (release store) happened before
+  // this fence; a waiter that raised `parked_` before our load will re-drain
+  // before sleeping, and one that parked already is woken here. The hot case
+  // (nobody parked) costs the fence and one load.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_relaxed) > 0) {
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_all();
+  }
+}
+
+// --- blocking core ----------------------------------------------------------
+
+// Wait until `t` completes or `deadline` passes (kNoDeadline = never).
+// Bounded spin over the ticket flag and the lane rings first; then the
+// eventcount park on cv_, chunked by the heartbeat interval when armed.
+bool Mailbox::block_on(RecvTicket& t, Clock::time_point deadline) {
+  obs::Pulse& pulse = obs::pulse_this_thread();
+  const SpinPolicy& sp = spin_policy();
+  if (lane_count_ > 0 && sp.enabled()) {
+    for (std::uint32_t i = 0; i < sp.iterations; ++i) {
+      if (t.done.load(std::memory_order_acquire)) return true;
+      if (lanes_nonempty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+          cv_.notify_all();
+      } else {
+        spin_relax(sp, i);
+      }
+      if ((i & 63u) == 0) {
+        pulse.beat();  // a long spin must not look like silence
+        if (deadline != kNoDeadline && Clock::now() >= deadline) break;
+      }
+    }
+    if (t.done.load(std::memory_order_acquire)) return true;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+      cv_.notify_all();
+    if (t.done.load(std::memory_order_relaxed)) return true;
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      // The drain above was the post-deadline scan: a completion racing the
+      // deadline has already been honored.
+      return false;
+    }
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    // Close the publish/park race: a ring push that missed our parked flag
+    // is picked up by this re-drain before we sleep.
+    if (drain_locked() && parked_.load(std::memory_order_relaxed) > 1)
+      cv_.notify_all();
+    if (t.done.load(std::memory_order_relaxed)) {
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    auto target = deadline;
+    if (pulse.armed()) {
+      // Chunk the sleep into heartbeat intervals: an idle-but-alive rank
+      // blocked here keeps beating and is never suspected.
+      const auto chunk = now + pulse.interval();
+      if (chunk < target) target = chunk;
+    }
+    if (target == kNoDeadline)
+      cv_.wait(lock);
+    else
+      cv_.wait_until(lock, target);
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    pulse.beat();
+  }
+}
+
+// --- posted receives --------------------------------------------------------
 
 std::shared_ptr<RecvTicket> Mailbox::post_recv(std::uint64_t comm_id, int source,
                                                int tag) {
@@ -43,63 +272,100 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(std::uint64_t comm_id, int source
   ticket->tag = tag;
 
   std::lock_guard<std::mutex> lock(mutex_);
-  // Earliest-arrived matching message wins (skipping messages another
-  // thread's probe reserved; taking a message releases its reservation).
-  if (auto it = find_match(*ticket); it != queue_.end()) {
-    ticket->message = std::move(it->msg);
-    ticket->done = true;
-    queue_.erase(it);
+  if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+    cv_.notify_all();
+  if (Envelope* e = find_match_locked(*ticket); e != nullptr) {
+    ticket->message = take_locked(e);
+    ticket->done.store(true, std::memory_order_release);
     return ticket;
   }
-  pending_.push_back(ticket);
+  pending_push_locked(ticket.get());
+  ticket->self = ticket;  // the mailbox owns it too while it is posted
   return ticket;
 }
 
 Message Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  obs::Pulse& pulse = obs::pulse_this_thread();
-  if (!pulse.armed()) {
-    cv_.wait(lock, [&] { return ticket->done; });
-  } else {
-    // Idle-but-alive: a rank blocked here with no traffic wakes every
-    // heartbeat interval to publish a beat, so it is never suspected.
-    while (!ticket->done) {
-      cv_.wait_for(lock, pulse.interval(), [&] { return ticket->done; });
-      pulse.beat();
-    }
-  }
+  block_on(*ticket, kNoDeadline);
   return std::move(ticket->message);
 }
 
 bool Mailbox::wait_for(const std::shared_ptr<RecvTicket>& ticket,
                        std::chrono::nanoseconds timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  obs::Pulse& pulse = obs::pulse_this_thread();
-  if (!pulse.armed())
-    return cv_.wait_for(lock, timeout, [&] { return ticket->done; });
-  // Chunk the deadline wait into heartbeat intervals (see wait()).
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (!ticket->done) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return false;
-    cv_.wait_until(lock, std::min(deadline, now + pulse.interval()),
-                   [&] { return ticket->done; });
-    pulse.beat();
-  }
-  return true;
+  if (ticket->done.load(std::memory_order_acquire)) return true;
+  const auto deadline = (timeout == std::chrono::nanoseconds::max())
+                            ? kNoDeadline
+                            : Clock::now() + timeout;
+  return block_on(*ticket, deadline);
 }
 
 std::optional<Message> Mailbox::cancel(const std::shared_ptr<RecvTicket>& ticket) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (ticket->done) return std::move(ticket->message);
-  pending_.remove(ticket);
+  if (ticket->done.load(std::memory_order_relaxed)) return std::move(ticket->message);
+  pending_unlink_locked(ticket.get());
+  ticket->self.reset();
   return std::nullopt;
 }
 
 bool Mailbox::test(const std::shared_ptr<RecvTicket>& ticket) {
+  if (ticket->done.load(std::memory_order_acquire)) return true;
   std::lock_guard<std::mutex> lock(mutex_);
-  return ticket->done;
+  if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+    cv_.notify_all();
+  return ticket->done.load(std::memory_order_relaxed);
 }
+
+// --- fast-path receives -----------------------------------------------------
+
+Message Mailbox::receive(std::uint64_t comm_id, int source, int tag) {
+  RecvTicket t;  // stack ticket: zero allocation on the hot path
+  t.comm_id = comm_id;
+  t.source = source;
+  t.tag = tag;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+      cv_.notify_all();
+    if (Envelope* e = find_match_locked(t); e != nullptr) return take_locked(e);
+    pending_push_locked(&t);
+  }
+  block_on(t, kNoDeadline);
+  return std::move(t.message);
+}
+
+bool Mailbox::receive_for(std::uint64_t comm_id, int source, int tag,
+                          std::chrono::nanoseconds timeout, Message* out) {
+  RecvTicket t;
+  t.comm_id = comm_id;
+  t.source = source;
+  t.tag = tag;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+      cv_.notify_all();
+    if (Envelope* e = find_match_locked(t); e != nullptr) {
+      *out = take_locked(e);
+      return true;
+    }
+    pending_push_locked(&t);
+  }
+  const auto deadline = (timeout == std::chrono::nanoseconds::max())
+                            ? kNoDeadline
+                            : Clock::now() + timeout;
+  if (block_on(t, deadline)) {
+    *out = std::move(t.message);
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (t.done.load(std::memory_order_relaxed)) {
+    // Completion raced the timeout: the message is ours, not requeued.
+    *out = std::move(t.message);
+    return true;
+  }
+  pending_unlink_locked(&t);  // the stack ticket must not outlive this frame
+  return false;
+}
+
+// --- probes -----------------------------------------------------------------
 
 bool Mailbox::iprobe(std::uint64_t comm_id, int source, int tag, RecvStatus* status) {
   RecvTicket probe_ticket;
@@ -108,12 +374,14 @@ bool Mailbox::iprobe(std::uint64_t comm_id, int source, int tag, RecvStatus* sta
   probe_ticket.tag = tag;
 
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = find_match(probe_ticket);
-  if (it == queue_.end()) return false;
+  if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+    cv_.notify_all();
+  Envelope* e = find_match_locked(probe_ticket);
+  if (e == nullptr) return false;
   if (status != nullptr) {
-    status->source = it->msg.source;
-    status->tag = it->msg.tag;
-    status->byte_count = it->msg.payload.size();
+    status->source = e->msg.source;
+    status->tag = e->msg.tag;
+    status->byte_count = e->msg.payload.size();
   }
   return true;
 }
@@ -135,49 +403,82 @@ bool Mailbox::probe_for(std::uint64_t comm_id, int source, int tag,
   probe_ticket.tag = tag;
 
   const auto deadline = (timeout == std::chrono::nanoseconds::max())
-                            ? std::chrono::steady_clock::time_point::max()
-                            : std::chrono::steady_clock::now() + timeout;
+                            ? kNoDeadline
+                            : Clock::now() + timeout;
 
   obs::Pulse& pulse = obs::pulse_this_thread();
+
+  // Locked scan: reserve-and-report the earliest visible match, if any.
+  const auto scan = [&]() -> bool {
+    if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+      cv_.notify_all();
+    Envelope* e = find_match_locked(probe_ticket);
+    if (e == nullptr) return false;
+    e->reserved = true;
+    e->reserved_by = std::this_thread::get_id();
+    if (status != nullptr) {
+      status->source = e->msg.source;
+      status->tag = e->msg.tag;
+      status->byte_count = e->msg.payload.size();
+    }
+    return true;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (scan()) return true;
+  }
+
+  // Spin phase: poll the lanes for traffic before parking.
+  const SpinPolicy& sp = spin_policy();
+  if (lane_count_ > 0 && sp.enabled()) {
+    for (std::uint32_t i = 0; i < sp.iterations; ++i) {
+      if (lanes_nonempty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (scan()) return true;
+      } else {
+        spin_relax(sp, i);
+      }
+      if ((i & 63u) == 0) {
+        pulse.beat();
+        if (deadline != kNoDeadline && Clock::now() >= deadline) break;
+      }
+    }
+  }
+
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    if (auto it = find_match(probe_ticket); it != queue_.end()) {
-      it->reserved = true;
-      it->reserved_by = std::this_thread::get_id();
-      if (status != nullptr) {
-        status->source = it->msg.source;
-        status->tag = it->msg.tag;
-        status->byte_count = it->msg.payload.size();
-      }
-      return true;
-    }
-    if (deadline == std::chrono::steady_clock::time_point::max()) {
-      if (pulse.armed()) {
-        // Chunked wait so an idle prober keeps beating (see wait()).
-        cv_.wait_for(lock, pulse.interval());
-        pulse.beat();
-      } else {
-        cv_.wait(lock);
-      }
-      continue;
-    }
-    const auto now = std::chrono::steady_clock::now();
+    if (scan()) return true;
+    const auto now = Clock::now();
     if (now >= deadline) {
-      // The scan at the top of this iteration was the post-deadline scan:
-      // a notification racing the deadline has already been honored.
+      // The scan above was the post-deadline scan: a message racing the
+      // deadline has already been honored.
       return false;
     }
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    if (scan()) {  // close the publish/park race
+      parked_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
     auto target = deadline;
-    if (pulse.armed() && now + pulse.interval() < target)
-      target = now + pulse.interval();
-    cv_.wait_until(lock, target);
-    pulse.beat();  // single branch when unarmed
+    if (pulse.armed()) {
+      const auto chunk = now + pulse.interval();
+      if (chunk < target) target = chunk;
+    }
+    if (target == kNoDeadline)
+      cv_.wait(lock);
+    else
+      cv_.wait_until(lock, target);
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    pulse.beat();
   }
 }
 
-std::size_t Mailbox::queued() const {
+std::size_t Mailbox::queued() {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  if (drain_locked() && parked_.load(std::memory_order_relaxed) > 0)
+    cv_.notify_all();
+  return queue_size_;
 }
 
 }  // namespace mm::mpi

@@ -1,12 +1,35 @@
-// Per-rank mailbox implementing MPI envelope matching.
+// Per-rank mailbox implementing MPI envelope matching over lock-free lanes.
 //
 // A mailbox holds messages delivered to one rank and the rank's posted
 // (pending) receives. Matching rules follow MPI:
 //   * a receive posted with (comm, source, tag) matches a message with the
 //     same comm, and source/tag equal or wildcard (any_source / any_tag);
 //   * among queued messages, the earliest-arrived match wins, which together
-//     with locked FIFO delivery preserves per-(source, comm) non-overtaking;
+//     with per-lane FIFO delivery preserves per-(source, comm) non-overtaking;
 //   * among posted receives, the earliest-posted match wins.
+//
+// Transport layout (ring mode, the default — see wait.hpp for the knobs):
+//
+//   sender rank S ──SpscRing<Message>──▶ lane (S → R) ──drain──▶ Mailbox R
+//
+// Each (sender, receiver) world-rank pair owns one bounded SPSC ring (a
+// "lane"), created lazily by the sender, who is its only producer. A send is
+// a payload move into a ring slot plus one release store: senders never take
+// the receiving mailbox's mutex, so concurrent senders to one rank do not
+// contend with each other or with the receiver. The receiving side drains its
+// lanes into the matching structures under the mailbox mutex — uncontended in
+// the common one-thread-per-rank regime — which keeps the multi-consumer
+// matching contract (below) intact. Messages that must queue are parked in
+// pooled envelopes (pool.hpp): steady-state traffic performs no heap
+// allocation anywhere in the transport.
+//
+// Waits are spin-then-park: a blocked receiver polls its ticket flag and its
+// lanes through a bounded spin (pause, then yield), and only then parks on
+// the condition variable after raising `parked_` — the eventcount handshake
+// senders check (one fence + one load on the hot path) before paying for a
+// wake. The legacy locked path (deliver()) remains both the overflow route
+// for full rings and the whole transport in "locked" mode, which the bench
+// uses as its before/after baseline.
 //
 // Probe/recv matching contract (the MPI_Mprobe problem): a blocking probe
 // RESERVES the message it reports for the probing thread. Reserved messages
@@ -17,39 +40,91 @@
 // iprobe is advisory and does not reserve.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 
 #include "mpmini/message.hpp"
+#include "mpmini/pool.hpp"
+#include "mpmini/ring.hpp"
 #include "obs/registry.hpp"
 
 namespace mm::mpi {
 
-// Shared completion state for one posted receive. Guarded by the owning
-// mailbox's mutex; waiters block on the mailbox's condition variable.
+// One sender's inbound ring plus its producer-side depth watermark. Created
+// by the sending thread on first use (its slot in the mailbox lane table is
+// single-writer) and destroyed with the mailbox.
+struct Lane {
+  SpscRing<Message> ring;
+  std::size_t depth_watermark = 0;   // producer-owned
+  obs::Gauge* depth_peak = nullptr;  // shared high watermark (see set_obs)
+
+  explicit Lane(std::size_t capacity, obs::Gauge* gauge)
+      : ring(capacity), depth_peak(gauge) {}
+
+  // Producer side, after a successful push: ring depth high-watermark. The
+  // shared gauge is only touched when this lane's own maximum grows, so the
+  // steady-state cost is one local compare.
+  void note_depth() {
+    const std::size_t d = ring.size_from_producer();
+    if (d > depth_watermark) {
+      depth_watermark = d;
+      if (depth_peak != nullptr) depth_peak->max_of(static_cast<std::int64_t>(d));
+    }
+  }
+};
+
+// Shared completion state for one posted receive. Mutation is guarded by the
+// owning mailbox's mutex; `done` flips with release ordering so spin waiters
+// can observe completion (and then read `message`) without the lock. Posted
+// tickets are threaded into an intrusive pending list — heap tickets (irecv)
+// keep themselves alive through `self` while posted, fast-path receives link
+// stack-allocated tickets and pay no allocation.
 struct RecvTicket {
   std::uint64_t comm_id = 0;
   int source = any_source;
   int tag = any_tag;
-  bool done = false;
+  std::atomic<bool> done{false};
   Message message;
+
+  RecvTicket* prev = nullptr;  // intrusive pending list (mailbox mutex)
+  RecvTicket* next = nullptr;
+  std::shared_ptr<RecvTicket> self;  // posted heap tickets own themselves
 };
 
 class Mailbox {
  public:
-  // Deliver a message to this rank. Called from the sending thread; wakes any
-  // matching posted receive, otherwise queues the message.
+  Mailbox();
+  ~Mailbox();
+
+  // --- transport wiring (called by World before traffic starts) ---------
+  // Size the lane table: one inbound slot per world rank.
+  void init_lanes(int world_size);
+
+  // Producer side: the lane carrying `source_world_rank`'s traffic into this
+  // mailbox, created on first use. Only that rank's thread may call this.
+  Lane& lane_for_sender(int source_world_rank);
+
+  // Producer side, after a ring push: wake this mailbox's parked waiters if
+  // there are any (eventcount check — one fence and one load when nobody is
+  // parked, which is the hot case).
+  void notify_ring_push() noexcept;
+
+  // --- delivery ---------------------------------------------------------
+  // Deliver a message through the locked path: ring-overflow fallback,
+  // "locked" transport mode, and direct use in tests. Drains this mailbox's
+  // lanes first so a same-source message cannot overtake its ring backlog.
   void deliver(Message msg);
 
-  // Post a receive. If a queued message already matches, the ticket completes
-  // immediately; otherwise it completes on a future deliver().
+  // --- receives ---------------------------------------------------------
+  // Post a receive. If a queued or in-ring message already matches, the
+  // ticket completes immediately; otherwise it completes on a future
+  // delivery.
   std::shared_ptr<RecvTicket> post_recv(std::uint64_t comm_id, int source, int tag);
 
   // Block until the ticket completes, then return its message.
@@ -68,7 +143,17 @@ class Mailbox {
   // Non-blocking completion check.
   bool test(const std::shared_ptr<RecvTicket>& ticket);
 
-  // Non-blocking probe: reports the envelope of the earliest matching queued
+  // Fast-path blocking receive: stack ticket, spin-then-park wait, zero
+  // allocation. Equivalent to post_recv + wait.
+  Message receive(std::uint64_t comm_id, int source, int tag);
+
+  // Fast-path deadline receive: true and *out filled on success, false when
+  // the deadline passed with no match (nothing stays posted afterwards).
+  bool receive_for(std::uint64_t comm_id, int source, int tag,
+                   std::chrono::nanoseconds timeout, Message* out);
+
+  // --- probes -----------------------------------------------------------
+  // Non-blocking probe: reports the envelope of the earliest matching
   // message without consuming or reserving it.
   bool iprobe(std::uint64_t comm_id, int source, int tag, RecvStatus* status);
 
@@ -80,39 +165,73 @@ class Mailbox {
   bool probe_for(std::uint64_t comm_id, int source, int tag,
                  std::chrono::nanoseconds timeout, RecvStatus* status);
 
-  // Number of queued (undelivered-to-receiver) messages; for tests/stats.
-  std::size_t queued() const;
+  // Queued (drained but unreceived) messages, after absorbing any ring
+  // backlog; for tests/stats.
+  std::size_t queued();
 
-  // Telemetry: record this mailbox's queue-depth high watermark on `peak`
-  // (shared across the world's mailboxes). Set before traffic starts.
-  void set_obs(obs::Gauge* queue_peak) { queue_peak_ = queue_peak; }
+  // Telemetry: `queue_peak` records the queued-message high watermark,
+  // `ring_depth_peak` the per-lane ring depth high watermark (both shared
+  // across the world's mailboxes). Set before traffic starts.
+  void set_obs(obs::Gauge* queue_peak, obs::Gauge* ring_depth_peak = nullptr);
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
 
  private:
-  struct Queued {
-    Message msg;
-    bool reserved = false;
-    std::thread::id reserved_by;
-  };
-
   static bool matches(const RecvTicket& ticket, const Message& msg) {
     return ticket.comm_id == msg.comm_id &&
            (ticket.source == any_source || ticket.source == msg.source) &&
            (ticket.tag == any_tag || ticket.tag == msg.tag);
   }
 
-  // A queued entry is visible to `thread` unless another thread reserved it.
-  static bool visible_to(const Queued& entry, std::thread::id thread) {
-    return !entry.reserved || entry.reserved_by == thread;
+  // A queued envelope is visible to `thread` unless another thread reserved it.
+  static bool visible_to(const Envelope& e, std::thread::id thread) {
+    return !e.reserved || e.reserved_by == thread;
   }
 
-  // Earliest queued match visible to the calling thread, or queue_.end().
-  std::deque<Queued>::iterator find_match(const RecvTicket& ticket);
+  // All private helpers below require mutex_ unless noted otherwise.
+
+  // Pop every lane ring into the matching structures. Returns true if any
+  // message was absorbed (callers wake parked waiters when so).
+  bool drain_locked();
+  // Match `msg` against the earliest posted receive, else queue it.
+  void absorb_locked(Message&& msg);
+  // Complete `t` with `msg`: unlink, fill, flip done (release), drop self.
+  void complete_locked(RecvTicket* t, Message&& msg);
+  // Earliest queued match visible to the calling thread, or nullptr.
+  Envelope* find_match_locked(const RecvTicket& ticket);
+  // Unlink `e` from the queue, move its message out, recycle the envelope.
+  Message take_locked(Envelope* e);
+
+  void pending_push_locked(RecvTicket* t);
+  void pending_unlink_locked(RecvTicket* t);
+  void queue_push_locked(Envelope* e);
+  void queue_unlink_locked(Envelope* e);
+
+  // True when any lane ring has traffic (lock-free peek for spin loops).
+  bool lanes_nonempty() const noexcept;
+
+  // Shared blocking core for wait/wait_for/receive/receive_for: spin-then-
+  // park until `t` completes or `deadline` (time_point::max() = never)
+  // passes. Returns t.done. Called WITHOUT the mutex.
+  bool block_on(RecvTicket& t, std::chrono::steady_clock::time_point deadline);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Queued> queue_;
-  std::list<std::shared_ptr<RecvTicket>> pending_;
+  std::atomic<int> parked_{0};  // waiters inside a cv wait (eventcount)
+
+  EnvelopePool pool_;                  // mutex_
+  Envelope* queue_head_ = nullptr;     // FIFO of undelivered messages
+  Envelope* queue_tail_ = nullptr;
+  std::size_t queue_size_ = 0;
+  RecvTicket* pending_head_ = nullptr;  // posted receives, post order
+  RecvTicket* pending_tail_ = nullptr;
+
+  std::unique_ptr<std::atomic<Lane*>[]> lanes_;  // [sender world rank]
+  int lane_count_ = 0;
+
   obs::Gauge* queue_peak_ = nullptr;
+  obs::Gauge* ring_peak_ = nullptr;
 };
 
 }  // namespace mm::mpi

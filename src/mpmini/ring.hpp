@@ -1,0 +1,95 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// The intra-process transport's hot path: each (sender rank -> receiver rank)
+// pair owns one SpscRing<Message> (a "lane", see mailbox.hpp), so a send is a
+// move into a pre-sized slot plus one release store — no lock, no allocation,
+// no contention with other senders. Slots are reused in place, which makes the
+// ring double as the envelope arena: a Message's payload vector moved into a
+// slot is moved out again by the consumer, so steady-state traffic recycles
+// buffers instead of allocating.
+//
+// Contract:
+//   * exactly one producer thread calls try_push / size_from_producer;
+//   * consumers call try_pop / empty — multiple threads may consume, but only
+//     if their pops are serialized externally (the mailbox serializes drains
+//     under its mutex; the mutex hand-off provides the ordering the SPSC
+//     protocol needs between alternating consumer threads);
+//   * capacity is rounded up to a power of two; a full ring rejects the push
+//     (the transport falls back to the locked mailbox path, see comm.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace mm::mpi {
+
+inline std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(round_up_pow2(capacity < 2 ? 2 : capacity) - 1),
+        slots_(std::make_unique<T[]>(mask_ + 1)) {}
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Producer side. Returns false when the ring is full.
+  bool try_push(T&& v) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer-side occupancy after the last push (approximate: the consumer
+  // may have drained since head_cache_ was refreshed). Used for the ring
+  // depth watermark, where an over-estimate is the conservative direction.
+  std::size_t size_from_producer() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                    head_cache_);
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Cheap emptiness probe for spin loops: safe from any thread, may race
+  // (a false "empty" is caught by the next poll or by the park protocol).
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next slot to pop
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next slot to fill
+  alignas(64) std::uint64_t head_cache_ = 0;        // producer's view of head
+  alignas(64) std::uint64_t tail_cache_ = 0;        // consumer's view of tail
+  const std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+};
+
+}  // namespace mm::mpi

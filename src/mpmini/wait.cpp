@@ -1,0 +1,101 @@
+#include "mpmini/wait.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace mm::mpi {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+}  // namespace
+
+TransportMode transport_mode() {
+  static const TransportMode mode = [] {
+    const char* raw = std::getenv("MM_MPMINI_TRANSPORT");
+    if (raw != nullptr && std::string(raw) == "locked") return TransportMode::locked;
+    return TransportMode::ring;
+  }();
+  return mode;
+}
+
+const SpinPolicy& spin_policy() {
+  static const SpinPolicy policy = [] {
+    SpinPolicy p;
+    if (std::thread::hardware_concurrency() <= 1) {
+      // Single core: a pause can never let the peer progress, and long spins
+      // just burn the timeslice the peer needs. Yield immediately, a few
+      // times, then park.
+      p.iterations = 16;
+      p.pause_share = 0;
+    }
+    p.iterations = static_cast<std::uint32_t>(env_u64("MM_MPMINI_SPIN", p.iterations));
+    if (p.pause_share > p.iterations) p.pause_share = p.iterations;
+    return p;
+  }();
+  return policy;
+}
+
+std::uint64_t ring_capacity() {
+  static const std::uint64_t cap = [] {
+    std::uint64_t c = env_u64("MM_MPMINI_RING_CAP", 256);
+    if (c < 2) c = 2;
+    return c;
+  }();
+  return cap;
+}
+
+bool pin_requested() {
+  static const bool pin = [] {
+    const char* raw = std::getenv("MM_MPMINI_PIN");
+    return raw != nullptr && std::string(raw) == "1";
+  }();
+  return pin;
+}
+
+void spin_relax(const SpinPolicy& policy, std::uint32_t step) {
+  if (step < policy.pause_share) {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+    return;
+  }
+  // Past the pause share the peer may need this core — give it up. On a
+  // single-CPU host this is what makes spinning a win at all: the handoff
+  // costs one scheduler pass instead of a futex sleep/wake pair.
+  std::this_thread::yield();
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) % cores, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace mm::mpi

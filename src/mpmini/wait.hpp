@@ -1,0 +1,48 @@
+// Spin-then-park wait strategy and transport tuning knobs.
+//
+// The mpmini hot path never parks while traffic is flowing: a waiter polls
+// its inbound rings through a bounded spin (cheap pause instructions first,
+// then sched yields, with the yield share sized for core-oversubscribed
+// hosts), and only after the budget is spent does it fall back to the
+// mailbox's condition variable — the park side of the eventcount protocol in
+// mailbox.cpp. All knobs are environment variables read once per process:
+//
+//   MM_MPMINI_TRANSPORT  "ring" (default) | "locked"  — lane rings vs the
+//                        legacy mutex/condvar-only delivery path
+//   MM_MPMINI_SPIN       total spin iterations before parking (default 512;
+//                        0 parks immediately, reproducing legacy waits)
+//   MM_MPMINI_RING_CAP   per-lane ring capacity, rounded up to a power of
+//                        two (default 256 messages)
+//   MM_MPMINI_PIN        "1" pins rank thread r to CPU (r mod cores) at
+//                        Environment::run startup (default off)
+#pragma once
+
+#include <cstdint>
+
+namespace mm::mpi {
+
+enum class TransportMode : std::uint8_t { ring, locked };
+
+struct SpinPolicy {
+  // Total iterations before parking. The first `pause_share` of them issue a
+  // CPU pause/relax; the rest yield the core so a same-core peer can run.
+  std::uint32_t iterations = 512;
+  std::uint32_t pause_share = 64;
+
+  bool enabled() const { return iterations > 0; }
+};
+
+// Process-wide knob values (parsed from the environment on first use).
+TransportMode transport_mode();
+const SpinPolicy& spin_policy();
+std::uint64_t ring_capacity();
+bool pin_requested();
+
+// One spin step: pause for low `step`, yield once past the policy's pause
+// share. Callers loop `for (step = 0; step < policy.iterations; ++step)`.
+void spin_relax(const SpinPolicy& policy, std::uint32_t step);
+
+// Best-effort thread pinning; false when unsupported or the mask is denied.
+bool pin_current_thread(int cpu);
+
+}  // namespace mm::mpi
