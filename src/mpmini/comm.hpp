@@ -42,7 +42,9 @@ class World {
  public:
   // `mode` picks the intra-process transport: lock-free lane rings (default,
   // or whatever MM_MPMINI_TRANSPORT says) or the legacy locked mailbox path
-  // (the bench's before/after baseline).
+  // (the bench's before/after baseline). Ring mode requires each world rank
+  // to SEND from a single thread (see Comm); the locked mode has no such
+  // restriction.
   explicit World(int size);
   World(int size, TransportMode mode);
 
@@ -79,6 +81,14 @@ class World {
 
 // One rank's handle on a communicator. Each rank thread owns its own Comm
 // instance; instances are cheap to copy (they share the World).
+//
+// Threading contract (ring transport, the default): all sends attributed to
+// one world rank — across every Comm built for that rank — must originate
+// from a single thread, because the rank's outbound lanes are
+// single-producer rings. Receives and probes on one rank may run from
+// multiple threads (the mailbox serializes them). Debug builds assert the
+// send-side rule; use TransportMode::locked (or MM_MPMINI_TRANSPORT=locked)
+// when a rank must send from several threads.
 class Comm {
  public:
   // World communicator for `rank` (used by Environment).

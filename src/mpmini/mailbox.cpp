@@ -37,14 +37,25 @@ void Mailbox::init_lanes(int world_size) {
 Lane& Mailbox::lane_for_sender(int source_world_rank) {
   MM_ASSERT(source_world_rank >= 0 && source_world_rank < lane_count_);
   auto& slot = lanes_[static_cast<std::size_t>(source_world_rank)];
-  // The slot is written only by `source_world_rank`'s own thread, so a plain
+  // The slot is written only by `source_world_rank`'s single sending thread
+  // (the ring-mode precondition, see the Comm docs), so a plain
   // check-then-create needs no CAS; the release store publishes the lane to
   // the draining side.
   Lane* lane = slot.load(std::memory_order_relaxed);
   if (lane == nullptr) {
     lane = new Lane(static_cast<std::size_t>(ring_capacity()), ring_peak_);
+#ifndef NDEBUG
+    lane->producer = std::this_thread::get_id();
+#endif
     slot.store(lane, std::memory_order_release);
   }
+#ifndef NDEBUG
+  // A second sending thread on the same world rank would corrupt the SPSC
+  // ring silently; fail loudly in debug builds instead.
+  MM_ASSERT_MSG(lane->producer == std::this_thread::get_id(),
+                "ring transport: a world rank must send from a single thread "
+                "(use MM_MPMINI_TRANSPORT=locked for multi-threaded senders)");
+#endif
   return *lane;
 }
 
@@ -114,11 +125,14 @@ void Mailbox::queue_unlink_locked(Envelope* e) {
 
 void Mailbox::complete_locked(RecvTicket* t, Message&& msg) {
   pending_unlink_locked(t);
+  // Take the self-reference BEFORE flipping done: block_on's spin phase
+  // reads `done` without the mutex, so the moment the store below lands a
+  // stack ticket's frame may be gone — the release store must be the last
+  // touch of *t. For an abandoned irecv ticket `keep` is the final owner
+  // and destroys it at scope exit, after the store.
+  auto keep = std::move(t->self);
   t->message = std::move(msg);
   t->done.store(true, std::memory_order_release);
-  // Drop the self-reference last: for an abandoned irecv ticket this is the
-  // final owner, and nothing may touch *t afterwards.
-  auto keep = std::move(t->self);
 }
 
 void Mailbox::absorb_locked(Message&& msg) {

@@ -63,6 +63,9 @@ struct Lane {
   SpscRing<Message> ring;
   std::size_t depth_watermark = 0;   // producer-owned
   obs::Gauge* depth_peak = nullptr;  // shared high watermark (see set_obs)
+#ifndef NDEBUG
+  std::thread::id producer{};  // first sending thread; enforced per send
+#endif
 
   explicit Lane(std::size_t capacity, obs::Gauge* gauge)
       : ring(capacity), depth_peak(gauge) {}

@@ -56,6 +56,9 @@ std::uint64_t ring_capacity() {
   static const std::uint64_t cap = [] {
     std::uint64_t c = env_u64("MM_MPMINI_RING_CAP", 256);
     if (c < 2) c = 2;
+    // A bogus env value must not hang round_up_pow2 or bad_alloc at startup;
+    // 2^20 message slots per lane is beyond any sane configuration.
+    if (c > (std::uint64_t{1} << 20)) c = std::uint64_t{1} << 20;
     return c;
   }();
   return cap;

@@ -12,7 +12,7 @@
 //   MM_MPMINI_SPIN       total spin iterations before parking (default 512;
 //                        0 parks immediately, reproducing legacy waits)
 //   MM_MPMINI_RING_CAP   per-lane ring capacity, rounded up to a power of
-//                        two (default 256 messages)
+//                        two and clamped to [2, 2^20] (default 256 messages)
 //   MM_MPMINI_PIN        "1" pins rank thread r to CPU (r mod cores) at
 //                        Environment::run startup (default off)
 #pragma once

@@ -62,6 +62,14 @@ TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(SpscRing<int>(300).capacity(), 512u);
 }
 
+TEST(SpscRing, RoundUpPow2SaturatesInsteadOfLooping) {
+  // Requests above the top bit used to shift p to zero and spin forever.
+  constexpr std::size_t top = std::size_t{1} << (sizeof(std::size_t) * 8 - 1);
+  EXPECT_EQ(round_up_pow2(top), top);
+  EXPECT_EQ(round_up_pow2(top + 1), top);
+  EXPECT_EQ(round_up_pow2(~std::size_t{0}), top);
+}
+
 TEST(SpscRing, PushPopAcrossManyWraps) {
   SpscRing<int> ring(4);
   int out = 0;
