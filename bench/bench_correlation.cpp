@@ -7,11 +7,14 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "marketdata/generator.hpp"
+#include "marketdata/symbols.hpp"
 #include "mpmini/environment.hpp"
 #include "stats/corr_engine.hpp"
 #include "stats/ewma.hpp"
 #include "stats/psd.hpp"
 #include "stats/rank_corr.hpp"
+#include "stats/simd.hpp"
 
 namespace {
 
@@ -193,6 +196,81 @@ void BM_MatrixStepMaronnaWarm(benchmark::State& state) {
   matrix_step_maronna_seeded(state, /*warm_start=*/true);
 }
 BENCHMARK(BM_MatrixStepMaronnaWarm)->Arg(20)->Arg(61)->Unit(benchmark::kMillisecond);
+
+// --- universe-scale scaling curve -------------------------------------------
+//
+// Full-matrix step cost from the paper's n = 61 to the exchange-wide
+// n = 2000, under the scalar and AVX2 kernel levels (the BENCH_corr.json
+// scaling chart). Returns come from the deterministic interval-resolution
+// ReturnStream over make_universe(n) — the same data any scaled experiment
+// consumes — and the loop is the engines' steady state: one push plus one
+// matrix_into per iteration, allocation-free buffers reused throughout.
+void matrix_step_scaling(benchmark::State& state, Ctype type,
+                         mm::stats::simd::Level level) {
+  namespace simd = mm::stats::simd;
+  const simd::ScopedLevel scoped(level);
+  if (!scoped.engaged()) {
+    state.SkipWithError("kernel level unavailable on this build/host");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto universe = mm::md::make_universe(n);
+  mm::md::ReturnStream stream(universe, mm::md::GeneratorConfig{});
+
+  CorrEngineConfig cfg;
+  cfg.type = type;
+  cfg.window = 100;
+  cfg.warm_start = type != Ctype::pearson;
+  CorrelationCalculator calc(cfg, n);
+  std::vector<double> returns;
+  for (std::size_t t = 0; t <= cfg.window; ++t) {
+    stream.next(returns);
+    calc.push(returns);
+  }
+  SymMatrix out;
+  calc.matrix_into(out);  // size buffers + cold-start warm state off the clock
+
+  for (auto _ : state) {
+    stream.next(returns);
+    calc.push(returns);
+    calc.matrix_into(out);
+    benchmark::DoNotOptimize(out.packed().data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * (n - 1) / 2));
+}
+
+void BM_MatrixScalingPearsonScalar(benchmark::State& state) {
+  matrix_step_scaling(state, Ctype::pearson, mm::stats::simd::Level::scalar);
+}
+BENCHMARK(BM_MatrixScalingPearsonScalar)
+    ->Arg(61)->Arg(250)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixScalingPearsonAvx2(benchmark::State& state) {
+  matrix_step_scaling(state, Ctype::pearson, mm::stats::simd::Level::avx2);
+}
+BENCHMARK(BM_MatrixScalingPearsonAvx2)
+    ->Arg(61)->Arg(250)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// Warm Maronna is O(n²·M) per step; the big universes pin the iteration
+// count so one bench run stays in seconds, which is ample for a kernel whose
+// per-step cost dwarfs timer noise.
+void BM_MatrixScalingMaronnaWarmScalar(benchmark::State& state) {
+  matrix_step_scaling(state, Ctype::maronna, mm::stats::simd::Level::scalar);
+}
+BENCHMARK(BM_MatrixScalingMaronnaWarmScalar)
+    ->Arg(61)->Arg(250)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatrixScalingMaronnaWarmScalar)
+    ->Arg(1000)->Arg(2000)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+void BM_MatrixScalingMaronnaWarmAvx2(benchmark::State& state) {
+  matrix_step_scaling(state, Ctype::maronna, mm::stats::simd::Level::avx2);
+}
+BENCHMARK(BM_MatrixScalingMaronnaWarmAvx2)
+    ->Arg(61)->Arg(250)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatrixScalingMaronnaWarmAvx2)
+    ->Arg(1000)->Arg(2000)->Iterations(2)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelEngineRanks(benchmark::State& state) {
   // The paper's parallel correlation engine: pair shards across ranks. On a

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Build and run the correlation-kernel, mm::obs and mpmini-transport
 # benchmarks, writing google-benchmark JSON to BENCH_corr.json, BENCH_obs.json
-# and BENCH_mpmini.json at the repo root.
+# and BENCH_mpmini.json at the repo root. BENCH_corr.json includes the
+# universe-scaling entries (BM_MatrixScaling*: full-matrix Pearson and warm
+# Maronna at n = 61/250/1000/2000, scalar vs AVX2 kernel level) — the big
+# universes run a fixed two iterations, so expect the correlation pass to
+# take a couple of minutes.
 # Usage: scripts/bench_json.sh [build-dir] (default: build).
 set -euo pipefail
 

@@ -258,4 +258,144 @@ const std::vector<double>& SyntheticDay::true_path(SymbolId symbol) const {
   return paths_[symbol];
 }
 
+ReturnStream::ReturnStream(const Universe& universe, const GeneratorConfig& config,
+                           double interval_seconds)
+    : config_(config),
+      sector_(universe.sector),
+      symbols_(universe.table.size()),
+      sectors_(universe.sector_names.size()),
+      interval_seconds_(interval_seconds) {
+  MM_ASSERT_MSG(interval_seconds > 0.0, "interval must be positive");
+  const auto duration = static_cast<double>(config.session.duration_seconds());
+  steps_per_day_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(duration / interval_seconds));
+
+  beta_.resize(symbols_);
+  gamma_.resize(symbols_);
+  sigma_.resize(symbols_);
+  episode_mult_.resize(symbols_);
+  drift_mult_.resize(symbols_);
+  for (std::size_t i = 0; i < symbols_; ++i) {
+    // Loadings come from a per-symbol stream (distinct constant from every
+    // other stream in this file), so they are stable across days and across
+    // universe sizes — growing n leaves the first symbols' dynamics intact.
+    std::uint64_t sm =
+        config.seed ^ 0x6a09e667f3bcc909ULL ^ (0xbf58476d1ce4e5b9ULL * (i + 1));
+    Rng loading_rng(splitmix64(sm));
+    beta_[i] = 0.8 + 0.4 * loading_rng.uniform();
+    gamma_[i] = 0.8 + 0.4 * loading_rng.uniform();
+    sigma_[i] = 0.75 + 0.5 * loading_rng.uniform();
+    // Episode multipliers use SyntheticDay's exact derivation so the same
+    // symbols are divergence-rich under both generators.
+    std::uint64_t sm2 = config.seed ^ (0xa24baed4963ee407ULL * (i + 1));
+    Rng symbol_rng(splitmix64(sm2));
+    episode_mult_[i] = std::clamp(
+        config.episode_mult_median *
+            std::exp(config.episode_mult_sigma * symbol_rng.normal()),
+        config.episode_mult_min, config.episode_mult_max);
+    drift_mult_[i] =
+        std::clamp(std::exp(config.episode_drift_sigma * symbol_rng.normal()),
+                   config.episode_drift_mult_min, config.episode_drift_mult_max);
+  }
+
+  div_left_.assign(symbols_, 0);
+  rev_left_.assign(symbols_, 0);
+  step_drift_.assign(symbols_, 0.0);
+  pending_.assign(symbols_, 0.0);
+  sector_shock_.resize(sectors_);
+  begin_day();
+}
+
+void ReturnStream::begin_day() {
+  // SyntheticDay's per-day seeding idiom, displaced by one extra constant so
+  // the two generators never share a stream for the same (seed, day).
+  std::uint64_t sm = config_.seed;
+  (void)splitmix64(sm);
+  sm ^= 0x51ed2700b1a3c492ULL * static_cast<std::uint64_t>(day_ + 1);
+  sm ^= 0x94d049bb133111ebULL;
+  rng_.reseed(splitmix64(sm));
+}
+
+void ReturnStream::next(std::vector<double>& out) {
+  if (step_in_day_ == steps_per_day_) {
+    step_in_day_ = 0;
+    ++day_;
+    begin_day();
+  }
+  out.resize(symbols_);
+
+  // Interval variance scales with interval length and the intraday smile at
+  // the interval's midpoint.
+  const double x = (static_cast<double>(step_in_day_) + 0.5) /
+                   static_cast<double>(steps_per_day_);
+  const double scale = std::sqrt(u_shape(x) * interval_seconds_);
+  const double t_norm =
+      std::sqrt(config_.idio_tail_df / (config_.idio_tail_df - 2.0));
+  const double start_p =
+      std::min(1.0, config_.episodes_per_day /
+                        static_cast<double>(steps_per_day_));
+
+  const double market = config_.market_vol * scale * rng_.normal();
+  for (std::size_t g = 0; g < sectors_; ++g)
+    sector_shock_[g] = config_.sector_vol * scale * rng_.normal();
+
+  for (std::size_t i = 0; i < symbols_; ++i) {
+    const double idio = config_.idio_vol * sigma_[i] * scale *
+                        rng_.student_t(config_.idio_tail_df) / t_norm;
+
+    // Divergence episodes: a transient per-step drift followed by a
+    // reversion drift of the opposite sign over the same length (the same
+    // diverge-then-recover shape SyntheticDay injects into its paths).
+    if (div_left_[i] == 0 && rev_left_[i] == 0 &&
+        rng_.bernoulli(std::min(1.0, start_p * episode_mult_[i]))) {
+      const double minutes = rng_.uniform(config_.episode_min_minutes,
+                                          config_.episode_max_minutes);
+      const auto len = std::max<std::int32_t>(
+          1, static_cast<std::int32_t>(minutes * 60.0 / interval_seconds_));
+      const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+      div_left_[i] = len;
+      rev_left_[i] = len;
+      step_drift_[i] = sign * config_.episode_drift * drift_mult_[i] /
+                       static_cast<double>(len);
+    }
+    double drift = 0.0;
+    if (div_left_[i] > 0) {
+      drift = step_drift_[i];
+      if (--div_left_[i] == 0) step_drift_[i] *= -config_.episode_reversion;
+    } else if (rev_left_[i] > 0) {
+      drift = step_drift_[i];
+      --rev_left_[i];
+    }
+
+    double r = beta_[i] * market +
+               gamma_[i] * sector_shock_[static_cast<std::size_t>(sector_[i])] +
+               idio + drift + pending_[i];
+    pending_[i] = 0.0;
+
+    // Residual dirty data at the return level: a bad price print is a return
+    // spike undone on the following interval.
+    if (rng_.bernoulli(config_.bad_tick_rate)) {
+      const double jump =
+          rng_.uniform(config_.bad_tick_min_jump, config_.bad_tick_max_jump);
+      const double spike = (rng_.bernoulli(0.5) ? 1.0 : -1.0) * jump;
+      r += spike;
+      pending_[i] = -spike;
+    } else if (rng_.bernoulli(config_.minor_tick_rate)) {
+      const double jump = rng_.uniform(config_.minor_tick_min_jump,
+                                       config_.minor_tick_max_jump);
+      const double spike = (rng_.bernoulli(0.5) ? 1.0 : -1.0) * jump;
+      r += spike;
+      pending_[i] = -spike;
+    }
+    out[i] = r;
+  }
+  ++step_in_day_;
+}
+
+std::vector<double> ReturnStream::next() {
+  std::vector<double> out;
+  next(out);
+  return out;
+}
+
 }  // namespace mm::md

@@ -150,6 +150,60 @@ class SyntheticDay {
   std::size_t corrupted_ = 0;
 };
 
+// Interval-resolution synthetic return stream for universe-scale experiments.
+//
+// SyntheticDay materializes every quote of every symbol — right for the
+// cleaning/compression stages, but at thousands of symbols one day of quotes
+// is gigabytes. The correlation plane only consumes one return per symbol per
+// ∆s interval, so ReturnStream generates exactly that: the same market +
+// sector + idiosyncratic factor model, divergence episodes and residual
+// dirty-data spikes, sampled directly at interval resolution with O(symbols)
+// state and an allocation-free next(). Deterministic in (seed, universe size,
+// interval). It draws its own random streams — it does not reproduce
+// SyntheticDay's paths — but reuses SyntheticDay's per-symbol episode
+// multipliers, so the same symbols are divergence-rich in both generators.
+class ReturnStream {
+ public:
+  ReturnStream(const Universe& universe, const GeneratorConfig& config,
+               double interval_seconds = 60.0);
+
+  std::size_t symbols() const { return symbols_; }
+  std::size_t steps_per_day() const { return steps_per_day_; }
+
+  // Fills `out` with one log return per symbol for the next interval.
+  // Allocation-free once `out` is sized (the resize is a no-op after the
+  // first call). Days chain seamlessly: a fresh random stream begins every
+  // steps_per_day() calls.
+  void next(std::vector<double>& out);
+
+  // Allocating convenience form.
+  std::vector<double> next();
+
+ private:
+  void begin_day();
+
+  GeneratorConfig config_;
+  std::vector<int> sector_;  // per-symbol sector index (copied from universe)
+  std::size_t symbols_;
+  std::size_t sectors_;
+  std::size_t steps_per_day_;
+  double interval_seconds_;
+  // Per-symbol loadings and episode multipliers: index-derived, day-stable.
+  std::vector<double> beta_, gamma_, sigma_;
+  std::vector<double> episode_mult_, drift_mult_;
+  // Per-symbol divergence-episode state machine: `div_left_` steps of drift
+  // remain, then `rev_left_` steps of the opposing reversion drift.
+  std::vector<std::int32_t> div_left_, rev_left_;
+  std::vector<double> step_drift_;
+  // A dirty-data spike is a price-level error: a return spike this interval,
+  // undone on the next. `pending_` holds next interval's correction.
+  std::vector<double> pending_;
+  std::vector<double> sector_shock_;  // per-step scratch
+  Rng rng_{0};
+  int day_ = 0;
+  std::size_t step_in_day_ = 0;
+};
+
 // Intraday U-shape multiplier at session fraction x in [0,1]: elevated at the
 // open and close, subdued midday. Integrates to ~1 over the session.
 double u_shape(double x);

@@ -1,6 +1,10 @@
 #include "marketdata/symbols.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hpp"
 
 namespace mm::md {
 
@@ -68,10 +72,10 @@ const std::vector<UniverseEntry>& default_universe() {
 Universe make_universe(std::size_t n) {
   const auto& all = default_universe();
   MM_ASSERT_MSG(n >= 2, "universe needs at least two symbols");
-  MM_ASSERT_MSG(n <= all.size(), "universe has only 61 built-in symbols");
 
   Universe u;
-  for (std::size_t i = 0; i < n; ++i) {
+  const std::size_t builtin = std::min(n, all.size());
+  for (std::size_t i = 0; i < builtin; ++i) {
     const auto& entry = all[i];
     const SymbolId id = u.table.intern(entry.ticker);
     MM_ASSERT(id == i);
@@ -83,6 +87,28 @@ Universe make_universe(std::size_t n) {
     }
     u.sector.push_back(static_cast<int>(it - u.sector_names.begin()));
     u.base_price.push_back(entry.price_2008);
+  }
+
+  // Beyond the 61 built-in large caps the universe continues with synthetic
+  // names — the scale regime of the exchange-wide all-pairs studies. Tickers,
+  // sector assignment and base prices are pure functions of the symbol index
+  // (no RNG seed involved), so make_universe(m) is always a prefix of
+  // make_universe(n) for m < n and every experiment stays reproducible.
+  constexpr std::size_t kSyntheticSectorSize = 25;  // names per synthetic sector
+  const auto base_sectors = u.sector_names.size();
+  for (std::size_t i = builtin; i < n; ++i) {
+    char ticker[16];
+    std::snprintf(ticker, sizeof(ticker), "SYN%05zu", i);
+    const SymbolId id = u.table.intern(ticker);
+    MM_ASSERT(id == i);
+    const std::size_t ordinal = (i - all.size()) / kSyntheticSectorSize;
+    if (base_sectors + ordinal == u.sector_names.size())
+      u.sector_names.push_back("syn" + std::to_string(ordinal));
+    u.sector.push_back(static_cast<int>(base_sectors + ordinal));
+    // Hash-derived price level in [5, 150] — plausible large-cap range.
+    std::uint64_t sm = 0x7c9f0e8d2b1a5634ULL ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    const double f = static_cast<double>(splitmix64(sm) >> 11) * 0x1.0p-53;
+    u.base_price.push_back(5.0 + 145.0 * f);
   }
   return u;
 }

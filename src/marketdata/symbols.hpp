@@ -45,8 +45,12 @@ struct UniverseEntry {
 // The full built-in 61-name universe (sector-grouped).
 const std::vector<UniverseEntry>& default_universe();
 
-// First `n` names of the default universe interned into a fresh table
-// (n <= 61). Returns the table and parallel sector-index / seed-price arrays.
+// Universe of `n` symbols: the first min(n, 61) are the built-in names; past
+// the built-ins the universe continues with deterministic synthetic tickers
+// ("SYN00061", ...) grouped into synthetic sectors of 25, with hash-derived
+// base prices — the 1k–5k regime of the exchange-wide all-pairs studies.
+// make_universe(m) is always a prefix of make_universe(n) for m < n. Returns
+// the table and parallel sector-index / seed-price arrays.
 struct Universe {
   SymbolTable table;
   std::vector<int> sector;        // per symbol id

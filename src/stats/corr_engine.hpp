@@ -35,6 +35,12 @@ struct CorrEngineConfig {
   bool warm_start = false;
   // Cold-restart cadence for the warm-started path.
   int warm_restart_interval = kWarmRestartInterval;
+  // Pair-iteration tile edge (symbols per block) for the O(n²) pair space:
+  // pairs are walked in tile-major order (see tiled_pairs), so a contiguous
+  // span of work touches at most ~2·tile distinct window rows and a rank's
+  // shard stays cache-resident at thousands of symbols. 0 degrades to the
+  // row-major canonical order.
+  std::size_t pair_tile = 64;
 };
 
 // Single-threaded engine: push one return per symbol per interval, then read
@@ -51,7 +57,11 @@ class CorrelationCalculator {
   // Correlation of one pair at the current step (requires ready()).
   double pair(std::size_t i, std::size_t j) const;
 
-  // Full matrix at the current step, unit diagonal.
+  // Full matrix at the current step, unit diagonal. matrix_into reuses the
+  // caller's storage (resizing only when the symbol count changed), so a
+  // steady-state loop is allocation-free; matrix() is the allocating
+  // convenience form.
+  void matrix_into(SymMatrix& out) const;
   SymMatrix matrix() const;
 
  private:
@@ -70,6 +80,7 @@ class CorrelationCalculator {
   mutable std::size_t unwrap_step_ = 0;  // windows_.steps() the arena reflects
   mutable std::vector<unsigned char> mad_zero_;  // per-symbol, warm path only
   mutable WarmMaronna warm_;
+  mutable MaronnaScratch maronna_scratch_;  // cold-path median/MAD buffers
 };
 
 // Pair-sharded parallel engine. All ranks of `comm` construct it with the
@@ -77,21 +88,36 @@ class CorrelationCalculator {
 // passes the market-wide return vector (other ranks' argument is ignored)
 // and every rank receives the assembled matrix (empty until windows fill).
 //
-// Shards are static, contiguous blocks of the canonical pair order, balanced
-// to within one pair: rank r owns pairs [offsets[r], offsets[r+1]). Block
-// sharding keeps each rank's warm-start state and window rows cache-resident
-// and makes shard assembly a linear copy instead of a round-robin scatter.
+// Shards are static, contiguous blocks of the tile-major pair order (see
+// tiled_pairs / CorrEngineConfig::pair_tile), balanced to within one pair:
+// rank r owns pairs [offsets[r], offsets[r+1]). Block sharding over the
+// tiled order keeps each rank's warm-start state and window rows
+// cache-resident at thousands of symbols and makes shard assembly a linear
+// copy instead of a round-robin scatter.
+//
+// The step is built around persistent buffers: the assembled matrix, the
+// mirrored return vector and every transport staging buffer are members
+// reused across steps, and step() returns a reference to the member matrix.
+// A single-rank engine touches no transport at all and is allocation-free in
+// steady state (asserted by tests/test_corr_alloc.cpp); multi-rank steps
+// allocate only the transport's bounded per-message envelopes. Exchange runs
+// over a private duplicate of `comm`: non-roots send their shard to rank 0,
+// which assembles (and PSD-repairs, if configured) once and broadcasts the
+// packed triangle.
+//
 // Per-step kernel timings land in mm::obs nanosecond histograms on the given
 // registry (corr.step.broadcast_ns / compute_ns / exchange_ns / assemble_ns),
 // one sample per rank per step — read them with Registry::snapshot(). With a
-// null registry the process-wide obs::Registry::global() is used.
+// null registry the process-wide obs::Registry::global() is used. The serial
+// fast path records compute_ns only.
 class ParallelCorrelationEngine {
  public:
   ParallelCorrelationEngine(mpi::Comm& comm, const CorrEngineConfig& config,
                             std::size_t symbols, obs::Registry* registry = nullptr);
 
   // Collective. Returns the matrix once windows are full, else an empty one.
-  SymMatrix step(const std::vector<double>& returns);
+  // The reference stays valid until the next step() on this engine.
+  const SymMatrix& step(const std::vector<double>& returns);
 
   bool ready() const { return calc_.ready(); }
   std::size_t local_pair_count() const {
@@ -101,10 +127,17 @@ class ParallelCorrelationEngine {
 
  private:
   mpi::Comm& comm_;
+  mpi::Comm dup_;  // private channel namespace for the shard exchange
   CorrelationCalculator calc_;
-  std::vector<PairIndex> pairs_;      // canonical order, built once
+  std::vector<PairIndex> pairs_;      // tile-major order, built once
   std::vector<std::size_t> offsets_;  // size() + 1 block boundaries
   std::vector<double> mine_;          // this rank's shard values, reused
+  SymMatrix matrix_;                  // assembled result, reused across steps
+  std::vector<double> returns_;              // mirrored market returns
+  std::vector<std::uint8_t> bcast_buf_;      // return-vector broadcast staging
+  std::vector<std::uint8_t> shard_buf_;      // my shard, packed for the root
+  std::vector<std::uint8_t> mat_buf_;        // packed-matrix broadcast staging
+  std::vector<double> shard_vals_;           // root-side shard decode scratch
   // Step-phase histograms (see class comment); handles resolved once.
   obs::Histogram* h_broadcast_;
   obs::Histogram* h_compute_;

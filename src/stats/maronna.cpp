@@ -5,31 +5,32 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "stats/simd.hpp"
 
 namespace mm::stats {
 namespace {
 
-double median_of(std::vector<double> v) {
-  const std::size_t mid = v.size() / 2;
-  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+// Destructive median: permutes v[0..n) in place (nth_element), which is fine
+// for the scratch buffers this runs on — only the value multiset matters to
+// every later consumer (the MAD over deviations).
+double median_inplace(double* v, std::size_t n) {
+  const std::size_t mid = n / 2;
+  std::nth_element(v, v + static_cast<std::ptrdiff_t>(mid), v + n);
   const double hi = v[mid];
-  if (v.size() % 2 == 1) return hi;
-  const double lo =
-      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  if (n % 2 == 1) return hi;
+  const double lo = *std::max_element(v, v + static_cast<std::ptrdiff_t>(mid));
   return 0.5 * (lo + hi);
 }
 
-// Median absolute deviation scaled to be consistent for the normal.
-double mad(const std::vector<double>& v, double center) {
-  std::vector<double> dev;
-  dev.reserve(v.size());
-  for (double x : v) dev.push_back(std::abs(x - center));
-  return 1.4826 * median_of(std::move(dev));
+// Median absolute deviation scaled to be consistent for the normal, using
+// caller-provided deviation scratch — the matrix engines call this O(n²)
+// times per step, so a fresh vector per call was the dominant allocation.
+double mad(const double* v, std::size_t n, double center,
+           std::vector<double>& dev) {
+  dev.resize(n);
+  for (std::size_t i = 0; i < n; ++i) dev[i] = std::abs(v[i] - center);
+  return 1.4826 * median_inplace(dev.data(), n);
 }
-
-// Huber weight on squared Mahalanobis distance: 1 inside the k² ball,
-// k²/d² outside — bounded influence.
-double weight(double d2, double k2) { return d2 <= k2 ? 1.0 : k2 / d2; }
 
 // The reweighting fixed point, shared verbatim by the cold and warm entry
 // points so that both iterate the exact same map (bit-for-bit) and therefore
@@ -84,29 +85,20 @@ void iterate_fixed_point(const double* x, const double* y, std::size_t n,
     const double iyy = vxx / det;
     const double ixy = -vxy / det;
 
-    double sw = 0.0, swx = 0.0, swy = 0.0;
-    double sxx = 0.0, sxy = 0.0, syy = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double dx = x[i] - mx;
-      const double dy = y[i] - my;
-      const double d2 = dx * dx * ixx + 2.0 * dx * dy * ixy + dy * dy * iyy;
-      const double w = weight(d2, config.huber_k2);
-      sw += w;
-      swx += w * x[i];
-      swy += w * y[i];
-      sxx += w * dx * dx;
-      sxy += w * dx * dy;
-      syy += w * dy * dy;
-    }
-    if (sw <= 0.0) break;
+    // One reweighting pass over the window — the kernel computes the Huber
+    // weight on the Mahalanobis distance and the six weighted sums in a
+    // single sweep (SIMD-dispatched; scalar and AVX2 agree bitwise).
+    const auto s = simd::kernels().maronna_weighted_sums(
+        x, y, n, mx, my, ixx, ixy, iyy, config.huber_k2);
+    if (s.sw <= 0.0) break;
 
-    const double new_mx = swx / sw;
-    const double new_my = swy / sw;
+    const double new_mx = s.swx / s.sw;
+    const double new_my = s.swy / s.sw;
     // Scatter normalized by n (Maronna's fixed-point with Huber rho keeps the
     // estimate consistent up to a scale factor that cancels in correlation).
-    const double new_vxx = sxx / nd + floor_x;
-    const double new_vyy = syy / nd + floor_y;
-    const double new_vxy = sxy / nd;
+    const double new_vxx = s.sxx / nd + floor_x;
+    const double new_vyy = s.syy / nd + floor_y;
+    const double new_vxy = s.sxy / nd;
 
     const double scale = std::max({std::abs(vxx), std::abs(vyy), 1e-300});
     const double delta = std::max({std::abs(new_vxx - vxx), std::abs(new_vyy - vyy),
@@ -213,16 +205,21 @@ bool usable_seed(const MaronnaResult& seed) {
 }  // namespace
 
 MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
-                               const MaronnaConfig& config) {
+                               const MaronnaConfig& config,
+                               MaronnaScratch& scratch) {
   MM_ASSERT_MSG(n >= 2, "maronna needs n >= 2");
   MaronnaResult out;
 
   // Robust initialization: coordinatewise medians and MADs, zero covariance.
-  std::vector<double> xs(x, x + n), ys(y, y + n);
-  const double mx = median_of(xs);
-  const double my = median_of(ys);
-  const double sx = mad(xs, mx);
-  const double sy = mad(ys, my);
+  // The copies live in the caller's scratch (nth_element permutes them), so
+  // steady-state matrix sweeps re-use capacity instead of allocating per
+  // pair.
+  scratch.xs.assign(x, x + n);
+  scratch.ys.assign(y, y + n);
+  const double mx = median_inplace(scratch.xs.data(), n);
+  const double my = median_inplace(scratch.ys.data(), n);
+  const double sx = mad(x, n, mx, scratch.dev);
+  const double sy = mad(y, n, my, scratch.dev);
 
   // Degenerate dispersion (e.g. a constant return window): fall back to a
   // tiny floor so the iteration is defined; if both are flat, report 0.
@@ -243,11 +240,18 @@ MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
   return out;
 }
 
+MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
+                               const MaronnaConfig& config) {
+  MaronnaScratch scratch;
+  return maronna_estimate(x, y, n, config, scratch);
+}
+
 MaronnaResult maronna_reestimate(const double* x, const double* y, std::size_t n,
                                  const MaronnaResult& seed,
-                                 const MaronnaConfig& config) {
+                                 const MaronnaConfig& config,
+                                 MaronnaScratch& scratch) {
   MM_ASSERT_MSG(n >= 2, "maronna needs n >= 2");
-  if (!usable_seed(seed)) return maronna_estimate(x, y, n, config);
+  if (!usable_seed(seed)) return maronna_estimate(x, y, n, config, scratch);
 
   MaronnaResult out;
   out.location_x = seed.location_x;
@@ -261,6 +265,13 @@ MaronnaResult maronna_reestimate(const double* x, const double* y, std::size_t n
   iterate_fixed_point(x, y, n, /*floor_x=*/0.0, /*floor_y=*/0.0, config,
                       /*warm=*/true, out);
   return out;
+}
+
+MaronnaResult maronna_reestimate(const double* x, const double* y, std::size_t n,
+                                 const MaronnaResult& seed,
+                                 const MaronnaConfig& config) {
+  MaronnaScratch scratch;
+  return maronna_reestimate(x, y, n, seed, config, scratch);
 }
 
 bool mad_is_zero(const double* v, std::size_t n) {
@@ -310,17 +321,17 @@ double WarmMaronna::estimate(std::size_t slot, const double* x, const double* y,
   MaronnaResult res;
   if (!degenerate && seedable_[slot] &&
       step_ - cold_step_[slot] < restart_interval_) {
-    res = maronna_reestimate(x, y, n, state_[slot], config_);
+    res = maronna_reestimate(x, y, n, state_[slot], config_, scratch_);
     ++warm_calls_;
     if (!res.converged) {
       // Warm chain went stale (e.g. an abrupt regime change): restart cold so
       // the estimate cannot drift away from the batch answer.
-      res = maronna_estimate(x, y, n, config_);
+      res = maronna_estimate(x, y, n, config_, scratch_);
       cold_step_[slot] = step_;
       ++cold_calls_;
     }
   } else {
-    res = maronna_estimate(x, y, n, config_);
+    res = maronna_estimate(x, y, n, config_, scratch_);
     cold_step_[slot] = step_;
     ++cold_calls_;
   }

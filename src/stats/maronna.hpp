@@ -58,8 +58,22 @@ struct MaronnaResult {
   bool converged = false;
 };
 
+// Reusable scratch for the cold start's median/MAD initialization. The
+// matrix engines call the estimator O(n²) times per step; routing the copies
+// and the deviation buffer through one caller-owned scratch makes the sweep
+// allocation-free in steady state (capacity is grown once, then reused).
+struct MaronnaScratch {
+  std::vector<double> xs, ys;   // permutable copies for median_inplace
+  std::vector<double> dev;      // |x - median| buffer for the MAD
+};
+
 // Full estimator output. n must be >= 2; degenerate inputs (zero dispersion)
-// yield correlation 0.
+// yield correlation 0. The scratch-taking overload is allocation-free once
+// the scratch capacity has grown to n; the convenience overload allocates a
+// local scratch per call.
+MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
+                               const MaronnaConfig& config,
+                               MaronnaScratch& scratch);
 MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
                                const MaronnaConfig& config = {});
 
@@ -70,6 +84,10 @@ MaronnaResult maronna_estimate(const double* x, const double* y, std::size_t n,
 // fixed point; the results agree to within the convergence tolerance. If the
 // seed is unusable (non-finite, non-positive-definite, or not converged) the
 // call transparently falls back to maronna_estimate.
+MaronnaResult maronna_reestimate(const double* x, const double* y, std::size_t n,
+                                 const MaronnaResult& seed,
+                                 const MaronnaConfig& config,
+                                 MaronnaScratch& scratch);
 MaronnaResult maronna_reestimate(const double* x, const double* y, std::size_t n,
                                  const MaronnaResult& seed,
                                  const MaronnaConfig& config = {});
@@ -120,6 +138,7 @@ class WarmMaronna {
   std::vector<std::int64_t> cold_step_;      // step of the last cold start
   std::vector<std::int64_t> computed_step_;  // memo: step of the cached value
   std::vector<std::uint8_t> seedable_;
+  MaronnaScratch scratch_;  // cold-start median/MAD buffers, reused per pair
   std::uint64_t warm_calls_ = 0;
   std::uint64_t cold_calls_ = 0;
 };

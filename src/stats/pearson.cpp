@@ -3,30 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/simd.hpp"
 #include "stats/windows.hpp"  // kRebuildInterval — shared drift-bound policy
 
 namespace mm::stats {
 
 double pearson(const double* x, const double* y, std::size_t n) {
   MM_ASSERT_MSG(n >= 2, "pearson needs n >= 2");
-  double sx = 0.0, sy = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    sx += x[i];
-    sy += y[i];
-  }
-  const double mx = sx / static_cast<double>(n);
-  const double my = sy / static_cast<double>(n);
-  double sxx = 0.0, syy = 0.0, sxy = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double dx = x[i] - mx;
-    const double dy = y[i] - my;
-    sxx += dx * dx;
-    syy += dy * dy;
-    sxy += dx * dy;
-  }
-  const double denom = std::sqrt(sxx * syy);
+  const auto& k = simd::kernels();
+  const auto sums = k.pair_sums(x, y, n);
+  const double mx = sums.sx / static_cast<double>(n);
+  const double my = sums.sy / static_cast<double>(n);
+  const auto m2 = k.centered_sums(x, y, n, mx, my);
+  const double denom = std::sqrt(m2.sxx * m2.syy);
   if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
-  const double r = sxy / denom;
+  const double r = m2.sxy / denom;
   return std::clamp(r, -1.0, 1.0);
 }
 
@@ -43,7 +34,9 @@ SlidingPearson::SlidingPearson(std::size_t window)
 void SlidingPearson::push(double x, double y) {
   // Center on the first observation: correlation is shift-invariant, and
   // removing a large common level (e.g. a $10M index value) avoids the
-  // catastrophic cancellation that raw running sums suffer.
+  // catastrophic cancellation that raw running sums suffer. rebuild()
+  // re-anchors periodically so a trending series cannot drift away from
+  // this initial anchor.
   if (pushes_ == 0) {
     offset_x_ = x;
     offset_y_ = y;
@@ -75,10 +68,28 @@ void SlidingPearson::push(double x, double y) {
 }
 
 void SlidingPearson::rebuild() {
+  // Re-anchor the centering offset to the current window mean. The offset
+  // was captured from the FIRST observation and never moved; a series that
+  // trends far from its starting level therefore accumulates large stored
+  // values again, and the catastrophic cancellation the offset exists to
+  // prevent returns. Correlation is shift-invariant, so moving the anchor by
+  // the stored-value mean (and shifting every buffered value to match)
+  // changes nothing except keeping the stored values permanently small.
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    mean_x += xs_[i];
+    mean_y += ys_[i];
+  }
+  if (count_ > 0) {
+    mean_x /= static_cast<double>(count_);
+    mean_y /= static_cast<double>(count_);
+  }
+  offset_x_ += mean_x;
+  offset_y_ += mean_y;
   sum_x_ = sum_y_ = sum_xx_ = sum_yy_ = sum_xy_ = 0.0;
   for (std::size_t i = 0; i < count_; ++i) {
-    const double x = xs_[i];
-    const double y = ys_[i];
+    const double x = (xs_[i] -= mean_x);
+    const double y = (ys_[i] -= mean_y);
     sum_x_ += x;
     sum_y_ += y;
     sum_xx_ += x * x;

@@ -1,0 +1,15 @@
+// Internal wiring between the simd dispatch TU and the per-level kernel TUs.
+// Not part of the stats API — include simd.hpp instead.
+#pragma once
+
+#include "stats/simd.hpp"
+
+namespace mm::stats::simd::detail {
+
+// Defined in simd_scalar.cpp (always) and simd_avx2.cpp (when MM_SIMD_AVX2).
+const KernelTable& scalar_table();
+#if MM_SIMD_AVX2
+const KernelTable& avx2_table();
+#endif
+
+}  // namespace mm::stats::simd::detail

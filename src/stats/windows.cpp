@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/simd.hpp"
+
 namespace mm::stats {
 
 ReturnWindows::ReturnWindows(std::size_t symbols, std::size_t window,
@@ -56,6 +58,7 @@ void ReturnWindows::push(const std::vector<double>& returns) {
     // segment is contiguous), streaming the new and evicted columns from two
     // n-sized arrays that stay cache-resident. Fusing evict+insert halves
     // the O(n²) triangle traffic versus separate passes.
+    const auto& kern = simd::kernels();
     double* cp = cross_.packed().data();
     const double* r = returns.data();
     const double* old = evict_scratch_.data();
@@ -63,17 +66,14 @@ void ReturnWindows::push(const std::vector<double>& returns) {
     if (evicting) {
       for (std::size_t i = 0; i < symbols_; ++i) {
         double* row = cp + base;  // row[k] == Σ x_i x_{i+k}
-        const double xi = r[i];
-        const double oi = old[i];
-        for (std::size_t k = 1; k < symbols_ - i; ++k)
-          row[k] += xi * r[i + k] - oi * old[i + k];
+        kern.cross_evict_insert(row + 1, r + i + 1, old + i + 1, r[i], old[i],
+                                symbols_ - i - 1);
         base += symbols_ - i;
       }
     } else {
       for (std::size_t i = 0; i < symbols_; ++i) {
         double* row = cp + base;
-        const double xi = r[i];
-        for (std::size_t k = 1; k < symbols_ - i; ++k) row[k] += xi * r[i + k];
+        kern.cross_insert(row + 1, r + i + 1, r[i], symbols_ - i - 1);
         base += symbols_ - i;
       }
     }
@@ -98,13 +98,13 @@ void ReturnWindows::rebuild_sums() {
     }
   }
   if (tracks_cross_sums()) {
+    // The two rows align slot-for-slot (all rings share one head), so the
+    // exact cross sum is a straight dot product over the filled slots.
+    const auto& kern = simd::kernels();
     for (std::size_t i = 0; i < symbols_; ++i) {
-      for (std::size_t j = i + 1; j < symbols_; ++j) {
-        double s = 0.0;
-        for (std::size_t t = 0; t < filled; ++t)
-          s += data_[i * window_ + t] * data_[j * window_ + t];
-        cross_.set(i, j, s);
-      }
+      const double* xi = data_.data() + i * window_;
+      for (std::size_t j = i + 1; j < symbols_; ++j)
+        cross_.set(i, j, kern.dot(xi, data_.data() + j * window_, filled));
     }
   }
 }
@@ -170,31 +170,27 @@ void ReturnWindows::pearson_matrix(SymMatrix& out) const {
     const double vi = sum_sq_[i] - sum_[i] * sum_[i] / n;
     variance_scratch_[i] = vi;
     degenerate_scratch_[i] =
-        run_length_[i] >= window_ || vi <= 1e-12 * sum_sq_[i];
+        (run_length_[i] >= window_ || vi <= 1e-12 * sum_sq_[i]) ? 1.0 : 0.0;
   }
 
   // Both packed triangles share one layout, so the kernel is a single linear
   // walk over each with contiguous row segments.
+  const auto& kern = simd::kernels();
   const double* cp = cross_.packed().data();
   double* op = out.packed().data();
   std::size_t base = 0;
   for (std::size_t i = 0; i < symbols_; ++i) {
-    const double sum_i = sum_[i];
-    const double vi = variance_scratch_[i];
-    const bool degenerate_i = degenerate_scratch_[i] != 0;
     const double* crow = cp + base;
     double* orow = op + base;
     orow[0] = 1.0;
-    for (std::size_t k = 1; k < symbols_ - i; ++k) {
-      const std::size_t j = i + k;
-      double r = 0.0;
-      if (!degenerate_i && degenerate_scratch_[j] == 0) {
-        const double cov = crow[k] - sum_i * sum_[j] / n;
-        const double denom = std::sqrt(vi * variance_scratch_[j]);
-        if (denom > 0.0 && std::isfinite(denom))
-          r = std::clamp(cov / denom, -1.0, 1.0);
-      }
-      orow[k] = r;
+    const std::size_t len = symbols_ - i - 1;
+    if (degenerate_scratch_[i] != 0.0) {
+      std::fill(orow + 1, orow + 1 + len, 0.0);
+    } else {
+      kern.pearson_row(orow + 1, crow + 1, sum_.data() + i + 1,
+                       variance_scratch_.data() + i + 1,
+                       degenerate_scratch_.data() + i + 1, sum_[i],
+                       variance_scratch_[i], n, len);
     }
     base += symbols_ - i;
   }

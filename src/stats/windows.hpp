@@ -94,8 +94,10 @@ class ReturnWindows {
   // update can fuse eviction and insertion into one pass over the triangle.
   std::vector<double> evict_scratch_;
   // Scratch reused by pearson_matrix(): per-symbol variance + degeneracy.
+  // Degeneracy is stored as 0.0/1.0 doubles so the SIMD row kernel can load
+  // and mask it without a widening conversion.
   mutable std::vector<double> variance_scratch_;
-  mutable std::vector<unsigned char> degenerate_scratch_;
+  mutable std::vector<double> degenerate_scratch_;
   SymMatrix cross_;  // Σ x_i x_j, including i == j on the diagonal (== sum_sq)
 };
 

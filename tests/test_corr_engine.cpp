@@ -132,6 +132,79 @@ TEST(ParallelEngine, EmptyMatrixBeforeWarmup) {
   });
 }
 
+TEST(TiledPairs, CoversEveryPairExactlyOnce) {
+  for (const std::size_t n : {2u, 5u, 9u, 64u, 130u}) {
+    for (const std::size_t tile : {0u, 1u, 3u, 64u, 200u}) {
+      const auto pairs = tiled_pairs(n, tile);
+      ASSERT_EQ(pairs.size(), n * (n - 1) / 2) << "n=" << n << " tile=" << tile;
+      std::vector<char> seen(pairs.size(), 0);
+      for (const auto& p : pairs) {
+        ASSERT_LT(p.i, p.j);
+        ASSERT_LT(p.j, n);
+        char& slot = seen[pair_slot(n, p.i, p.j)];
+        EXPECT_EQ(slot, 0) << "duplicate (" << p.i << "," << p.j << ")";
+        slot = 1;
+      }
+    }
+  }
+}
+
+TEST(TiledPairs, DegeneratesToRowMajorWhenTileCoversUniverse) {
+  const auto canonical = all_pairs(7);
+  for (const std::size_t tile : {0u, 7u, 100u}) {
+    const auto pairs = tiled_pairs(7, tile);
+    ASSERT_EQ(pairs.size(), canonical.size());
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      EXPECT_EQ(pairs[k].i, canonical[k].i);
+      EXPECT_EQ(pairs[k].j, canonical[k].j);
+    }
+  }
+}
+
+// The tile edge is a performance knob: it reorders the pair sweep but must
+// not change a single matrix entry, serial or parallel.
+TEST(CorrelationCalculator, MatrixIndependentOfPairTile) {
+  constexpr std::size_t symbols = 10;
+  const auto stream = make_stream(symbols, 60, 17);
+  SymMatrix reference;
+  for (const std::size_t tile : {0u, 1u, 3u, 4u, 64u}) {
+    CorrEngineConfig cfg;
+    cfg.type = Ctype::maronna;  // exercises the tiled sweep in matrix_into
+    cfg.window = 25;
+    cfg.pair_tile = tile;
+    CorrelationCalculator calc(cfg, symbols);
+    for (const auto& r : stream) calc.push(r);
+    const auto m = calc.matrix();
+    if (tile == 0) {
+      reference = m;
+    } else {
+      EXPECT_EQ(SymMatrix::max_abs_diff(m, reference), 0.0) << "tile=" << tile;
+    }
+  }
+}
+
+TEST(ParallelEngine, MatchesSerialAcrossPairTiles) {
+  constexpr std::size_t symbols = 8;
+  CorrEngineConfig cfg;
+  cfg.type = Ctype::pearson;
+  cfg.window = 12;
+  const auto stream = make_stream(symbols, 30, 19);
+  CorrelationCalculator serial(cfg, symbols);
+  for (const auto& r : stream) serial.push(r);
+  const auto expected = serial.matrix();
+
+  for (const std::size_t tile : {1u, 3u, 8u}) {
+    cfg.pair_tile = tile;
+    mpi::Environment::run(3, [&](mpi::Comm& comm) {
+      ParallelCorrelationEngine engine(comm, cfg, symbols);
+      SymMatrix last;
+      for (const auto& r : stream) last = engine.step(r);
+      ASSERT_EQ(last.size(), symbols);
+      EXPECT_EQ(SymMatrix::max_abs_diff(last, expected), 0.0) << "tile=" << tile;
+    });
+  }
+}
+
 TEST(ParallelEngine, ShardsCoverAllPairsExactlyOnce) {
   constexpr std::size_t symbols = 9;  // 36 pairs
   mpi::Environment::run(4, [&](mpi::Comm& comm) {

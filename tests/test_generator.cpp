@@ -7,6 +7,7 @@
 
 #include "marketdata/bars.hpp"
 #include "marketdata/generator.hpp"
+#include "stats/corr_engine.hpp"
 #include "stats/pearson.hpp"
 
 namespace mm::md {
@@ -221,6 +222,124 @@ TEST(SyntheticDay, UShapedQuoteArrivals) {
   }
   EXPECT_GT(open_count, mid_count * 3 / 2);
   EXPECT_GT(close_count, mid_count * 3 / 2);
+}
+
+TEST(ReturnStream, DeterministicAndAllocationShapeStable) {
+  const auto universe = make_universe(30);
+  const GeneratorConfig cfg;
+  ReturnStream a(universe, cfg);
+  ReturnStream b(universe, cfg);
+  EXPECT_EQ(a.symbols(), 30u);
+  EXPECT_EQ(a.steps_per_day(), 390u);  // 6.5h session at 60s intervals
+  std::vector<double> ra, rb;
+  for (int t = 0; t < 500; ++t) {  // crosses a day boundary
+    a.next(ra);
+    b.next(rb);
+    ASSERT_EQ(ra.size(), 30u);
+    ASSERT_EQ(ra, rb) << "step " << t;
+  }
+}
+
+TEST(ReturnStream, ReturnsHaveSaneScale) {
+  const auto universe = make_universe(61);
+  GeneratorConfig cfg;
+  cfg.bad_tick_rate = 0.0;
+  cfg.minor_tick_rate = 0.0;
+  ReturnStream stream(universe, cfg);
+  std::vector<double> r;
+  double sq = 0.0;
+  std::size_t count = 0;
+  for (int t = 0; t < 390; ++t) {
+    stream.next(r);
+    for (const double x : r) {
+      ASSERT_TRUE(std::isfinite(x));
+      sq += x * x;
+      ++count;
+    }
+  }
+  // Per-interval vol should sit near the configured per-second vols scaled
+  // by sqrt(60): order 1e-3, certainly within (1e-5, 1e-1).
+  const double rms = std::sqrt(sq / static_cast<double>(count));
+  EXPECT_GT(rms, 1e-5);
+  EXPECT_LT(rms, 1e-1);
+}
+
+TEST(ReturnStream, SectorStructureSurvivesSampling) {
+  // Same-sector pairs must out-correlate cross-sector pairs in the sampled
+  // returns, at builtin scale and in the synthetic extension.
+  const auto universe = make_universe(120);
+  GeneratorConfig cfg;
+  cfg.episodes_per_day = 0.0;
+  cfg.bad_tick_rate = 0.0;
+  cfg.minor_tick_rate = 0.0;
+  ReturnStream stream(universe, cfg);
+  std::vector<std::vector<double>> history(120);
+  std::vector<double> r;
+  for (int t = 0; t < 780; ++t) {
+    stream.next(r);
+    for (std::size_t i = 0; i < r.size(); ++i) history[i].push_back(r[i]);
+  }
+  const auto corr_of = [&](std::size_t a, std::size_t b) {
+    return stats::pearson(history[a], history[b]);
+  };
+  // MSFT/IBM (tech) vs MSFT/BK (tech/financial); SYN 61/62 share a synthetic
+  // sector, 61/90 do not.
+  EXPECT_GT(corr_of(0, 1), corr_of(0, 12));
+  EXPECT_GT(corr_of(61, 62), corr_of(61, 90));
+  EXPECT_GT(corr_of(0, 1), 0.3);
+  EXPECT_GT(corr_of(61, 62), 0.3);
+}
+
+TEST(ReturnStream, EpisodeRichSymbolsDivergeMore) {
+  // The per-symbol episode multipliers are shared with SyntheticDay, so the
+  // sampled stream shows the same persistent heterogeneity: symbols with a
+  // high multiplier accumulate more drift variance than the factor floor.
+  const auto universe = make_universe(61);
+  GeneratorConfig cfg;
+  cfg.bad_tick_rate = 0.0;
+  cfg.minor_tick_rate = 0.0;
+  cfg.episode_drift = 0.05;  // make episodes dominate the variance
+  ReturnStream with(universe, cfg);
+  GeneratorConfig quiet = cfg;
+  quiet.episodes_per_day = 0.0;
+  ReturnStream without(universe, quiet);
+  std::vector<double> r;
+  double var_with = 0.0, var_without = 0.0;
+  for (int t = 0; t < 780; ++t) {
+    with.next(r);
+    for (const double x : r) var_with += x * x;
+    without.next(r);
+    for (const double x : r) var_without += x * x;
+  }
+  EXPECT_GT(var_with, var_without * 1.5);
+}
+
+TEST(ReturnStream, FeedsCorrelationEngineAtScale) {
+  // End-to-end smoke at a thousand symbols: one warm window of sampled
+  // returns through the Pearson matrix path, allocation-sized buffers only.
+  constexpr std::size_t n = 1000;
+  const auto universe = make_universe(n);
+  const GeneratorConfig cfg;
+  ReturnStream stream(universe, cfg, 60.0);
+  stats::CorrEngineConfig ecfg;
+  ecfg.window = 30;
+  stats::CorrelationCalculator calc(ecfg, n);
+  std::vector<double> r;
+  for (int t = 0; t < 31; ++t) {
+    stream.next(r);
+    calc.push(r);
+  }
+  ASSERT_TRUE(calc.ready());
+  stats::SymMatrix m;
+  calc.matrix_into(m);
+  ASSERT_EQ(m.size(), n);
+  for (std::size_t i = 0; i < n; i += 97) {
+    EXPECT_EQ(m(i, i), 1.0);
+    for (std::size_t j = i + 1; j < n; j += 131) {
+      EXPECT_GE(m(i, j), -1.0);
+      EXPECT_LE(m(i, j), 1.0);
+    }
+  }
 }
 
 }  // namespace

@@ -136,5 +136,34 @@ TEST_P(MaronnaWindowSizes, StableAcrossPaperWindowLengths) {
   EXPECT_LE(r, 1.0);
 }
 
+TEST(Maronna, ScratchOverloadMatchesConvenienceBitwise) {
+  // The scratch-taking overload is the same algorithm routed through reused
+  // buffers; it must agree with the allocating convenience form bit-for-bit,
+  // including when the scratch arrives oversized from a previous larger pair.
+  MaronnaScratch scratch;
+  scratch.xs.resize(4096);
+  scratch.ys.resize(4096);
+  scratch.dev.resize(4096);
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    const auto p = make_correlated(100, 1.2, seed);
+    const auto a = maronna_estimate(p.x.data(), p.y.data(), p.x.size());
+    const auto b =
+        maronna_estimate(p.x.data(), p.y.data(), p.x.size(), {}, scratch);
+    EXPECT_EQ(a.correlation, b.correlation) << "seed " << seed;
+    EXPECT_EQ(a.scatter_xx, b.scatter_xx);
+    EXPECT_EQ(a.scatter_xy, b.scatter_xy);
+    EXPECT_EQ(a.scatter_yy, b.scatter_yy);
+    EXPECT_EQ(a.location_x, b.location_x);
+    EXPECT_EQ(a.location_y, b.location_y);
+    EXPECT_EQ(a.iterations, b.iterations);
+
+    const auto c = maronna_reestimate(p.x.data(), p.y.data(), p.x.size(), a, {});
+    const auto d =
+        maronna_reestimate(p.x.data(), p.y.data(), p.x.size(), a, {}, scratch);
+    EXPECT_EQ(c.correlation, d.correlation) << "seed " << seed;
+    EXPECT_EQ(c.iterations, d.iterations);
+  }
+}
+
 }  // namespace
 }  // namespace mm::stats

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "stats/pearson.hpp"
+#include "stats/windows.hpp"  // kRebuildInterval
 
 namespace mm::stats {
 namespace {
@@ -122,6 +123,40 @@ TEST(SlidingPearson, StableUnderAdversarialScale) {
   const std::size_t lo = xs.size() - window;
   const double batch = pearson(xs.data() + lo, ys.data() + lo, window);
   EXPECT_NEAR(sp.correlation(), batch, 1e-4);
+}
+
+TEST(SlidingPearson, ReanchorsAfterStrongTrend) {
+  // Regression: the centering offset used to be captured from the FIRST
+  // observation and never moved. A series that ramps far from its starting
+  // level (here to ~1e8) then plateaus leaves the stored values huge
+  // relative to their unit-scale dispersion, and the running sums cancel
+  // catastrophically — the old code's relative variance floor reported 0
+  // correlation forever after. rebuild() now re-anchors the offset to the
+  // window mean, so once the periodic rebuild fires the estimate recovers.
+  constexpr std::size_t window = 50;
+  SlidingPearson sp(window);
+  mm::Rng rng(7);
+  std::vector<double> xs, ys;
+  const auto push = [&](double x, double y) {
+    sp.push(x, y);
+    xs.push_back(x);
+    ys.push_back(y);
+  };
+  // Ramp: 1000 steps climbing to 1e8.
+  for (int i = 0; i < 1000; ++i) {
+    const double level = 1e5 * static_cast<double>(i);
+    push(level + rng.normal(), level + rng.normal());
+  }
+  // Plateau: strongly correlated unit-scale noise around the new level,
+  // long enough that the kRebuildInterval rebuild fires well within it.
+  for (std::size_t i = 1000; i < kRebuildInterval + 2 * window; ++i) {
+    const double f = rng.normal();
+    push(1e8 + f + 0.3 * rng.normal(), 1e8 + f + 0.3 * rng.normal());
+  }
+  const std::size_t lo = xs.size() - window;
+  const double batch = pearson(xs.data() + lo, ys.data() + lo, window);
+  ASSERT_GT(batch, 0.5);  // the signal really is there
+  EXPECT_NEAR(sp.correlation(), batch, 1e-6);
 }
 
 TEST(SlidingPearson, BoundedInMinusOnePlusOne) {

@@ -75,5 +75,45 @@ TEST(MakeUniverse, SameSectorSharedAcrossSizes) {
     EXPECT_EQ(small.table.name(i), big.table.name(i));
 }
 
+TEST(MakeUniverse, ScalesPastBuiltinsWithSyntheticSymbols) {
+  constexpr std::size_t n = 2000;
+  const auto u = make_universe(n);
+  ASSERT_EQ(u.table.size(), n);
+  ASSERT_EQ(u.sector.size(), n);
+  ASSERT_EQ(u.base_price.size(), n);
+
+  // Built-ins stay put; the extension is uniquely named and sanely priced.
+  EXPECT_EQ(u.table.name(0), "MSFT");
+  EXPECT_EQ(u.table.name(61), "SYN00061");
+  std::set<std::string> tickers;
+  for (SymbolId i = 0; i < n; ++i) {
+    tickers.insert(u.table.name(i));
+    EXPECT_GT(u.base_price[i], 0.0) << i;
+    if (i >= 61) {  // synthetics draw from the hash-derived [5, 150] range
+      EXPECT_GE(u.base_price[i], 5.0) << i;
+      EXPECT_LE(u.base_price[i], 150.0) << i;
+    }
+    EXPECT_GE(u.sector[i], 0);
+    EXPECT_LT(u.sector[i], static_cast<int>(u.sector_names.size()));
+  }
+  EXPECT_EQ(tickers.size(), n);  // no collisions
+
+  // Synthetic sectors group 25 consecutive names.
+  EXPECT_EQ(u.sector[61], u.sector[85]);
+  EXPECT_NE(u.sector[61], u.sector[86]);
+  const auto base_sectors = make_universe(61).sector_names.size();
+  EXPECT_EQ(u.sector_names.size(), base_sectors + (n - 61 + 24) / 25);
+}
+
+TEST(MakeUniverse, LargerUniverseIsPrefixStable) {
+  const auto small = make_universe(100);
+  const auto big = make_universe(3000);
+  for (SymbolId i = 0; i < 100; ++i) {
+    EXPECT_EQ(small.table.name(i), big.table.name(i));
+    EXPECT_EQ(small.sector[i], big.sector[i]);
+    EXPECT_EQ(small.base_price[i], big.base_price[i]);
+  }
+}
+
 }  // namespace
 }  // namespace mm::md
