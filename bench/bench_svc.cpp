@@ -1,0 +1,106 @@
+// Service-plane benchmarks: what memoization buys.
+//
+// BM_SvcSweepCold runs a 4-paramset sweep (2 units) through a FRESH service
+// each iteration — every correlation day computed from scratch.
+// BM_SvcSweepMemoized submits the same sweep to a long-lived service whose
+// CorrStore and DayCache are warm: each unit replays resident frames, so the
+// per-job cost collapses to pipeline plumbing + strategy evaluation. The
+// ratio of the two is the service's multi-tenant amortization factor.
+// BM_CorrStoreHit / BM_DayCacheHit price one warm acquire on each plane.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "marketdata/day_cache.hpp"
+#include "stats/corr_store.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace mm;
+
+svc::ServiceConfig bench_config() {
+  svc::ServiceConfig config;
+  config.workers = 2;
+  config.quote_rate = 0.15;
+  return config;
+}
+
+Expected<svc::JobSpec> bench_spec(const std::string& tenant) {
+  return svc::parse_job_spec(
+      R"({"tenant":")" + tenant + R"(","symbols":8,"seed":7,"day":0,
+         "paramsets":[
+           {"ctype":"pearson","divergence":0.0005},
+           {"ctype":"pearson","divergence":0.001},
+           {"ctype":"maronna","corr_window":60},
+           {"ctype":"combined","corr_window":60}]})");
+}
+
+void BM_SvcSweepCold(benchmark::State& state) {
+  for (auto _ : state) {
+    svc::BacktestService service(bench_config());
+    if (!service.start().has_value()) state.SkipWithError("start failed");
+    auto id = service.submit(bench_spec("cold").value());
+    if (!id.has_value() || !service.wait(id.value(), 120000))
+      state.SkipWithError("job failed");
+    service.stop();
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // paramsets per sweep
+}
+BENCHMARK(BM_SvcSweepCold)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_SvcSweepMemoized(benchmark::State& state) {
+  static svc::BacktestService* service = [] {
+    auto* s = new svc::BacktestService(bench_config());
+    MM_ASSERT(s->start().has_value());
+    // Warm both planes once outside the timed loop.
+    auto id = s->submit(bench_spec("warmup").value());
+    MM_ASSERT(id.has_value() && s->wait(id.value(), 120000));
+    return s;
+  }();
+  for (auto _ : state) {
+    auto id = service->submit(bench_spec("warm").value());
+    if (!id.has_value() || !service->wait(id.value(), 120000))
+      state.SkipWithError("job failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SvcSweepMemoized)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_CorrStoreHit(benchmark::State& state) {
+  stats::CorrStore store;
+  stats::CorrKey key;
+  key.universe = "bench";
+  key.delta_s = 30;
+  key.window = 100;
+  key.estimator = "pearson";
+  {
+    auto lease = store.acquire(key);
+    stats::CorrDay day;
+    day.frames.assign(780, std::vector<std::uint8_t>(4096, 0));
+    lease.publish(std::move(day));
+  }
+  for (auto _ : state) {
+    auto lease = store.acquire(key);
+    benchmark::DoNotOptimize(lease.data().get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CorrStoreHit);
+
+void BM_DayCacheHit(benchmark::State& state) {
+  md::DayCache cache([](const std::string&) -> Expected<std::vector<md::Quote>> {
+    return std::vector<md::Quote>(100000);
+  });
+  (void)cache.get("day");
+  for (auto _ : state) {
+    auto day = cache.get("day");
+    benchmark::DoNotOptimize(day.value().get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DayCacheHit);
+
+}  // namespace

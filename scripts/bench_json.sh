@@ -5,7 +5,9 @@
 # universe-scaling entries (BM_MatrixScaling*: full-matrix Pearson and warm
 # Maronna at n = 61/250/1000/2000, scalar vs AVX2 kernel level) — the big
 # universes run a fixed two iterations, so expect the correlation pass to
-# take a couple of minutes.
+# take a couple of minutes. BENCH_svc.json adds the backtest-service numbers:
+# cold vs memoized 4-paramset sweeps (the multi-tenant amortization factor)
+# and the warm CorrStore/DayCache acquire costs.
 # Usage: scripts/bench_json.sh [build-dir] (default: build).
 set -euo pipefail
 
@@ -14,4 +16,4 @@ build_dir=${1:-"$repo_root/build"}
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j --target bench_json
-echo "Wrote $repo_root/BENCH_corr.json, $repo_root/BENCH_obs.json and $repo_root/BENCH_mpmini.json"
+echo "Wrote $repo_root/BENCH_corr.json, $repo_root/BENCH_obs.json, $repo_root/BENCH_mpmini.json and $repo_root/BENCH_svc.json"

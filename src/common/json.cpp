@@ -1,0 +1,402 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace mm::json {
+
+namespace {
+
+const Value& null_value() {
+  static const Value v;
+  return v;
+}
+
+}  // namespace
+
+const Value& Value::at(std::size_t i) const {
+  if (!is_array() || i >= items_.size()) return null_value();
+  return items_[i];
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Value& Value::set(std::string key, Value v) {
+  type_ = Type::object;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return members_.back().second;
+}
+
+std::int64_t Value::get_int(const std::string& key, std::int64_t fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+double Value::get_double(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string Value::get_string(const std::string& key, std::string fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::move(fallback);
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string dump_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;  // shortest exact form wins
+  }
+  // %g can emit "1e+05" with no decimal point or exponent marker ambiguity
+  // for JSON — both are valid JSON numbers, so the form is fine as-is.
+  return buf;
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::null:
+      out += "null";
+      break;
+    case Type::boolean:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::number:
+      if (is_int_) {
+        out += format("%lld", static_cast<long long>(int_));
+      } else {
+        out += dump_double(num_);
+      }
+      break;
+    case Type::string:
+      out.push_back('"');
+      out += escape(str_);
+      out.push_back('"');
+      break;
+    case Type::array: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : items_) {
+        if (!first) out.push_back(',');
+        first = false;
+        item.dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        out += escape(key);
+        out += "\":";
+        value.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over the raw bytes. Positions are tracked for
+// error messages; depth is bounded by kMaxDepth.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Value> run() {
+    skip_ws();
+    Value root;
+    if (Status s = parse_value(root, 0); !s) return s.error();
+    skip_ws();
+    if (pos_ != text_.size())
+      return fail("trailing characters after JSON document");
+    return root;
+  }
+
+ private:
+  Error fail(const char* what) const {
+    return Error{Errc::parse_error,
+                 format("json: %s at offset %zu", what, pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.substr(pos_, n) != word) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Status parse_value(Value& out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': return parse_string(out);
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        out = Value(true);
+        return {};
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        out = Value(false);
+        return {};
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        out = Value(nullptr);
+        return {};
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_object(Value& out, std::size_t depth) {
+    ++pos_;  // '{'
+    out = Value::object();
+    skip_ws();
+    if (consume('}')) return {};
+    while (true) {
+      skip_ws();
+      Value key;
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      if (Status s = parse_string(key); !s) return s;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      Value value;
+      if (Status s = parse_value(value, depth + 1); !s) return s;
+      out.set(key.as_string(), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return {};
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parse_array(Value& out, std::size_t depth) {
+    ++pos_;  // '['
+    out = Value::array();
+    skip_ws();
+    if (consume(']')) return {};
+    while (true) {
+      skip_ws();
+      Value item;
+      if (Status s = parse_value(item, depth + 1); !s) return s;
+      out.push(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return {};
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parse_string(Value& out) {
+    ++pos_;  // opening quote
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (Status st = parse_hex4(code); !st) return st;
+          // Surrogate pair: a high surrogate must be followed by \uDC00..DFFF.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return fail("lone high surrogate");
+            pos_ += 2;
+            unsigned low = 0;
+            if (Status st = parse_hex4(low); !st) return st;
+            if (low < 0xDC00 || low > 0xDFFF)
+              return fail("invalid low surrogate");
+            append_utf8(s, 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00));
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("lone low surrogate");
+          } else {
+            append_utf8(s, code);
+          }
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+    out = Value(std::move(s));
+    return {};
+  }
+
+  Status parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("bad hex digit in \\u escape");
+    }
+    out = value;
+    return {};
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ == int_start) return fail("invalid number");
+    // JSON forbids leading zeros: "0" is fine, "01" is not.
+    if (text_[int_start] == '0' && pos_ - int_start > 1)
+      return fail("leading zero in number");
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == frac_start) return fail("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == exp_start) return fail("digits required in exponent");
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      return fail("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end == token.c_str() + token.size()) {
+        out = Value(static_cast<std::int64_t>(v));
+        return {};
+      }
+      // Out-of-range integers degrade to double below.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("invalid number");
+    out = Value(d);
+    return {};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace mm::json

@@ -1,0 +1,132 @@
+// Minimal JSON value: one parser and one serializer for every JSON surface
+// in the tree (job specs/results in src/svc, the obs snapshot/trace/flight
+// emitters' string escaping, tests' round-trip assertions).
+//
+// Scope is deliberately small — this is a config/report format, not a codec
+// hot path:
+//   * numbers are int64 when they look integral, double otherwise; doubles
+//     serialize with the shortest digit string that round-trips exactly
+//     (so a value that travels spec -> JSON -> spec is bit-identical);
+//   * objects preserve insertion order (deterministic output, stable diffs)
+//     and look up keys linearly — fine at config sizes;
+//   * parse depth is capped (kMaxDepth) so hostile input cannot blow the
+//     stack; inputs must be full documents (trailing garbage is an error);
+//   * non-finite doubles serialize as null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm::json {
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t { null, boolean, number, string, array, object };
+
+  Value() = default;  // null
+  Value(std::nullptr_t) {}                       // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::boolean), bool_(b) {}  // NOLINT
+  Value(double d) : type_(Type::number), num_(d) {}  // NOLINT
+  Value(std::int64_t i) : type_(Type::number), is_int_(true), int_(i) {}  // NOLINT
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::size_t u) : Value(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Value(std::string s) : type_(Type::string), str_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}       // NOLINT
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+  bool is_bool() const { return type_ == Type::boolean; }
+  bool is_number() const { return type_ == Type::number; }
+  // True only for numbers that were written/parsed without a fractional part.
+  bool is_int() const { return type_ == Type::number && is_int_; }
+  bool is_string() const { return type_ == Type::string; }
+  bool is_array() const { return type_ == Type::array; }
+  bool is_object() const { return type_ == Type::object; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    if (!is_number()) return fallback;
+    return is_int_ ? static_cast<double>(int_) : num_;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    if (!is_number()) return fallback;
+    return is_int_ ? int_ : static_cast<std::int64_t>(num_);
+  }
+  const std::string& as_string() const { return str_; }  // empty unless string
+
+  // --- array -------------------------------------------------------------
+  std::size_t size() const {
+    return is_array() ? items_.size() : is_object() ? members_.size() : 0;
+  }
+  const Value& at(std::size_t i) const;  // null sentinel when out of range
+  void push(Value v) {
+    type_ = Type::array;
+    items_.push_back(std::move(v));
+  }
+  const std::vector<Value>& items() const { return items_; }
+
+  // --- object ------------------------------------------------------------
+  // Null when the key is absent or this is not an object.
+  const Value* find(const std::string& key) const;
+  // Insert-or-assign, preserving first-insertion order.
+  Value& set(std::string key, Value v);
+  const std::vector<Member>& members() const { return members_; }
+
+  // Typed lookups with fallbacks — the idiom for optional spec fields.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key, std::string fallback) const;
+
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+ private:
+  Type type_ = Type::null;
+  bool bool_ = false;
+  bool is_int_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+inline constexpr std::size_t kMaxDepth = 96;
+
+// Escape `raw` for embedding inside a JSON string literal; quotes are NOT
+// added. This is the single escaping implementation shared by every JSON
+// emitter in the tree (obs snapshot/trace/flight included).
+std::string escape(std::string_view raw);
+
+// Shortest decimal form of `v` that parses back bit-identically ("1.5", not
+// "1.5000000000000000"); non-finite values render as "null".
+std::string dump_double(double v);
+
+// Parse one complete JSON document; trailing non-whitespace is an error.
+Expected<Value> parse(std::string_view text);
+
+}  // namespace mm::json

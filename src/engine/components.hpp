@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "marketdata/cleaner.hpp"
 #include "marketdata/symbols.hpp"
 #include "marketdata/types.hpp"
+#include "stats/corr_store.hpp"
 #include "stats/sym_matrix.hpp"
 
 namespace mm::engine {
@@ -101,6 +103,11 @@ struct MasterReport {
   bool degraded = false;
   // Master input ports (== strategy worker indices) whose stream failed.
   std::vector<int> failed_strategies;
+
+  // Per-strategy end-of-day summaries, sorted by strategy_id — the grouped
+  // runs the backtest service fires (K paramsets through one pipeline) need
+  // per-paramset attribution, not just the aggregate above.
+  std::vector<StrategySummary> strategy_summaries;
 };
 
 // --- collectors ---------------------------------------------------------
@@ -116,6 +123,13 @@ dag::NodeFn make_file_collector(std::vector<md::Quote> quotes, std::size_t batch
 dag::NodeFn make_db_collector(std::string tickdb_root, md::Date date,
                               std::size_t batch_size, StageStats* stats = nullptr,
                               double replay_speedup = 0.0);
+// Shared-day variant: streams a day owned elsewhere (the service's DayCache)
+// without copying it per run — N concurrent backtests of one day share one
+// quote vector.
+dag::NodeFn make_shared_collector(std::shared_ptr<const std::vector<md::Quote>> day,
+                                  std::size_t batch_size,
+                                  StageStats* stats = nullptr,
+                                  double replay_speedup = 0.0);
 
 // --- cleaning ------------------------------------------------------------
 dag::NodeFn make_cleaner(std::size_t symbols, md::CleanerConfig config,
@@ -130,10 +144,20 @@ dag::NodeFn make_snapshot_stage(std::size_t symbols, md::Session session,
 
 // --- correlation engine ----------------------------------------------------
 // Emits one CorrFrame per Snapshot on every output port [0, fan_out).
+//
+// With a CorrStore attached the stage memoizes whole days of packed frames
+// under `store_key`: a hit replays the stored buffers verbatim (bit-identical
+// output, no estimation work); a miss computes normally while recording, and
+// publishes only a COMPLETE day (`expected_frames` received) so a
+// fault-aborted run never poisons the cache. The store path requires the
+// single-rank stage (correlation_replicas == 1).
 dag::NodeFn make_correlation_stage(std::size_t symbols, std::int64_t corr_window,
                                    bool need_maronna,
                                    stats::MaronnaConfig maronna_config, int fan_out,
-                                   StageStats* stats = nullptr);
+                                   StageStats* stats = nullptr,
+                                   stats::CorrStore* store = nullptr,
+                                   stats::CorrKey store_key = {},
+                                   std::int64_t expected_frames = 0);
 
 // Multi-rank variant: Fig. 1's "Parallel Correlation Engine" as a dagflow
 // group node. The leader receives snapshots and sends the return vector to

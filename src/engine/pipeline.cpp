@@ -26,7 +26,10 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
   for (const auto& s : config.strategies)
     if (s.ctype != stats::Ctype::pearson) need_maronna = true;
 
-  const auto quotes_in = static_cast<std::uint64_t>(quotes.size());
+  const auto quotes_in = static_cast<std::uint64_t>(
+      config.day != nullptr ? config.day->size() : quotes.size());
+  MM_ASSERT_MSG(config.corr_store == nullptr || config.correlation_replicas == 1,
+                "correlation memoization requires the single-rank stage");
   const int k = static_cast<int>(config.strategies.size());
   const bool clustering = config.cluster_every > 0;
   // Correlation fan-out: one port per strategy, plus the clustering branch.
@@ -42,7 +45,12 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
   dag::Graph graph;
   int node = 0;
   const int collector =
-      config.tickdb_root.empty()
+      config.day != nullptr
+          ? graph.add_node("collector",
+                           make_shared_collector(config.day, config.batch_size,
+                                                 stats[0].get(),
+                                                 config.replay_speedup))
+      : config.tickdb_root.empty()
           ? graph.add_node("collector",
                            make_file_collector(std::move(quotes), config.batch_size,
                                                stats[0].get(), config.replay_speedup))
@@ -66,7 +74,8 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
           : graph.add_node(
                 "correlation",
                 make_correlation_stage(config.symbols, base.corr_window, need_maronna,
-                                       config.maronna, corr_fan_out, stats[3].get()));
+                                       config.maronna, corr_fan_out, stats[3].get(),
+                                       config.corr_store, config.corr_key, smax));
 
   // Optional clustering branch: corr port k -> cluster stage -> snapshot sink.
   std::vector<ClusterSnapshot> cluster_log;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,19 @@ struct PipelineConfig {
   // Optional tickdb source; when empty the in-memory quote vector is used.
   std::string tickdb_root;
   md::Date date{2008, 3, 3};
+  // Optional shared day (takes precedence over both tickdb_root and the
+  // quotes argument): N concurrent runs over one day replay one immutable
+  // quote vector owned by the caller's DayCache instead of copying it.
+  std::shared_ptr<const std::vector<md::Quote>> day;
+
+  // --- correlation memoization --------------------------------------------
+  // When set, the correlation stage memoizes whole days of packed CorrFrames
+  // in `corr_store` under `corr_key`: the first run over a key computes and
+  // publishes, every later run replays bit-identical frames without
+  // re-estimating. Requires correlation_replicas == 1. The caller owns the
+  // key's correctness — it must uniquely identify (data, ∆s, M, estimator).
+  stats::CorrStore* corr_store = nullptr;
+  stats::CorrKey corr_key{};
 
   // --- fault tolerance -----------------------------------------------------
   // Injected faults (tests and chaos drills); default plan is inactive.

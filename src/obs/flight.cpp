@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "obs/prometheus.hpp"
 
@@ -38,26 +39,10 @@ std::string rank_json(std::size_t rank, const RankHealth& h,
 
 }  // namespace
 
+// Kept as the public name the bundle emitters use; the implementation is the
+// tree-wide shared escaper in mm::json.
 std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char ch : text) {
-    const unsigned char c = static_cast<unsigned char>(ch);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          out += format("\\u%04x", c);
-        } else {
-          out.push_back(ch);
-        }
-    }
-  }
-  return out;
+  return json::escape(text);
 }
 
 Expected<std::string> FlightRecorder::dump(

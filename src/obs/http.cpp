@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -17,8 +19,14 @@ namespace {
 const char* reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default: return "Error";
   }
@@ -36,12 +44,89 @@ void send_all(int fd, const std::string& data) {
   }
 }
 
+// Case-insensitive Content-Length lookup inside the raw header block.
+// Returns -1 when absent, -2 when present but unparseable.
+long long content_length(const std::string& headers) {
+  static constexpr const char* kName = "content-length:";
+  static constexpr std::size_t kNameLen = 15;
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::size_t len = eol - pos;
+    if (len > kNameLen) {
+      bool match = true;
+      for (std::size_t i = 0; i < kNameLen; ++i) {
+        if (std::tolower(static_cast<unsigned char>(headers[pos + i])) != kName[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t v = pos + kNameLen;
+        while (v < eol && headers[v] == ' ') ++v;
+        long long value = 0;
+        bool any = false;
+        for (; v < eol; ++v) {
+          const char c = headers[v];
+          if (c < '0' || c > '9') return -2;
+          if (value > (1LL << 40)) return -2;  // absurd; reject before overflow
+          value = value * 10 + (c - '0');
+          any = true;
+        }
+        return any ? value : -2;
+      }
+    }
+    pos = eol + 2;
+  }
+  return -1;
+}
+
 }  // namespace
 
 MetricsServer::~MetricsServer() { stop(); }
 
-void MetricsServer::route(const std::string& path, Handler handler) {
-  routes_[path] = std::move(handler);
+void MetricsServer::route(const std::string& path, Handler handler,
+                          std::vector<std::string> methods) {
+  const auto it = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
+    return !r.is_prefix && r.path == path;
+  });
+  Route r{path, false, std::move(methods), std::move(handler)};
+  if (it != routes_.end())
+    *it = std::move(r);
+  else
+    routes_.push_back(std::move(r));
+}
+
+void MetricsServer::route(const std::string& path, SimpleHandler handler,
+                          std::vector<std::string> methods) {
+  route(
+      path,
+      Handler{[h = std::move(handler)](const HttpRequest&) { return h(); }},
+      std::move(methods));
+}
+
+void MetricsServer::route_prefix(const std::string& prefix, Handler handler,
+                                 std::vector<std::string> methods) {
+  const auto it = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
+    return r.is_prefix && r.path == prefix;
+  });
+  Route r{prefix, true, std::move(methods), std::move(handler)};
+  if (it != routes_.end())
+    *it = std::move(r);
+  else
+    routes_.push_back(std::move(r));
+}
+
+const MetricsServer::Route* MetricsServer::match(const std::string& target) const {
+  for (const auto& r : routes_)
+    if (!r.is_prefix && r.path == target) return &r;
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.is_prefix || target.rfind(r.path, 0) != 0) continue;
+    if (best == nullptr || r.path.size() > best->path.size()) best = &r;
+  }
+  return best;
 }
 
 Status MetricsServer::start(std::uint16_t port) {
@@ -113,44 +198,101 @@ void MetricsServer::handle(int client) const {
   timeout.tv_sec = 2;  // a stalled client must not wedge the listener
   ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
+  const auto reply = [&](HttpResponse resp, const std::string& allow = {}) {
+    std::string head = format("HTTP/1.1 %d %s\r\nContent-Type: %s\r\n",
+                              resp.status, reason_phrase(resp.status),
+                              resp.content_type.c_str());
+    if (!allow.empty()) head += "Allow: " + allow + "\r\n";
+    head += format("Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                   resp.body.size());
+    head += resp.body;
+    send_all(client, head);
+  };
+
   std::string request;
   char buf[2048];
-  while (request.size() < 8192 &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  std::size_t header_end = std::string::npos;
+  while (request.size() < kMaxHeaderBytes) {
+    header_end = request.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
     const ssize_t got = ::recv(client, buf, sizeof(buf), 0);
     if (got <= 0) break;
     request.append(buf, static_cast<std::size_t>(got));
   }
+  // The loop can exit with the terminator arriving in the final chunk.
+  if (header_end == std::string::npos) header_end = request.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    // No terminator: over the cap means oversized headers, under it means the
+    // peer hung up (or timed out) mid-request.
+    reply({request.size() >= kMaxHeaderBytes ? 431 : 400,
+           "text/plain; charset=utf-8",
+           request.size() >= kMaxHeaderBytes ? "headers too large\n"
+                                             : "malformed request\n"});
+    return;
+  }
 
   const std::size_t line_end = request.find("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::string line = request.substr(0, line_end);
   const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.find(' ', sp1 + 1);
-  std::string method, target;
-  if (sp1 != std::string::npos && sp2 != std::string::npos) {
-    method = line.substr(0, sp1);
-    target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0) {
+    reply({400, "text/plain; charset=utf-8", "malformed request\n"});
+    return;
   }
-  if (const std::size_t q = target.find('?'); q != std::string::npos)
-    target.resize(q);
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req.target.empty() || req.target.front() != '/') {
+    reply({400, "text/plain; charset=utf-8", "malformed request\n"});
+    return;
+  }
+  if (const std::size_t q = req.target.find('?'); q != std::string::npos)
+    req.target.resize(q);
 
-  HttpResponse resp;
-  if (method != "GET") {
-    resp = HttpResponse{405, "text/plain; charset=utf-8", "method not allowed\n"};
-  } else if (const auto it = routes_.find(target); it == routes_.end()) {
-    resp = HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
-  } else {
-    resp = it->second();
+  const std::string headers =
+      request.substr(line_end + 2, header_end - line_end - 2);
+  const long long declared = content_length(headers);
+  if (declared == -2) {
+    reply({400, "text/plain; charset=utf-8", "malformed content-length\n"});
+    return;
+  }
+  if (declared > static_cast<long long>(kMaxBodyBytes)) {
+    reply({413, "text/plain; charset=utf-8", "body too large\n"});
+    return;
   }
 
-  std::string head = format(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      resp.status, reason_phrase(resp.status), resp.content_type.c_str(),
-      resp.body.size());
-  head += resp.body;
-  send_all(client, head);
+  req.body = request.substr(header_end + 4);
+  if (declared >= 0) {
+    const std::size_t want = static_cast<std::size_t>(declared);
+    while (req.body.size() < want) {
+      const ssize_t got = ::recv(client, buf, sizeof(buf), 0);
+      if (got <= 0) break;
+      req.body.append(buf, static_cast<std::size_t>(got));
+    }
+    if (req.body.size() < want) {
+      reply({400, "text/plain; charset=utf-8", "truncated body\n"});
+      return;
+    }
+    req.body.resize(want);  // ignore trailing pipelined bytes
+  }
+
+  const Route* route = match(req.target);
+  if (route == nullptr) {
+    reply({404, "text/plain; charset=utf-8", "not found\n"});
+    return;
+  }
+  if (std::find(route->methods.begin(), route->methods.end(), req.method) ==
+      route->methods.end()) {
+    std::string allow;
+    for (const auto& m : route->methods) {
+      if (!allow.empty()) allow += ", ";
+      allow += m;
+    }
+    reply({405, "text/plain; charset=utf-8", "method not allowed\n"}, allow);
+    return;
+  }
+  reply(route->handler(req));
 }
 
 }  // namespace mm::obs

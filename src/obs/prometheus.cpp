@@ -42,6 +42,58 @@ void family_header(std::string& out, const std::string& family,
   out += "# TYPE " + family + " " + type + "\n";
 }
 
+// A raw registry name with an optional embedded label block (see labeled()):
+// `svc.jobs{tenant="a"}` -> base "svc.jobs", labels `tenant="a"`.
+struct NameParts {
+  std::string base;
+  std::string labels;  // inner block, braces stripped; empty when unlabeled
+};
+
+NameParts split_labels(const std::string& raw) {
+  const std::size_t brace = raw.find('{');
+  if (brace == std::string::npos || raw.back() != '}') return {raw, {}};
+  return {raw.substr(0, brace), raw.substr(brace + 1, raw.size() - brace - 2)};
+}
+
+// Accumulates exposition lines grouped by family so that every labeled
+// variant of a family lands under one HELP/TYPE header, in first-seen order —
+// the format requires a family's samples to be contiguous.
+class FamilyWriter {
+ public:
+  // Registers the family on first sight (writing its header) and returns the
+  // body buffer to append sample lines to.
+  std::string& family(const std::string& name, const std::string& raw,
+                      const char* kind, const char* type) {
+    for (auto& f : families_)
+      if (f.name == name) return f.body;
+    families_.push_back({name, {}});
+    family_header(families_.back().body, name, raw, kind, type);
+    return families_.back().body;
+  }
+
+  std::string take() {
+    std::string out;
+    for (auto& f : families_) out += f.body;
+    return out;
+  }
+
+ private:
+  struct Family {
+    std::string name;
+    std::string body;
+  };
+  std::vector<Family> families_;
+};
+
+// `{labels}` / `{labels,extra}` / `{extra}` / `` depending on what's present.
+std::string label_block(const std::string& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra + "}";
+  return out;
+}
+
 }  // namespace
 
 std::string prom_name(const std::string& raw) {
@@ -69,46 +121,66 @@ std::string prom_label_escape(const std::string& value) {
   return out;
 }
 
+std::string labeled(const std::string& name,
+                    std::initializer_list<std::pair<std::string, std::string>> labels) {
+  if (labels.size() == 0) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += prom_name(key) + "=\"" + prom_label_escape(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 std::string prom_render(const Snapshot& snap, const std::string& prefix) {
-  std::string out;
+  FamilyWriter out;
   for (const auto& m : snap.metrics) {
-    const std::string base = prom_name(prefix + m.name);
+    const NameParts parts = split_labels(m.name);
+    const std::string base = prom_name(prefix + parts.base);
+    const std::string at = label_block(parts.labels);
     switch (m.kind) {
       case MetricKind::counter: {
         const std::string family = base + "_total";
-        family_header(out, family, m.name, "counter", "counter");
-        out += family + " " + num(static_cast<double>(m.value)) + "\n";
+        out.family(family, parts.base, "counter", "counter") +=
+            family + at + " " + num(static_cast<double>(m.value)) + "\n";
         break;
       }
       case MetricKind::gauge: {
-        family_header(out, base, m.name, "gauge", "gauge");
-        out += base + " " + num(static_cast<double>(m.value)) + "\n";
+        out.family(base, parts.base, "gauge", "gauge") +=
+            base + at + " " + num(static_cast<double>(m.value)) + "\n";
         break;
       }
       case MetricKind::histogram: {
-        family_header(out, base, m.name, "histogram", "histogram");
+        std::string& body = out.family(base, parts.base, "histogram", "histogram");
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < m.bounds.size() && i < m.buckets.size(); ++i) {
           cumulative += m.buckets[i];
-          out += base + "_bucket{le=\"" +
-                 num(static_cast<double>(m.bounds[i])) + "\"} " +
-                 format("%llu", static_cast<unsigned long long>(cumulative)) + "\n";
+          body += base + "_bucket" +
+                  label_block(parts.labels, "le=\"" +
+                                                num(static_cast<double>(m.bounds[i])) +
+                                                "\"") +
+                  " " + format("%llu", static_cast<unsigned long long>(cumulative)) +
+                  "\n";
         }
-        out += base + "_bucket{le=\"+Inf\"} " +
-               format("%llu", static_cast<unsigned long long>(m.count)) + "\n";
-        out += base + "_sum " + num(static_cast<double>(m.sum)) + "\n";
-        out += base + "_count " +
-               format("%llu", static_cast<unsigned long long>(m.count)) + "\n";
+        body += base + "_bucket" + label_block(parts.labels, "le=\"+Inf\"") + " " +
+                format("%llu", static_cast<unsigned long long>(m.count)) + "\n";
+        body += base + "_sum" + at + " " + num(static_cast<double>(m.sum)) + "\n";
+        body += base + "_count" + at + " " +
+                format("%llu", static_cast<unsigned long long>(m.count)) + "\n";
         const std::string quantiles = base + "_quantile";
-        family_header(out, quantiles, m.name, "histogram quantiles", "gauge");
+        std::string& qbody =
+            out.family(quantiles, parts.base, "histogram quantiles", "gauge");
         for (const double q : {0.5, 0.95, 0.99})
-          out += quantiles + "{quantile=\"" + num(q) + "\"} " + num(m.quantile(q)) +
-                 "\n";
+          qbody += quantiles + label_block(parts.labels, "quantile=\"" + num(q) + "\"") +
+                   " " + num(m.quantile(q)) + "\n";
         break;
       }
     }
   }
-  return out;
+  return out.take();
 }
 
 std::string prom_render_health(const std::vector<RankHealth>& health,

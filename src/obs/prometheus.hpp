@@ -19,7 +19,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/heartbeat.hpp"
@@ -33,6 +35,20 @@ std::string prom_name(const std::string& raw);
 
 // Label-value escaping: \ -> \\, " -> \", newline -> \n.
 std::string prom_label_escape(const std::string& value);
+
+// Label-embedded metric names. Registry metrics are keyed by one flat string;
+// labels ride inside it using the exposition's own syntax:
+//
+//   labeled("svc.jobs.submitted", {{"tenant", "alice"}})
+//     -> `svc.jobs.submitted{tenant="alice"}`
+//
+// Each distinct label set is its own Counter/Gauge/Histogram (updates stay on
+// the registry's lock-free hot path); prom_render splits the name back into
+// family + label block and merges le/quantile labels for histograms, so the
+// scrape shows one properly labeled family. Snapshot::find takes the full
+// labeled string.
+std::string labeled(const std::string& name,
+                    std::initializer_list<std::pair<std::string, std::string>> labels);
 
 // One full registry snapshot as text exposition. Every family gets HELP and
 // TYPE lines; `prefix` is prepended to every (sanitized) name.

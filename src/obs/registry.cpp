@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json.hpp"
 #include "common/strings.hpp"
 
 namespace mm::obs {
@@ -121,7 +122,10 @@ std::string Snapshot::to_json() const {
     const char* kind = m.kind == MetricKind::counter  ? "counter"
                        : m.kind == MetricKind::gauge  ? "gauge"
                                                       : "histogram";
-    out += format("{\"name\":\"%s\",\"kind\":\"%s\"", m.name.c_str(), kind);
+    // Names can carry a label block ({tenant="x"}) whose quotes must be
+    // escaped for the JSON to stay parseable.
+    out += format("{\"name\":\"%s\",\"kind\":\"%s\"", json::escape(m.name).c_str(),
+                  kind);
     if (m.kind == MetricKind::histogram) {
       out += format(",\"count\":%llu,\"sum\":%lld,\"p50\":%.1f,\"p95\":%.1f,"
                     "\"p99\":%.1f,\"bounds\":[",

@@ -3,23 +3,15 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/json.hpp"
 #include "common/strings.hpp"
 
 namespace mm::obs {
 namespace {
 
-// Minimal JSON string escape for event/process names (names are plain
-// identifiers in practice, but a stray quote must not corrupt the trace).
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;
-    out.push_back(c);
-  }
-  return out;
-}
+// Event/process names are plain identifiers in practice, but a stray quote
+// must not corrupt the trace; use the tree-wide shared JSON escaper.
+std::string escape(const std::string& s) { return json::escape(s); }
 
 Status write_string(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,0 +1,214 @@
+#include "svc/job.hpp"
+
+#include <cstdio>
+
+namespace mm::svc {
+
+std::string JobSpec::universe_key() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "synthetic/%zu/%llu", symbols,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::string JobSpec::day_key() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "synthetic/%zu/%llu/%d", symbols,
+                static_cast<unsigned long long>(seed), day);
+  return buf;
+}
+
+const char* ctype_wire_name(stats::Ctype c) {
+  switch (c) {
+    case stats::Ctype::pearson: return "pearson";
+    case stats::Ctype::maronna: return "maronna";
+    case stats::Ctype::combined: return "combined";
+  }
+  return "?";
+}
+
+Expected<stats::Ctype> ctype_from_wire(const std::string& name) {
+  if (name == "pearson") return stats::Ctype::pearson;
+  if (name == "maronna") return stats::Ctype::maronna;
+  if (name == "combined") return stats::Ctype::combined;
+  return Error(Errc::invalid_argument,
+               "unknown ctype \"" + name + "\" (pearson|maronna|combined)");
+}
+
+namespace {
+
+// The paramset fields a spec may override on ParamGrid::base(). Numeric
+// fields use get_int/get_double with the base value as fallback; `ctype` is
+// a wire string. Anything else in the object is an error.
+Expected<core::StrategyParams> parse_paramset(const json::Value& obj,
+                                              std::size_t index) {
+  const auto err = [index](const std::string& what) {
+    return Error(Errc::invalid_argument,
+                 "paramsets[" + std::to_string(index) + "]: " + what);
+  };
+  if (!obj.is_object()) return err("must be an object");
+
+  static const char* const kKnown[] = {
+      "ctype",        "delta_s",           "min_correlation",
+      "corr_window",  "avg_window",        "divergence_window",
+      "divergence",   "retracement",       "spread_window",
+      "max_holding",  "no_entry_before_close", "stop_loss",
+      "cost_per_share", "lot_size",        "slippage_frac"};
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : kKnown)
+      if (key == k) known = true;
+    if (!known) return err("unknown field \"" + key + "\"");
+  }
+
+  core::StrategyParams p = core::ParamGrid::base();
+  if (const auto* c = obj.find("ctype")) {
+    auto ctype = ctype_from_wire(c->as_string());
+    if (!ctype.has_value()) return err(ctype.error().message);
+    p.ctype = ctype.value();
+  }
+  p.delta_s = obj.get_int("delta_s", p.delta_s);
+  p.min_correlation = obj.get_double("min_correlation", p.min_correlation);
+  p.corr_window = obj.get_int("corr_window", p.corr_window);
+  p.avg_window = obj.get_int("avg_window", p.avg_window);
+  p.divergence_window = obj.get_int("divergence_window", p.divergence_window);
+  p.divergence = obj.get_double("divergence", p.divergence);
+  p.retracement = obj.get_double("retracement", p.retracement);
+  p.spread_window = obj.get_int("spread_window", p.spread_window);
+  p.max_holding = obj.get_int("max_holding", p.max_holding);
+  p.no_entry_before_close =
+      obj.get_int("no_entry_before_close", p.no_entry_before_close);
+  p.stop_loss = obj.get_double("stop_loss", p.stop_loss);
+  p.cost_per_share = obj.get_double("cost_per_share", p.cost_per_share);
+  p.lot_size = obj.get_double("lot_size", p.lot_size);
+  p.slippage_frac = obj.get_double("slippage_frac", p.slippage_frac);
+
+  if (auto valid = p.validate(); !valid.has_value())
+    return err(valid.error().message);
+  return p;
+}
+
+}  // namespace
+
+Expected<JobSpec> parse_job_spec(const std::string& body) {
+  auto doc = json::parse(body);
+  if (!doc.has_value())
+    return Error(Errc::parse_error, "job spec: " + doc.error().message);
+  const json::Value& root = doc.value();
+  if (!root.is_object())
+    return Error(Errc::invalid_argument, "job spec must be a JSON object");
+
+  JobSpec spec;
+  spec.tenant = root.get_string("tenant", "");
+  if (spec.tenant.empty())
+    return Error(Errc::invalid_argument, "job spec needs a non-empty tenant");
+
+  const std::int64_t symbols = root.get_int("symbols", 10);
+  if (symbols < 2 || symbols > 4096)
+    return Error(Errc::invalid_argument, "symbols must be in [2, 4096]");
+  spec.symbols = static_cast<std::size_t>(symbols);
+  spec.seed = static_cast<std::uint64_t>(root.get_int(
+      "seed", static_cast<std::int64_t>(JobSpec{}.seed)));
+  const std::int64_t day = root.get_int("day", 0);
+  if (day < 0 || day > 100000)
+    return Error(Errc::invalid_argument, "day must be in [0, 100000]");
+  spec.day = static_cast<int>(day);
+
+  const json::Value* paramsets = root.find("paramsets");
+  if (paramsets == nullptr || !paramsets->is_array() || paramsets->size() == 0)
+    return Error(Errc::invalid_argument,
+                 "job spec needs a non-empty paramsets array");
+  if (paramsets->size() > 256)
+    return Error(Errc::invalid_argument, "at most 256 paramsets per job");
+  for (std::size_t i = 0; i < paramsets->size(); ++i) {
+    auto p = parse_paramset(paramsets->at(i), i);
+    if (!p.has_value()) return p.error();
+    spec.paramsets.push_back(p.value());
+  }
+  return spec;
+}
+
+json::Value job_spec_json(const JobSpec& spec) {
+  json::Value root = json::Value::object();
+  root.set("tenant", spec.tenant);
+  root.set("symbols", spec.symbols);
+  root.set("seed", static_cast<std::int64_t>(spec.seed));
+  root.set("day", spec.day);
+  json::Value sets = json::Value::array();
+  const core::StrategyParams base = core::ParamGrid::base();
+  for (const auto& p : spec.paramsets) {
+    json::Value obj = json::Value::object();
+    // Emit only the overrides so the round-trip stays readable; parsing
+    // fills the rest from base() again.
+    obj.set("ctype", ctype_wire_name(p.ctype));
+    if (p.delta_s != base.delta_s) obj.set("delta_s", p.delta_s);
+    if (p.min_correlation != base.min_correlation)
+      obj.set("min_correlation", p.min_correlation);
+    if (p.corr_window != base.corr_window) obj.set("corr_window", p.corr_window);
+    if (p.avg_window != base.avg_window) obj.set("avg_window", p.avg_window);
+    if (p.divergence_window != base.divergence_window)
+      obj.set("divergence_window", p.divergence_window);
+    if (p.divergence != base.divergence) obj.set("divergence", p.divergence);
+    if (p.retracement != base.retracement) obj.set("retracement", p.retracement);
+    if (p.spread_window != base.spread_window)
+      obj.set("spread_window", p.spread_window);
+    if (p.max_holding != base.max_holding) obj.set("max_holding", p.max_holding);
+    if (p.no_entry_before_close != base.no_entry_before_close)
+      obj.set("no_entry_before_close", p.no_entry_before_close);
+    if (p.stop_loss != base.stop_loss) obj.set("stop_loss", p.stop_loss);
+    if (p.cost_per_share != base.cost_per_share)
+      obj.set("cost_per_share", p.cost_per_share);
+    if (p.lot_size != base.lot_size) obj.set("lot_size", p.lot_size);
+    if (p.slippage_frac != base.slippage_frac)
+      obj.set("slippage_frac", p.slippage_frac);
+    sets.push(std::move(obj));
+  }
+  root.set("paramsets", std::move(sets));
+  return root;
+}
+
+json::Value job_status_json(const Job& job) {
+  json::Value root = json::Value::object();
+  root.set("id", job.id);
+  root.set("tenant", job.spec.tenant);
+  const JobState state = job.state.load(std::memory_order_acquire);
+  root.set("state", to_string(state));
+  root.set("paramsets", job.spec.paramsets.size());
+  root.set("units_total", job.units_total);
+  root.set("units_done", job.units_done.load(std::memory_order_relaxed));
+  if (state == JobState::failed) {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    root.set("error", job.error);
+  }
+  return root;
+}
+
+json::Value job_result_json(const Job& job) {
+  std::lock_guard<std::mutex> lock(job.mutex);
+  const JobResult& r = job.result;
+  json::Value root = json::Value::object();
+  root.set("id", job.id);
+  root.set("tenant", job.spec.tenant);
+  root.set("orders", static_cast<std::int64_t>(r.orders));
+  root.set("trades", static_cast<std::int64_t>(r.trades));
+  root.set("wall_seconds", r.wall_seconds);
+  root.set("units", r.units);
+  root.set("units_from_cache", r.units_from_cache);
+  json::Value sets = json::Value::array();
+  for (const auto& p : r.paramsets) {
+    json::Value obj = json::Value::object();
+    obj.set("index", p.index);
+    obj.set("ctype", ctype_wire_name(job.spec.paramsets[p.index].ctype));
+    obj.set("trades", static_cast<std::int64_t>(p.trades));
+    obj.set("total_pnl", p.total_pnl);
+    json::Value returns = json::Value::array();
+    for (const double tr : p.trade_returns) returns.push(tr);
+    obj.set("trade_returns", std::move(returns));
+    sets.push(std::move(obj));
+  }
+  root.set("paramsets", std::move(sets));
+  return root;
+}
+
+}  // namespace mm::svc

@@ -1,0 +1,86 @@
+#include "svc/queue.hpp"
+
+namespace mm::svc {
+
+bool JobQueue::push(std::shared_ptr<Job> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
+    lanes_[job->spec.tenant].jobs.push_back(std::move(job));
+    ++queued_;
+  }
+  ready_cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<Job> JobQueue::take() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [&] { return shutdown_ || queued_ > 0; });
+  if (shutdown_) return nullptr;
+
+  // Fair share: fewest running first, then least recently served. Lanes are
+  // few (one per tenant), so a linear scan beats maintaining a heap.
+  Lane* best = nullptr;
+  for (auto& [tenant, lane] : lanes_) {
+    (void)tenant;
+    if (lane.jobs.empty()) continue;
+    if (best == nullptr || lane.running < best->running ||
+        (lane.running == best->running && lane.last_served < best->last_served))
+      best = &lane;
+  }
+  MM_ASSERT(best != nullptr);
+  std::shared_ptr<Job> job = std::move(best->jobs.front());
+  best->jobs.pop_front();
+  --queued_;
+  ++best->running;
+  best->last_served = ++serve_clock_;
+  return job;
+}
+
+void JobQueue::finished(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = lanes_.find(tenant);
+  MM_ASSERT(it != lanes_.end() && it->second.running > 0);
+  --it->second.running;
+}
+
+bool JobQueue::remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [tenant, lane] : lanes_) {
+    (void)tenant;
+    for (auto it = lane.jobs.begin(); it != lane.jobs.end(); ++it) {
+      if ((*it)->id != id) continue;
+      lane.jobs.erase(it);
+      --queued_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Job>> out;
+  for (auto& [tenant, lane] : lanes_) {
+    (void)tenant;
+    for (auto& job : lane.jobs) out.push_back(std::move(job));
+    lane.jobs.clear();
+  }
+  queued_ = 0;
+  return out;
+}
+
+std::size_t JobQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+}  // namespace mm::svc

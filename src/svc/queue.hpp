@@ -1,0 +1,66 @@
+// Multi-tenant job queue with fair-share admission.
+//
+// Jobs wait in per-tenant FIFO lanes. take() picks the next job from the
+// tenant with the FEWEST jobs currently running, breaking ties by who was
+// served least recently — so one tenant posting 100 jobs cannot starve a
+// tenant posting 1, while a lone tenant still gets the whole pool. The
+// scheduler reports completions via finished() to keep the running counts
+// honest.
+//
+// shutdown() wakes every blocked take() with nullptr; drain() then hands the
+// still-queued jobs back so the scheduler can mark them cancelled — nothing
+// is silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace mm::svc {
+
+class JobQueue {
+ public:
+  // Enqueue; rejects (returns false) after shutdown().
+  bool push(std::shared_ptr<Job> job);
+
+  // Next job under fair share; blocks while empty. Returns nullptr once
+  // shutdown() is called. The job's tenant is counted running until
+  // finished().
+  std::shared_ptr<Job> take();
+
+  // Decrement the tenant's running count (call once per successful take()).
+  void finished(const std::string& tenant);
+
+  // Remove a still-queued job by id (DELETE /jobs/{id} on a queued job).
+  // False when the job is not in the queue (already taken or unknown).
+  bool remove(const std::string& id);
+
+  void shutdown();
+  // Post-shutdown: hand back everything still queued, emptying the lanes.
+  std::vector<std::shared_ptr<Job>> drain();
+
+  std::size_t queued() const;
+
+ private:
+  struct Lane {
+    std::deque<std::shared_ptr<Job>> jobs;
+    int running = 0;
+    std::uint64_t last_served = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::map<std::string, Lane> lanes_;
+  std::uint64_t serve_clock_ = 0;
+  std::size_t queued_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mm::svc

@@ -1,0 +1,62 @@
+#include "svc/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace mm::svc {
+
+Scheduler::Scheduler(JobQueue* queue, RunFn run, int workers)
+    : queue_(queue), run_(std::move(run)), workers_(workers) {
+  MM_ASSERT_MSG(queue_ != nullptr && run_ != nullptr && workers_ >= 1,
+                "scheduler needs a queue, a runner and >= 1 worker");
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::start() {
+  MM_ASSERT_MSG(!started_, "scheduler started twice");
+  started_ = true;
+  current_.resize(static_cast<std::size_t>(workers_));
+  threads_.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(static_cast<std::size_t>(w)); });
+}
+
+void Scheduler::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  // Close the queue first so no worker picks up new work, then flag every
+  // in-flight job; runners observe the bit at their next unit boundary.
+  queue_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(current_mutex_);
+    for (const auto& job : current_)
+      if (job != nullptr) job->cancel.store(true, std::memory_order_release);
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+
+  // Everything still queued never ran; mark it terminal so waiters and the
+  // REST surface see a consistent story after shutdown.
+  for (const auto& job : queue_->drain())
+    job->state.store(JobState::cancelled, std::memory_order_release);
+}
+
+void Scheduler::worker_loop(std::size_t slot) {
+  for (;;) {
+    std::shared_ptr<Job> job = queue_->take();
+    if (job == nullptr) return;  // shutdown
+    {
+      std::lock_guard<std::mutex> lock(current_mutex_);
+      current_[slot] = job;
+    }
+    run_(job);
+    {
+      std::lock_guard<std::mutex> lock(current_mutex_);
+      current_[slot] = nullptr;
+    }
+    queue_->finished(job->spec.tenant);
+  }
+}
+
+}  // namespace mm::svc

@@ -1,0 +1,55 @@
+// Bounded worker pool over the JobQueue.
+//
+// `workers` threads loop take() -> run(job) -> finished(). stop() is
+// DETERMINISTIC: it closes the queue, flags every in-flight job's cancel
+// bit (honored by the runner at unit boundaries), joins every worker, and
+// marks the still-queued jobs cancelled. No thread outlives stop(); no job
+// is left in a non-terminal state. A second stop() is a no-op.
+//
+// The runner owns state transitions queued -> running -> done/failed; the
+// scheduler only sets `cancelled` for jobs it never handed to a runner.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/queue.hpp"
+
+namespace mm::svc {
+
+class Scheduler {
+ public:
+  // Runs one job to a terminal state; must honor job->cancel between units.
+  using RunFn = std::function<void(const std::shared_ptr<Job>&)>;
+
+  Scheduler(JobQueue* queue, RunFn run, int workers);
+  ~Scheduler();  // calls stop()
+
+  void start();
+  void stop();
+
+  int workers() const { return workers_; }
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+ private:
+  void worker_loop(std::size_t slot);
+
+  JobQueue* const queue_;
+  const RunFn run_;
+  const int workers_;
+
+  std::vector<std::thread> threads_;
+  // Per-worker in-flight job, so stop() can flag cancellation. Guarded by
+  // current_mutex_; slots are nulled when a job finishes.
+  std::mutex current_mutex_;
+  std::vector<std::shared_ptr<Job>> current_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace mm::svc

@@ -1,0 +1,368 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "engine/pipeline.hpp"
+#include "marketdata/generator.hpp"
+#include "obs/prometheus.hpp"
+
+namespace mm::svc {
+
+namespace {
+
+// Split a spec's paramsets into pipeline units: groups sharing (∆s, M), in
+// first-appearance order, members in spec order. One unit = one run_pipeline
+// call whose correlation stream is memoized per (day, universe, ∆s, M,
+// estimator class).
+std::vector<std::vector<std::size_t>> unit_groups(const JobSpec& spec) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+  for (std::size_t i = 0; i < spec.paramsets.size(); ++i) {
+    const auto key = std::make_pair(spec.paramsets[i].delta_s,
+                                    spec.paramsets[i].corr_window);
+    std::size_t g = 0;
+    for (; g < keys.size(); ++g)
+      if (keys[g] == key) break;
+    if (g == keys.size()) {
+      keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
+  return groups;
+}
+
+std::string estimator_class(const JobSpec& spec,
+                            const std::vector<std::size_t>& group) {
+  for (const std::size_t i : group)
+    if (spec.paramsets[i].ctype != stats::Ctype::pearson)
+      return "pearson+maronna";
+  return "pearson";
+}
+
+Status validate_spec(const JobSpec& spec) {
+  if (spec.tenant.empty())
+    return Error(Errc::invalid_argument, "job spec needs a non-empty tenant");
+  if (spec.symbols < 2 || spec.symbols > 4096)
+    return Error(Errc::invalid_argument, "symbols must be in [2, 4096]");
+  if (spec.paramsets.empty() || spec.paramsets.size() > 256)
+    return Error(Errc::invalid_argument, "paramsets must have 1..256 entries");
+  for (const auto& p : spec.paramsets)
+    if (auto valid = p.validate(); !valid.has_value()) return valid.error();
+  return {};
+}
+
+obs::HttpResponse json_response(int status, const json::Value& body) {
+  return {status, "application/json", body.dump()};
+}
+
+obs::HttpResponse error_response(int status, const std::string& message) {
+  json::Value body = json::Value::object();
+  body.set("error", message);
+  return json_response(status, body);
+}
+
+}  // namespace
+
+BacktestService::BacktestService(ServiceConfig config)
+    : config_(config),
+      day_cache_(
+          [this](const std::string& key) -> Expected<std::vector<md::Quote>> {
+            // Key format is JobSpec::day_key(): synthetic/<n>/<seed>/<day>.
+            std::size_t symbols = 0;
+            unsigned long long seed = 0;
+            int day = 0;
+            if (std::sscanf(key.c_str(), "synthetic/%zu/%llu/%d", &symbols,
+                            &seed, &day) != 3)
+              return Error(Errc::invalid_argument, "bad day key: " + key);
+            const auto universe = universe_for(symbols);
+            md::GeneratorConfig generator;
+            generator.seed = seed;
+            if (config_.quote_rate > 0.0) generator.quote_rate = config_.quote_rate;
+            const md::SyntheticDay synthetic(*universe, generator, day);
+            return synthetic.quotes();
+          },
+          config.day_cache_bytes, &registry_),
+      corr_store_(config.corr_store_bytes, &registry_),
+      scheduler_(&queue_, [this](const std::shared_ptr<Job>& job) { run_job(job); },
+                 config.workers) {
+  wire_routes();
+}
+
+BacktestService::~BacktestService() { stop(); }
+
+Status BacktestService::start() {
+  MM_ASSERT_MSG(!started_, "service started twice");
+  auto status = server_.start(config_.port);
+  if (!status.has_value()) return status;
+  scheduler_.start();
+  started_ = true;
+  return {};
+}
+
+void BacktestService::stop() {
+  if (!started_) return;
+  started_ = false;
+  server_.stop();
+  scheduler_.stop();
+}
+
+Expected<std::string> BacktestService::submit(JobSpec spec) {
+  if (auto valid = validate_spec(spec); !valid.has_value())
+    return valid.error();
+
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->units_total = static_cast<int>(unit_groups(job->spec).size());
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "job-%llu",
+                  static_cast<unsigned long long>(++next_id_));
+    job->id = buf;
+    jobs_[job->id] = job;
+  }
+  registry_
+      .counter(obs::labeled("svc.jobs_submitted", {{"tenant", job->spec.tenant}}))
+      .add();
+  if (!queue_.push(job)) {
+    job->state.store(JobState::cancelled, std::memory_order_release);
+    return Error(Errc::shutdown, "service is stopping");
+  }
+  return job->id;
+}
+
+std::shared_ptr<Job> BacktestService::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(id);
+  return it != jobs_.end() ? it->second : nullptr;
+}
+
+bool BacktestService::wait(const std::string& id, std::int64_t timeout_ms) const {
+  const auto job = find(id);
+  if (job == nullptr) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const JobState state = job->state.load(std::memory_order_acquire);
+    if (state == JobState::done || state == JobState::failed ||
+        state == JobState::cancelled)
+      return true;
+    if (timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+bool BacktestService::cancel(const std::string& id) {
+  const auto job = find(id);
+  if (job == nullptr) return false;
+  const JobState state = job->state.load(std::memory_order_acquire);
+  if (state == JobState::done || state == JobState::failed ||
+      state == JobState::cancelled)
+    return false;
+  if (queue_.remove(id)) {
+    // Still queued: cancel immediately (it will never run).
+    job->state.store(JobState::cancelled, std::memory_order_release);
+  } else {
+    // Running (or about to): the runner honors the bit at the next unit
+    // boundary and sets the terminal state itself.
+    job->cancel.store(true, std::memory_order_release);
+  }
+  registry_
+      .counter(obs::labeled("svc.jobs_cancelled", {{"tenant", job->spec.tenant}}))
+      .add();
+  return true;
+}
+
+std::vector<std::shared_ptr<Job>> BacktestService::jobs() const {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  std::vector<std::shared_ptr<Job>> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    out.push_back(job);
+  }
+  return out;
+}
+
+std::string BacktestService::render_metrics() const {
+  return obs::prom_render(registry_.snapshot());
+}
+
+std::shared_ptr<const md::Universe> BacktestService::universe_for(
+    std::size_t symbols) {
+  std::lock_guard<std::mutex> lock(universes_mutex_);
+  auto& slot = universes_[symbols];
+  if (slot == nullptr)
+    slot = std::make_shared<const md::Universe>(md::make_universe(symbols));
+  return slot;
+}
+
+void BacktestService::run_job(const std::shared_ptr<Job>& job) {
+  const std::string& tenant = job->spec.tenant;
+  if (job->cancel.load(std::memory_order_acquire)) {
+    job->state.store(JobState::cancelled, std::memory_order_release);
+    return;
+  }
+  job->state.store(JobState::running, std::memory_order_release);
+  registry_.gauge("svc.jobs_running").add(1);
+
+  const auto fail = [&](const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(job->mutex);
+      job->error = message;
+    }
+    job->state.store(JobState::failed, std::memory_order_release);
+    registry_.counter(obs::labeled("svc.jobs_failed", {{"tenant", tenant}})).add();
+    registry_.gauge("svc.jobs_running").add(-1);
+  };
+
+  const auto groups = unit_groups(job->spec);
+  JobResult result;
+  result.units = static_cast<int>(groups.size());
+
+  for (const auto& group : groups) {
+    if (job->cancel.load(std::memory_order_acquire)) {
+      job->state.store(JobState::cancelled, std::memory_order_release);
+      registry_.gauge("svc.jobs_running").add(-1);
+      return;
+    }
+
+    auto day = day_cache_.get(job->spec.day_key());
+    if (!day.has_value()) return fail("day load: " + day.error().message);
+    const auto universe = universe_for(job->spec.symbols);
+
+    stats::CorrKey key;
+    key.universe = job->spec.universe_key();
+    key.date = job->spec.day;
+    key.delta_s = job->spec.paramsets[group.front()].delta_s;
+    key.window = job->spec.paramsets[group.front()].corr_window;
+    key.estimator = estimator_class(job->spec, group);
+    if (corr_store_.peek(key) != nullptr) ++result.units_from_cache;
+
+    engine::PipelineConfig config;
+    config.symbols = job->spec.symbols;
+    for (const std::size_t i : group)
+      config.strategies.push_back(job->spec.paramsets[i]);
+    config.batch_size = config_.batch_size;
+    config.channel_capacity = config_.channel_capacity;
+    config.day = day.value();
+    config.corr_store = &corr_store_;
+    config.corr_key = key;
+    config.metrics = &registry_;
+
+    const engine::PipelineResult run =
+        engine::run_pipeline(config, *universe, {});
+    if (run.degraded) {
+      std::string nodes;
+      for (const auto& status : run.faults) nodes += " " + status.name;
+      return fail("pipeline degraded:" + nodes);
+    }
+
+    // Master sorts summaries by strategy_id == position within this unit's
+    // strategy list, which is `group` order.
+    MM_ASSERT(run.master.strategy_summaries.size() == group.size());
+    for (std::size_t w = 0; w < group.size(); ++w) {
+      const auto& summary = run.master.strategy_summaries[w];
+      ParamOutcome outcome;
+      outcome.index = group[static_cast<std::size_t>(summary.strategy_id)];
+      outcome.trades = summary.trades;
+      outcome.total_pnl = summary.total_pnl;
+      outcome.trade_returns = summary.trade_returns;
+      result.paramsets.push_back(std::move(outcome));
+    }
+    result.orders += run.master.orders;
+    result.trades += run.master.trades;
+    result.wall_seconds += run.wall_seconds;
+
+    job->units_done.fetch_add(1, std::memory_order_relaxed);
+    registry_.counter(obs::labeled("svc.units_done", {{"tenant", tenant}})).add();
+    registry_.counter(obs::labeled("svc.trades", {{"tenant", tenant}}))
+        .add(run.master.trades);
+  }
+
+  std::sort(result.paramsets.begin(), result.paramsets.end(),
+            [](const ParamOutcome& a, const ParamOutcome& b) {
+              return a.index < b.index;
+            });
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->result = std::move(result);
+  }
+  job->state.store(JobState::done, std::memory_order_release);
+  registry_.counter(obs::labeled("svc.jobs_done", {{"tenant", tenant}})).add();
+  registry_.gauge("svc.jobs_running").add(-1);
+}
+
+void BacktestService::wire_routes() {
+  server_.route("/healthz", []() { return obs::HttpResponse{200, "text/plain", "ok\n"}; });
+  server_.route("/metrics", [this]() {
+    return obs::HttpResponse{200, "text/plain; version=0.0.4", render_metrics()};
+  });
+
+  server_.route(
+      "/jobs",
+      [this](const obs::HttpRequest& req) -> obs::HttpResponse {
+        if (req.method == "POST") {
+          auto spec = parse_job_spec(req.body);
+          if (!spec.has_value()) return error_response(400, spec.error().message);
+          auto id = submit(std::move(spec.value()));
+          if (!id.has_value()) return error_response(503, id.error().message);
+          json::Value body = json::Value::object();
+          body.set("id", id.value());
+          body.set("state", "queued");
+          return json_response(201, body);
+        }
+        // GET: list.
+        json::Value list = json::Value::array();
+        for (const auto& job : jobs()) {
+          json::Value row = json::Value::object();
+          row.set("id", job->id);
+          row.set("tenant", job->spec.tenant);
+          row.set("state", to_string(job->state.load(std::memory_order_acquire)));
+          list.push(std::move(row));
+        }
+        json::Value body = json::Value::object();
+        body.set("jobs", std::move(list));
+        return json_response(200, body);
+      },
+      {"GET", "POST"});
+
+  server_.route_prefix(
+      "/jobs/",
+      [this](const obs::HttpRequest& req) -> obs::HttpResponse {
+        // /jobs/{id} or /jobs/{id}/result
+        std::string rest = req.target.substr(std::string("/jobs/").size());
+        bool want_result = false;
+        if (const auto slash = rest.find('/'); slash != std::string::npos) {
+          if (rest.substr(slash) != "/result") return error_response(404, "no such route");
+          want_result = true;
+          rest.resize(slash);
+        }
+        const auto job = find(rest);
+        if (job == nullptr) return error_response(404, "no such job: " + rest);
+
+        if (req.method == "DELETE") {
+          if (want_result) return error_response(404, "no such route");
+          if (!cancel(job->id))
+            return error_response(409, "job already terminal");
+          return json_response(202, job_status_json(*job));
+        }
+        if (want_result) {
+          const JobState state = job->state.load(std::memory_order_acquire);
+          if (state != JobState::done)
+            return error_response(
+                409, std::string("job is ") + to_string(state) + ", not done");
+          return json_response(200, job_result_json(*job));
+        }
+        return json_response(200, job_status_json(*job));
+      },
+      {"GET", "DELETE"});
+}
+
+}  // namespace mm::svc

@@ -1,0 +1,328 @@
+// CorrStore: the memoized correlation plane under src/svc.
+//
+// Three properties carry the backtest service's correctness:
+//   1. compute-once — N concurrent acquirers of one key produce exactly one
+//      compute (counter-asserted, including across an owner abandon);
+//   2. bit-identity — a pipeline served from the store produces a master
+//      report identical to a cold run (orders, PnL bits, trade returns);
+//   3. bounded residency — eviction respects the byte budget in LRU order
+//      without invalidating in-flight replays.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "engine/pipeline.hpp"
+#include "marketdata/generator.hpp"
+#include "stats/corr_store.hpp"
+
+namespace mm::stats {
+namespace {
+
+CorrKey key_of(const char* universe, std::int32_t date) {
+  CorrKey k;
+  k.universe = universe;
+  k.date = date;
+  k.delta_s = 15;
+  k.window = 30;
+  k.estimator = "pearson";
+  return k;
+}
+
+CorrDay day_of(std::size_t frames, std::size_t frame_bytes, std::uint8_t fill) {
+  CorrDay day;
+  day.frames.assign(frames, std::vector<std::uint8_t>(frame_bytes, fill));
+  return day;
+}
+
+TEST(CorrKey, CacheKeyIsCanonicalAndDiscriminates) {
+  const CorrKey a = key_of("synthetic/6/0", 20080303);
+  EXPECT_EQ(a.cache_key(), "u=synthetic/6/0|d=20080303|s=15|w=30|e=pearson");
+  CorrKey b = a;
+  b.window = 31;
+  CorrKey c = a;
+  c.estimator = "pearson+maronna";
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  EXPECT_NE(a.cache_key(), c.cache_key());
+  EXPECT_EQ(a.cache_key(), key_of("synthetic/6/0", 20080303).cache_key());
+}
+
+TEST(CorrStore, MissThenPublishThenHit) {
+  CorrStore store;
+  const CorrKey key = key_of("u", 1);
+
+  {
+    auto lease = store.acquire(key);
+    EXPECT_TRUE(lease.owner());
+    EXPECT_FALSE(lease.hit());
+    lease.publish(day_of(4, 100, 7));
+  }
+  EXPECT_EQ(store.entries(), 1u);
+  EXPECT_GT(store.bytes(), 4u * 100u);
+
+  auto lease = store.acquire(key);
+  EXPECT_FALSE(lease.owner());
+  ASSERT_TRUE(lease.hit());
+  ASSERT_EQ(lease.data()->frames.size(), 4u);
+  EXPECT_EQ(lease.data()->frames[0][0], 7);
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.computes, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.waits, 0u);
+  EXPECT_NE(store.peek(key), nullptr);
+  EXPECT_EQ(store.peek(key_of("u", 2)), nullptr);
+}
+
+TEST(CorrStore, ConcurrentSameKeyComputesExactlyOnce) {
+  CorrStore store;
+  const CorrKey key = key_of("shared", 20080303);
+  constexpr int kThreads = 8;
+
+  std::atomic<int> computes{0};
+  std::atomic<int> ready{0};
+  std::vector<const CorrDay*> seen(kThreads, nullptr);
+  std::vector<std::shared_ptr<const CorrDay>> held(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      auto lease = store.acquire(key);
+      if (lease.owner()) {
+        computes.fetch_add(1);
+        // Hold the once-flag long enough that the other threads pile up.
+        std::this_thread::sleep_for(std::chrono::milliseconds{20});
+        lease.publish(day_of(8, 64, 3));
+        held[t] = store.peek(key);
+      } else {
+        held[t] = lease.data();
+      }
+      seen[t] = held[t].get();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.computes, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.abandons, 0u);
+  // Everyone ended up with the SAME published day (pointer-identical).
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[t], nullptr) << "thread " << t;
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+}
+
+TEST(CorrStore, AbandonHandsOwnershipToAWaiter) {
+  CorrStore store;
+  const CorrKey key = key_of("flaky", 1);
+
+  std::atomic<bool> first_owner_holding{false};
+  std::thread flaky([&] {
+    auto lease = store.acquire(key);
+    ASSERT_TRUE(lease.owner());
+    first_owner_holding.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    // Destroyed without publish: the aborted run must not publish a
+    // truncated day — ownership hands off to the blocked waiter below.
+  });
+  while (!first_owner_holding.load()) std::this_thread::yield();
+
+  auto lease = store.acquire(key);  // blocks until the abandon
+  flaky.join();
+  ASSERT_TRUE(lease.owner());
+  lease.publish(day_of(2, 16, 9));
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.abandons, 1u);
+  EXPECT_EQ(stats.computes, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // both owners took the miss path
+  EXPECT_GE(stats.waits, 1u);
+  ASSERT_NE(store.peek(key), nullptr);
+  EXPECT_EQ(store.peek(key)->frames.size(), 2u);
+}
+
+TEST(CorrStore, EvictionRespectsByteBudgetInLruOrder) {
+  // Each day ≈ 4 frames x 1000 bytes; a ~10 KiB budget holds two days.
+  CorrStore store(/*byte_budget=*/10'000);
+  const CorrKey a = key_of("u", 1), b = key_of("u", 2), c = key_of("u", 3);
+
+  store.acquire(a).publish(day_of(4, 1000, 1));
+  store.acquire(b).publish(day_of(4, 1000, 2));
+  EXPECT_EQ(store.entries(), 2u);
+
+  // Keep an in-flight replay of A alive, then touch A so B is the LRU victim.
+  const auto held_a = store.peek(a);
+  ASSERT_NE(held_a, nullptr);
+  { auto touch = store.acquire(a); }
+  store.acquire(c).publish(day_of(4, 1000, 3));
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(store.entries(), 2u);
+  EXPECT_LE(store.bytes(), 10'000u);
+  EXPECT_NE(store.peek(a), nullptr);
+  EXPECT_EQ(store.peek(b), nullptr);  // LRU victim
+  EXPECT_NE(store.peek(c), nullptr);
+
+  // The evicted-or-not distinction never touches in-flight readers.
+  EXPECT_EQ(held_a->frames[0][0], 1);
+
+  // An oversized single day still publishes (never evict the newest).
+  store.acquire(key_of("u", 4)).publish(day_of(4, 100'000, 4));
+  EXPECT_NE(store.peek(key_of("u", 4)), nullptr);
+}
+
+// --- engine integration: memoized replay is bit-identical -------------------
+
+struct Scenario {
+  md::Universe universe;
+  std::vector<md::Quote> quotes;
+};
+
+Scenario make_scenario(std::size_t symbols, int day) {
+  Scenario s{md::make_universe(symbols), {}};
+  md::GeneratorConfig cfg;
+  cfg.quote_rate = 0.15;
+  const md::SyntheticDay synth(s.universe, cfg, day);
+  s.quotes = synth.quotes();
+  return s;
+}
+
+engine::PipelineConfig pipeline_config(std::size_t symbols) {
+  engine::PipelineConfig cfg;
+  cfg.symbols = symbols;
+  core::StrategyParams p = core::ParamGrid::base();
+  p.ctype = stats::Ctype::pearson;
+  p.divergence = 0.0005;
+  core::StrategyParams q = p;
+  q.divergence = 0.001;
+  cfg.strategies = {p, q};
+  return cfg;
+}
+
+bool bits_equal(double x, double y) {
+  return std::memcmp(&x, &y, sizeof(double)) == 0;
+}
+
+// Arrival order at the master interleaves the strategy workers' threads, so
+// the raw order_log is a race even between two identical runs; compare the
+// canonically sorted multiset instead. Per-strategy streams (the summaries)
+// ARE deterministic and compare bit-for-bit.
+std::vector<engine::Order> canonical_orders(const engine::MasterReport& r) {
+  std::vector<engine::Order> orders = r.order_log;
+  std::sort(orders.begin(), orders.end(),
+            [](const engine::Order& a, const engine::Order& b) {
+              if (a.interval != b.interval) return a.interval < b.interval;
+              if (a.strategy_id != b.strategy_id)
+                return a.strategy_id < b.strategy_id;
+              if (a.symbol_i != b.symbol_i) return a.symbol_i < b.symbol_i;
+              if (a.symbol_j != b.symbol_j) return a.symbol_j < b.symbol_j;
+              return a.is_entry > b.is_entry;
+            });
+  return orders;
+}
+
+void expect_identical_reports(const engine::MasterReport& a,
+                              const engine::MasterReport& b) {
+  EXPECT_EQ(a.orders, b.orders);
+  EXPECT_EQ(a.trades, b.trades);
+
+  const auto oa = canonical_orders(a);
+  const auto ob = canonical_orders(b);
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa[i].interval, ob[i].interval);
+    EXPECT_EQ(oa[i].strategy_id, ob[i].strategy_id);
+    EXPECT_EQ(oa[i].symbol_i, ob[i].symbol_i);
+    EXPECT_EQ(oa[i].symbol_j, ob[i].symbol_j);
+    // Bit-level equality, not tolerance: the replayed frames are the same
+    // bytes, so every downstream double must match exactly.
+    EXPECT_TRUE(bits_equal(oa[i].shares_i, ob[i].shares_i)) << "order " << i;
+    EXPECT_TRUE(bits_equal(oa[i].shares_j, ob[i].shares_j)) << "order " << i;
+    EXPECT_TRUE(bits_equal(oa[i].price_i, ob[i].price_i)) << "order " << i;
+    EXPECT_TRUE(bits_equal(oa[i].price_j, ob[i].price_j)) << "order " << i;
+  }
+
+  ASSERT_EQ(a.strategy_summaries.size(), b.strategy_summaries.size());
+  for (std::size_t i = 0; i < a.strategy_summaries.size(); ++i) {
+    const auto& sa = a.strategy_summaries[i];
+    const auto& sb = b.strategy_summaries[i];
+    EXPECT_EQ(sa.strategy_id, sb.strategy_id);
+    EXPECT_EQ(sa.trades, sb.trades);
+    EXPECT_TRUE(bits_equal(sa.total_pnl, sb.total_pnl)) << "strategy " << i;
+    ASSERT_EQ(sa.trade_returns.size(), sb.trade_returns.size());
+    for (std::size_t k = 0; k < sa.trade_returns.size(); ++k)
+      EXPECT_TRUE(bits_equal(sa.trade_returns[k], sb.trade_returns[k]))
+          << "strategy " << i << " trade " << k;
+  }
+  EXPECT_DOUBLE_EQ(a.total_pnl, b.total_pnl);
+}
+
+TEST(CorrStorePipeline, MemoizedReplayIsBitIdenticalToColdRun) {
+  const auto scenario = make_scenario(6, 2);
+  const CorrKey key = key_of("synthetic/6/2", 20080303);
+
+  // Cold run without any store: the reference.
+  auto cfg = pipeline_config(6);
+  const auto reference = engine::run_pipeline(cfg, scenario.universe,
+                                              scenario.quotes);
+  ASSERT_GT(reference.master.trades, 0u);
+  ASSERT_EQ(reference.master.strategy_summaries.size(), 2u);
+
+  CorrStore store;
+  cfg.corr_store = &store;
+  cfg.corr_key = key;
+
+  // First store-backed run computes and publishes...
+  const auto first = engine::run_pipeline(cfg, scenario.universe, scenario.quotes);
+  EXPECT_EQ(store.stats().computes, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+  expect_identical_reports(reference.master, first.master);
+
+  // ...the second replays without re-estimating.
+  const auto second = engine::run_pipeline(cfg, scenario.universe, scenario.quotes);
+  EXPECT_EQ(store.stats().computes, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+  expect_identical_reports(reference.master, second.master);
+}
+
+TEST(CorrStorePipeline, ConcurrentPipelinesShareOneCompute) {
+  const auto scenario = make_scenario(5, 3);
+  const CorrKey key = key_of("synthetic/5/3", 20080303);
+  CorrStore store;
+
+  constexpr int kRuns = 3;
+  std::vector<engine::PipelineResult> results(kRuns);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRuns; ++r) {
+    threads.emplace_back([&, r] {
+      auto cfg = pipeline_config(5);
+      cfg.corr_store = &store;
+      cfg.corr_key = key;
+      results[static_cast<std::size_t>(r)] =
+          engine::run_pipeline(cfg, scenario.universe, scenario.quotes);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.computes, 1u) << "day computed more than once";
+  EXPECT_EQ(stats.misses, 1u);
+  // Every run resolved to the one published day: one miss, the rest hits
+  // (possibly after a wait).
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kRuns));
+  for (int r = 1; r < kRuns; ++r)
+    expect_identical_reports(results[0].master,
+                             results[static_cast<std::size_t>(r)].master);
+}
+
+}  // namespace
+}  // namespace mm::stats

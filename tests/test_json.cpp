@@ -1,0 +1,187 @@
+// mm::json — the tree's single JSON parse/serialize implementation.
+//
+// The tests lean on round-trips: a value that travels Value -> dump() ->
+// parse() must come back structurally identical, and doubles must come back
+// BIT-identical (dump_double emits the shortest string that reparses to the
+// same bits — that is what lets svc job specs travel over HTTP without
+// perturbing backtest results).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+
+namespace mm::json {
+namespace {
+
+Value must_parse(const std::string& text) {
+  Expected<Value> parsed = parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text << " -> " << parsed.error().message;
+  return parsed.has_value() ? std::move(parsed.value()) : Value{};
+}
+
+TEST(JsonEscape, HandlesQuotesBackslashesAndControlBytes) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("line\nfeed\ttab\rret"), "line\\nfeed\\ttab\\rret");
+  EXPECT_EQ(escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(escape("\b\f"), "\\b\\f");
+}
+
+TEST(JsonEscape, EscapedStringsReparseByteForByte) {
+  const std::string hostile = "q\"b\\n\nt\tc\x01 end";
+  const Value v = must_parse("\"" + escape(hostile) + "\"");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), hostile);
+}
+
+TEST(JsonDumpDouble, ShortestFormRoundTripsBitIdentically) {
+  for (const double d : {0.1, 1.0 / 3.0, 2.5, -0.0007, 1e300, 5e-324,
+                         3.141592653589793, 123456789.123456789}) {
+    const std::string text = dump_double(d);
+    const Value v = must_parse(text);
+    ASSERT_TRUE(v.is_number());
+    const double back = v.as_double();
+    std::uint64_t d_bits = 0, back_bits = 0;
+    std::memcpy(&d_bits, &d, sizeof(d_bits));
+    std::memcpy(&back_bits, &back, sizeof(back_bits));
+    EXPECT_EQ(d_bits, back_bits) << text;
+  }
+  EXPECT_EQ(dump_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(dump_double(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonParse, ScalarsAndTypePredicates) {
+  EXPECT_TRUE(must_parse("null").is_null());
+  EXPECT_TRUE(must_parse("true").as_bool());
+  EXPECT_FALSE(must_parse("false").as_bool(true));
+  const Value i = must_parse("-42");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.as_int(), -42);
+  const Value d = must_parse("2.75");
+  EXPECT_TRUE(d.is_number());
+  EXPECT_FALSE(d.is_int());
+  EXPECT_DOUBLE_EQ(d.as_double(), 2.75);
+  EXPECT_EQ(must_parse("\"s\"").as_string(), "s");
+  // Exponent forms are numbers even when integral-looking.
+  EXPECT_DOUBLE_EQ(must_parse("1e3").as_double(), 1000.0);
+}
+
+TEST(JsonParse, UnicodeEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(must_parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(must_parse("\"\\u00e9\"").as_string(), "\xc3\xa9");        // é
+  EXPECT_EQ(must_parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");    // €
+  EXPECT_EQ(must_parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");  // 😀 via surrogate pair
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "01", "1.2.3",
+        "{\"a\":1,}", "[1 2]", "nul", "\"bad\\q\"", "\"\\ud83d\"", "{1:2}"}) {
+    EXPECT_FALSE(parse(bad).has_value()) << "accepted: " << bad;
+  }
+  // Trailing garbage after a complete document is an error.
+  EXPECT_FALSE(parse("{} trailing").has_value());
+  EXPECT_FALSE(parse("1}").has_value());
+  // But trailing whitespace is fine.
+  EXPECT_TRUE(parse("  {\"a\": 1}  \n").has_value());
+}
+
+TEST(JsonParse, DepthCapStopsHostileNesting) {
+  std::string deep;
+  for (std::size_t i = 0; i < kMaxDepth + 8; ++i) deep += "[";
+  EXPECT_FALSE(parse(deep).has_value());
+  std::string ok;
+  for (std::size_t i = 0; i < 8; ++i) ok += "[";
+  for (std::size_t i = 0; i < 8; ++i) ok += "]";
+  EXPECT_TRUE(parse(ok).has_value());
+}
+
+TEST(JsonValue, ObjectsPreserveInsertionOrderAndAssignInPlace) {
+  Value obj = Value::object();
+  obj.set("zulu", 1);
+  obj.set("alpha", 2);
+  obj.set("mike", 3);
+  obj.set("zulu", 9);  // assign must not move the key to the back
+  ASSERT_EQ(obj.members().size(), 3u);
+  EXPECT_EQ(obj.members()[0].first, "zulu");
+  EXPECT_EQ(obj.members()[1].first, "alpha");
+  EXPECT_EQ(obj.members()[2].first, "mike");
+  EXPECT_EQ(obj.get_int("zulu", -1), 9);
+  EXPECT_EQ(obj.dump(), "{\"zulu\":9,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(JsonValue, TypedLookupsFallBackOnMissingOrMistyped) {
+  Value obj = Value::object();
+  obj.set("n", 7);
+  obj.set("d", 1.5);
+  obj.set("s", "text");
+  obj.set("b", true);
+  EXPECT_EQ(obj.get_int("n", -1), 7);
+  EXPECT_DOUBLE_EQ(obj.get_double("d", -1.0), 1.5);
+  EXPECT_EQ(obj.get_string("s", "fb"), "text");
+  EXPECT_TRUE(obj.get_bool("b", false));
+  EXPECT_EQ(obj.get_int("missing", -1), -1);
+  EXPECT_EQ(obj.get_int("s", -1), -1);  // mistyped -> fallback
+  EXPECT_EQ(obj.get_string("n", "fb"), "fb");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  // at() past the end returns the null sentinel, not UB.
+  Value arr = Value::array();
+  arr.push(1);
+  EXPECT_TRUE(arr.at(5).is_null());
+}
+
+TEST(JsonRoundTrip, NestedDocumentSurvivesDumpAndReparse) {
+  Value spec = Value::object();
+  spec.set("tenant", "alice");
+  spec.set("date", 20070103);
+  spec.set("days", 2);
+  Value params = Value::array();
+  for (int i = 0; i < 3; ++i) {
+    Value p = Value::object();
+    p.set("divergence", 0.0005 * (i + 1));
+    p.set("window", std::int64_t{390});
+    p.set("ctype", i == 0 ? "pearson" : "maronna");
+    p.set("active", i % 2 == 0);
+    params.push(std::move(p));
+  }
+  spec.set("paramsets", std::move(params));
+  spec.set("note", "quotes \" and \\ and \n survive");
+
+  const std::string text = spec.dump();
+  const Value back = must_parse(text);
+  ASSERT_TRUE(back.is_object());
+  EXPECT_EQ(back.get_string("tenant", ""), "alice");
+  EXPECT_EQ(back.get_int("date", 0), 20070103);
+  const Value* ps = back.find("paramsets");
+  ASSERT_NE(ps, nullptr);
+  ASSERT_EQ(ps->size(), 3u);
+  EXPECT_EQ(ps->at(0).get_string("ctype", ""), "pearson");
+  EXPECT_DOUBLE_EQ(ps->at(2).get_double("divergence", 0.0), 0.0015);
+  EXPECT_TRUE(ps->at(0).get_bool("active", false));
+  EXPECT_FALSE(ps->at(1).get_bool("active", true));
+  EXPECT_EQ(back.get_string("note", ""), "quotes \" and \\ and \n survive");
+  // Serialization is deterministic: a second trip emits the same bytes.
+  EXPECT_EQ(must_parse(text).dump(), text);
+}
+
+TEST(JsonRoundTrip, Int64ExtremesKeepExactness) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t small = std::numeric_limits<std::int64_t>::min();
+  Value obj = Value::object();
+  obj.set("hi", big);
+  obj.set("lo", small);
+  const Value back = must_parse(obj.dump());
+  EXPECT_EQ(back.get_int("hi", 0), big);
+  EXPECT_EQ(back.get_int("lo", 0), small);
+  EXPECT_TRUE(back.find("hi")->is_int());
+}
+
+}  // namespace
+}  // namespace mm::json

@@ -302,6 +302,73 @@ TEST(PromRender, QuantileSeriesMatchInterpolatedQuantiles) {
   EXPECT_DOUBLE_EQ(p99->value, 198.0);
 }
 
+TEST(PromRender, LabeledNamesSplitIntoFamiliesWithContiguousSamples) {
+  EXPECT_EQ(labeled("svc.jobs.submitted", {{"tenant", "alice"}}),
+            "svc.jobs.submitted{tenant=\"alice\"}");
+  EXPECT_EQ(labeled("svc.jobs", {{"tenant", "a\"b"}, {"kind", "full"}}),
+            "svc.jobs{tenant=\"a\\\"b\",kind=\"full\"}");
+  EXPECT_EQ(labeled("plain", {}), "plain");
+
+  Snapshot snap;
+  // Two tenants of one counter family, interleaved with an unrelated gauge —
+  // a snapshot is name-sorted, so the page must regroup by family.
+  for (const char* tenant : {"alice", "bob"}) {
+    MetricValue c;
+    c.name = labeled("svc.jobs.submitted", {{"tenant", tenant}});
+    c.kind = MetricKind::counter;
+    c.value = tenant[0] == 'a' ? 3 : 7;
+    snap.metrics.push_back(c);
+  }
+  MetricValue g;
+  g.name = labeled("svc.jobs.running", {{"tenant", "alice"}});
+  g.kind = MetricKind::gauge;
+  g.value = 2;
+  snap.metrics.push_back(g);
+  MetricValue h;
+  h.name = labeled("svc.job.wall_ns", {{"tenant", "bob"}});
+  h.kind = MetricKind::histogram;
+  h.bounds = {100, 200};
+  h.buckets = {4, 4, 0};
+  h.count = 8;
+  h.sum = 1000;
+  snap.metrics.push_back(h);
+
+  const std::string text = prom_render(snap);
+  const PromPage page = must_parse(text);
+
+  const PromSample* alice =
+      page.find("mm_svc_jobs_submitted_total", "tenant", "alice");
+  const PromSample* bob = page.find("mm_svc_jobs_submitted_total", "tenant", "bob");
+  ASSERT_NE(alice, nullptr);
+  ASSERT_NE(bob, nullptr);
+  EXPECT_DOUBLE_EQ(alice->value, 3.0);
+  EXPECT_DOUBLE_EQ(bob->value, 7.0);
+  // One header for the family, both tenants beneath it.
+  EXPECT_EQ(page.types.at("mm_svc_jobs_submitted_total"), "counter");
+  EXPECT_EQ(text.find("# TYPE mm_svc_jobs_submitted_total"),
+            text.rfind("# TYPE mm_svc_jobs_submitted_total"));
+
+  const PromSample* running = page.find("mm_svc_jobs_running", "tenant", "alice");
+  ASSERT_NE(running, nullptr);
+  EXPECT_DOUBLE_EQ(running->value, 2.0);
+
+  // Histogram children keep the tenant label and merge le/quantile labels.
+  int buckets = 0;
+  for (const auto& s : page.samples) {
+    if (s.name != "mm_svc_job_wall_ns_bucket") continue;
+    ++buckets;
+    EXPECT_EQ(s.labels.at("tenant"), "bob");
+    ASSERT_TRUE(s.labels.count("le"));
+  }
+  EXPECT_EQ(buckets, 3);  // two bounds + +Inf
+  const PromSample* count = page.find("mm_svc_job_wall_ns_count", "tenant", "bob");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 8.0);
+  const PromSample* q = page.find("mm_svc_job_wall_ns_quantile", "quantile", "0.5");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->labels.at("tenant"), "bob");
+}
+
 TEST(PromRender, HealthPageRoundTripsHostileNodeLabels) {
   std::vector<RankHealth> health(2);
   health[0].state = Liveness::up;
