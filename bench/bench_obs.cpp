@@ -110,6 +110,47 @@ void BM_SpanTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanTraced);
 
+void BM_SpanWithContext(benchmark::State& state) {
+  // What a traced send pays on top of BM_SpanTraced: allocate a flow id,
+  // stamp the envelope header from the thread context, and emit the
+  // flow-start next to the span (mirrors mpmini's internal_send path).
+  TraceSink sink(1u << 20);
+  TraceRing& ring = sink.ring(0, "bench");
+  TraceRingScope ring_scope(&ring);
+  TraceContextScope context_scope(make_trace_context(next_trace_id()));
+  for (auto _ : state) {
+    const TraceContext context = current_trace_context();
+    std::uint64_t header_trace_id = 0;
+    std::uint32_t header_flow = 0;
+    if (context.valid()) {
+#if MM_OBS_ENABLED
+      header_trace_id = context.trace_id;
+#endif
+      header_flow = next_span_id();
+    }
+    benchmark::DoNotOptimize(header_trace_id);
+    const std::int64_t t0 = now_ns();
+    ring.flow_start("msg", t0, header_flow);
+    ring.complete("send", t0, now_ns() - t0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanWithContext);
+
+void BM_EnvelopeHeaderIdle(benchmark::State& state) {
+  // The per-message cost tracing adds to the transport hot path when it is
+  // compiled in but NOT active (no ring installed): one thread-local address
+  // computation plus a branch. This is the number the pingpong p50 budget
+  // (< 5% regression, BENCH_mpmini.json) rides on.
+  for (auto _ : state) {
+    ThreadTrace& tt = thread_trace();
+    bool traced = tt.ring != nullptr && tt.context.valid();
+    benchmark::DoNotOptimize(traced);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnvelopeHeaderIdle);
+
 void BM_RegistrySnapshot(benchmark::State& state) {
   // Cold-side cost: aggregate a realistically sized registry.
   Registry registry;

@@ -57,6 +57,9 @@ int main(int argc, char** argv) {
   obs::TraceSink trace;
   cfg.metrics = &metrics;
   cfg.trace = &trace;
+  // Root causal context: every send inherits it, so the whole day stitches
+  // into one trace with cross-rank flow arrows instead of per-rank rows.
+  cfg.trace_context = obs::make_trace_context(obs::next_trace_id());
 
   const auto result = engine::run_pipeline(cfg, universe, day.quotes());
 
@@ -76,9 +79,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace write failed: %s\n", status.error().message.c_str());
     return 1;
   }
-  std::printf("\ntrace: %llu events (%llu dropped) -> %s\n",
+  std::printf("\ntrace: %llu events (%llu dropped, %llu cross-rank stitches) -> %s\n",
               static_cast<unsigned long long>(trace.total_events()),
               static_cast<unsigned long long>(trace.total_dropped()),
+              static_cast<unsigned long long>(trace.total_flow_finishes()),
               trace_path.c_str());
   std::printf("open chrome://tracing or https://ui.perfetto.dev and load the file\n");
   return 0;

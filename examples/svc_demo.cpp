@@ -12,8 +12,11 @@
 //
 // --smoke runs the CI scenario instead: two tenants POST the same sweep over
 // one shared day, the process asserts the correlation plane computed each
-// key exactly once and that both tenants' results agree number-for-number,
-// prints one SVC_SMOKE_OK line, and exits 0 (non-zero on any violation).
+// key exactly once, that both tenants' results agree number-for-number, that
+// each result carries the queue/cache/compute/exchange latency breakdown,
+// and that GET /jobs/{id}/trace serves a job-scoped Perfetto trace with
+// cross-rank flow events stitching send->recv spans; prints one SVC_SMOKE_OK
+// line and exits 0 (non-zero on any violation).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -109,11 +112,19 @@ int run_smoke() {
       std::fprintf(stderr, "smoke: GET result failed for %s\n", tenants[t]);
       return 1;
     }
-    // Strip the tenant-specific fields; what remains must match exactly.
+    // Every result must attribute its latency across the four stages.
+    const mm::json::Value* latency = doc.value().find("latency");
+    if (latency == nullptr || !latency->is_array() || latency->size() != 4) {
+      std::fprintf(stderr, "smoke: result for %s lacks the latency breakdown\n",
+                   tenants[t]);
+      return 1;
+    }
+    // Strip the tenant- and run-specific fields (ids, wall clock, cache luck,
+    // per-run latency); what remains must match exactly.
     mm::json::Value stripped = mm::json::Value::object();
     for (const auto& [key, value] : doc.value().members())
       if (key != "id" && key != "tenant" && key != "wall_seconds" &&
-          key != "units_from_cache")
+          key != "units_from_cache" && key != "trace_id" && key != "latency")
         stripped.set(key, value);
     results[t] = stripped.dump();
   }
@@ -121,6 +132,37 @@ int run_smoke() {
     std::fprintf(stderr, "smoke: tenants' results diverged\n%s\n%s\n",
                  results[0].c_str(), results[1].c_str());
     return 1;
+  }
+
+  // Job-scoped traces: each job's trace endpoint serves its own sink —
+  // tagged with its own job id — and (when telemetry is compiled in) the
+  // stitched trace must contain cross-rank flow events linking send spans to
+  // recv spans.
+  std::uint64_t flow_pairs = 0;
+  for (int t = 0; t < 2; ++t) {
+    const std::string trace = body_of(http_exchange(
+        port, "GET /jobs/" + ids[t] + "/trace HTTP/1.1\r\nHost: x\r\n\r\n"));
+    if (trace.find("\"traceEvents\"") == std::string::npos) {
+      std::fprintf(stderr, "smoke: GET trace failed for %s\n", tenants[t]);
+      return 1;
+    }
+#if MM_OBS_ENABLED
+    const std::string own_tag = "\"job\":\"" + ids[t] + "\"";
+    const std::string other_tag = "\"job\":\"" + ids[1 - t] + "\"";
+    if (trace.find(own_tag) == std::string::npos ||
+        trace.find(other_tag) != std::string::npos) {
+      std::fprintf(stderr, "smoke: trace for %s is not job-scoped\n",
+                   ids[t].c_str());
+      return 1;
+    }
+    if (trace.find("\"ph\":\"s\"") == std::string::npos ||
+        trace.find("\"ph\":\"f\"") == std::string::npos) {
+      std::fprintf(stderr, "smoke: trace for %s has no cross-rank flow events\n",
+                   ids[t].c_str());
+      return 1;
+    }
+    ++flow_pairs;
+#endif
   }
 
   const auto store = service.corr_store().stats();
@@ -139,10 +181,12 @@ int run_smoke() {
     return 1;
   }
   std::printf(
-      "SVC_SMOKE_OK tenants=2 corr_computes=%llu corr_hits=%llu day_loads=%llu\n",
+      "SVC_SMOKE_OK tenants=2 corr_computes=%llu corr_hits=%llu day_loads=%llu "
+      "stitched_traces=%llu\n",
       static_cast<unsigned long long>(store.computes),
       static_cast<unsigned long long>(store.hits),
-      static_cast<unsigned long long>(days.misses));
+      static_cast<unsigned long long>(days.misses),
+      static_cast<unsigned long long>(flow_pairs));
   return 0;
 }
 

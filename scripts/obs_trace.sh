@@ -25,6 +25,17 @@ cmake --build "$build_dir" -j --target obs_demo live_pipeline
 
 echo "--- 1/3: obs_demo trace -> $out"
 "$build_dir/examples/obs_demo" --trace "$out"
+# The trace must be causally stitched: flow-start ("ph":"s") events on the
+# sending ranks and matching flow-finish ("ph":"f") events on the receiving
+# ranks, i.e. cross-rank send->recv arrows in Perfetto, not N disconnected
+# rank timelines. (An OFF build writes an event-less trace; skip then.)
+if grep -q '"ph":"X"' "$out"; then
+  grep -q '"cat":"flow","ph":"s"' "$out" ||
+    { echo "FAIL: trace has no cross-rank flow starts"; exit 1; }
+  grep -q '"cat":"flow","ph":"f"' "$out" ||
+    { echo "FAIL: trace has no cross-rank flow finishes"; exit 1; }
+  echo "trace stitched: $(grep -o '"ph":"f"' "$out" | wc -l) flow finishes"
+fi
 
 # Raw-bash HTTP GET (no curl dependency): /dev/tcp + a one-shot request.
 scrape() { # scrape <port> <path>

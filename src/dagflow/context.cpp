@@ -99,7 +99,14 @@ bool Context::pump(std::chrono::steady_clock::time_point deadline) {
       }
       MM_ASSERT_MSG(kind == kind_data, "dagflow: unknown frame kind");
       payload.erase(payload.begin());
-      ready_.push_back({in.port, std::move(payload)});
+      InMessage frame{in.port, std::move(payload)};
+#if MM_OBS_ENABLED
+      // Buffer the frame's causal context alongside its bytes: the frame may
+      // sit in ready_ behind others, and the context must be installed when
+      // the node consumes it, not when the transport happened to deliver it.
+      frame.trace = obs::make_trace_context(status.trace_id, status.flow);
+#endif
+      ready_.push_back(std::move(frame));
       // Credit the producer as soon as the frame is buffered, not when the
       // node consumes it. Any ALIVE node keeps pumping — recv() pumps, and a
       // blocked emit() pumps while it waits — so producers starve of credits
@@ -143,6 +150,11 @@ std::optional<InMessage> Context::recv() {
   ready_.pop_front();
   ++messages_in_;
   if (frames_in_ != nullptr) frames_in_->add(1);
+  // Node code inherits the causality of the frame that woke it: from here
+  // until the next recv(), every send this thread makes carries this frame's
+  // trace id. Installed unconditionally so an untraced frame cannot ride a
+  // stale context from its predecessor.
+  obs::set_trace_context(msg.trace);
   return msg;
 }
 

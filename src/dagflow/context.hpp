@@ -20,6 +20,11 @@ struct Edge;
 struct InMessage {
   int port = 0;
   std::vector<std::uint8_t> bytes;
+  // Causal context the frame arrived with (invalid when untraced). recv()
+  // installs it as the consuming thread's current context, so node code —
+  // and every send it makes — inherits the causality of the frame that woke
+  // it. Field-free when MM_OBS_ENABLED=OFF.
+  obs::TraceContext trace{};
 };
 
 class Context {

@@ -141,6 +141,11 @@ RunResult Graph::run(const RunOptions& options) {
             options.metrics != nullptr
                 ? &options.metrics->histogram("dag." + spec.name + ".wall_ns")
                 : nullptr;
+        // Causal propagation: this rank thread writes spans to its own ring,
+        // and starts from the caller's root context (source nodes send with
+        // it; consuming a frame re-points the context at that frame's).
+        obs::TraceRingScope ring_scope(ring);
+        obs::TraceContextScope context_scope(options.trace_context);
 
         try {
           // Private group communicator per node (collective over the world).

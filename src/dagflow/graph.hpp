@@ -101,6 +101,12 @@ struct RunOptions {
   // HeartbeatMonitor watches for silence; see obs/heartbeat.hpp.
   obs::HeartbeatBoard* heartbeat = nullptr;
   std::chrono::nanoseconds heartbeat_interval{std::chrono::milliseconds{100}};
+  // Root causal context installed on every rank thread for the run: source
+  // nodes (no inputs) send with it, so the whole run stitches into one trace.
+  // Nodes with inputs re-adopt the context of each frame they consume.
+  // Invalid (the default) means sends are untraced until a frame says
+  // otherwise. Field-free no-op when MM_OBS_ENABLED=OFF.
+  obs::TraceContext trace_context{};
 };
 
 class Graph {

@@ -135,6 +135,7 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
   options.pump_timeout = config.stage_deadline;
   options.metrics = metrics;
   options.trace = config.trace;
+  options.trace_context = config.trace_context;
   options.heartbeat = live.board();
   options.heartbeat_interval = live.heartbeat_interval();
 

@@ -78,6 +78,11 @@ struct PipelineConfig {
   // returned in PipelineResult::metrics; pass your own to accumulate across
   // days (run_pipeline_session does not reset it between days).
   obs::Registry* metrics = nullptr;
+  // Root causal context for the run: with a valid context (and a trace sink)
+  // every frame the collector emits carries it, spans link across ranks via
+  // flow events, and the whole day stitches into one Perfetto trace. The
+  // service plane sets this to the job's trace id.
+  obs::TraceContext trace_context{};
   // Optional trace sink: one ring per rank, one named row per node. Drain
   // with TraceSink::write_file after the run for chrome://tracing/Perfetto.
   obs::TraceSink* trace = nullptr;

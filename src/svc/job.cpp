@@ -1,8 +1,31 @@
 #include "svc/job.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mm::svc {
+
+StageLatency summarize_stage(std::string stage,
+                             std::vector<std::int64_t> samples_ns) {
+  StageLatency out;
+  out.stage = std::move(stage);
+  if (samples_ns.empty()) return out;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  out.count = samples_ns.size();
+  for (const std::int64_t s : samples_ns) out.total_ns += s;
+  // Nearest-rank: the smallest sample with at least q of the mass at or
+  // below it — exact over the job's own samples, no interpolation.
+  const auto rank = [&](double q) {
+    const auto n = static_cast<double>(samples_ns.size());
+    auto i = static_cast<std::size_t>(q * n + 0.999999);
+    if (i > 0) --i;
+    return samples_ns[std::min(i, samples_ns.size() - 1)];
+  };
+  out.p50_ns = rank(0.50);
+  out.p95_ns = rank(0.95);
+  out.p99_ns = rank(0.99);
+  return out;
+}
 
 std::string JobSpec::universe_key() const {
   char buf[64];
@@ -177,6 +200,8 @@ json::Value job_status_json(const Job& job) {
   root.set("paramsets", job.spec.paramsets.size());
   root.set("units_total", job.units_total);
   root.set("units_done", job.units_done.load(std::memory_order_relaxed));
+  if (job.trace_id != 0)
+    root.set("trace_id", static_cast<std::int64_t>(job.trace_id));
   if (state == JobState::failed) {
     std::lock_guard<std::mutex> lock(job.mutex);
     root.set("error", job.error);
@@ -195,6 +220,22 @@ json::Value job_result_json(const Job& job) {
   root.set("wall_seconds", r.wall_seconds);
   root.set("units", r.units);
   root.set("units_from_cache", r.units_from_cache);
+  if (job.trace_id != 0)
+    root.set("trace_id", static_cast<std::int64_t>(job.trace_id));
+  if (!r.latency.empty()) {
+    json::Value stages = json::Value::array();
+    for (const auto& stage : r.latency) {
+      json::Value obj = json::Value::object();
+      obj.set("stage", stage.stage);
+      obj.set("count", static_cast<std::int64_t>(stage.count));
+      obj.set("total_ns", stage.total_ns);
+      obj.set("p50_ns", stage.p50_ns);
+      obj.set("p95_ns", stage.p95_ns);
+      obj.set("p99_ns", stage.p99_ns);
+      stages.push(std::move(obj));
+    }
+    root.set("latency", std::move(stages));
+  }
   json::Value sets = json::Value::array();
   for (const auto& p : r.paramsets) {
     json::Value obj = json::Value::object();

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "core/params.hpp"
+#include "obs/trace.hpp"
 
 namespace mm::svc {
 
@@ -72,6 +74,22 @@ struct ParamOutcome {
   std::vector<double> trade_returns;
 };
 
+// Latency attribution for one stage of a job's life: exact quantiles over
+// this job's own samples (queue has one sample; cache/compute/exchange have
+// one per unit). Plain steady-clock timing, so the breakdown survives
+// MM_OBS_ENABLED=OFF builds.
+struct StageLatency {
+  std::string stage;  // "queue" | "cache" | "compute" | "exchange"
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t p50_ns = 0;
+  std::int64_t p95_ns = 0;
+  std::int64_t p99_ns = 0;
+};
+
+// Nearest-rank quantile summary of `samples_ns` (consumed; empty -> zeros).
+StageLatency summarize_stage(std::string stage, std::vector<std::int64_t> samples_ns);
+
 struct JobResult {
   std::vector<ParamOutcome> paramsets;
   std::uint64_t orders = 0;  // across all units
@@ -79,6 +97,9 @@ struct JobResult {
   double wall_seconds = 0.0;
   int units = 0;               // pipeline runs this job was split into
   int units_from_cache = 0;    // units whose correlation day was resident
+  // Where the job's wall time went: queue-wait, day-cache loads, pipeline
+  // compute, transport exchange (credit stalls), in that order.
+  std::vector<StageLatency> latency;
 };
 
 // One tracked job. State transitions: queued -> running -> done|failed, and
@@ -90,6 +111,15 @@ struct Job {
   std::atomic<bool> cancel{false};
   std::atomic<int> units_done{0};
   int units_total = 0;  // set before the job leaves `queued`
+
+  // Causal tracing: the trace id every one of this job's spans and envelope
+  // headers carries (0 when tracing is compiled out), the submission instant
+  // (queue-wait attribution), and the job-scoped sink GET /jobs/{id}/trace
+  // serves once the job is terminal. The sink is written only by the worker
+  // running the job; state release/acquire orders it for readers.
+  std::uint64_t trace_id = 0;
+  std::chrono::steady_clock::time_point submitted{};
+  std::shared_ptr<obs::TraceSink> trace;
 
   // Guards `result` and `error`; readable once state is terminal.
   mutable std::mutex mutex;

@@ -66,6 +66,16 @@ obs::HttpResponse error_response(int status, const std::string& message) {
   return json_response(status, body);
 }
 
+// Trace "process" id for the service-plane worker rings — far above any
+// pipeline rank pid so job/unit/day-cache spans get their own row group.
+constexpr std::int32_t kServicePid = 1 << 20;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 BacktestService::BacktestService(ServiceConfig config)
@@ -118,6 +128,7 @@ Expected<std::string> BacktestService::submit(JobSpec spec) {
   auto job = std::make_shared<Job>();
   job->spec = std::move(spec);
   job->units_total = static_cast<int>(unit_groups(job->spec).size());
+  job->submitted = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     char buf[32];
@@ -125,6 +136,16 @@ Expected<std::string> BacktestService::submit(JobSpec spec) {
                   static_cast<unsigned long long>(++next_id_));
     job->id = buf;
     jobs_[job->id] = job;
+  }
+  if (config_.job_traces) {
+    // One trace per job, allocated at POST: every span and envelope header
+    // the job's units produce carries this id, and the sink is job-scoped so
+    // GET /jobs/{id}/trace returns only this job's events.
+    job->trace_id = obs::next_trace_id();
+    job->trace = std::make_shared<obs::TraceSink>(config_.trace_ring_events);
+    job->trace->set_meta("job", job->id);
+    job->trace->set_meta("tenant", job->spec.tenant);
+    job->trace->set_meta("trace_id", std::to_string(job->trace_id));
   }
   registry_
       .counter(obs::labeled("svc.jobs_submitted", {{"tenant", job->spec.tenant}}))
@@ -209,8 +230,33 @@ void BacktestService::run_job(const std::shared_ptr<Job>& job) {
     job->state.store(JobState::cancelled, std::memory_order_release);
     return;
   }
+  // Queue-wait attribution: submit instant -> this worker picking it up.
+  const std::int64_t queue_wait_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - job->submitted)
+          .count();
   job->state.store(JobState::running, std::memory_order_release);
   registry_.gauge("svc.jobs_running").add(1);
+
+  const auto stage_hist = [&](const char* stage) -> obs::Histogram& {
+    return registry_.histogram(
+        obs::labeled("svc.stage_ns", {{"stage", stage}, {"tenant", tenant}}));
+  };
+  stage_hist("queue").record(queue_wait_ns);
+
+  // Service-plane tracing: this worker thread owns the job end to end, so it
+  // gets its own ring in the job's sink (job/unit/day-cache spans) and runs
+  // under the job's root context. Pipeline ranks write their own rings into
+  // the same sink via PipelineConfig::trace.
+  obs::TraceSink* sink = job->trace.get();
+  obs::TraceRing* ring = nullptr;
+  if (sink != nullptr) {
+    ring = &sink->ring(kServicePid, "service");
+    sink->set_thread_name(kServicePid, 0, "job-runner");
+  }
+  obs::TraceRingScope ring_scope(ring);
+  obs::TraceContextScope context_scope(obs::make_trace_context(job->trace_id));
+  obs::ObsSpan job_span(ring, "job");
 
   const auto fail = [&](const std::string& message) {
     {
@@ -225,6 +271,10 @@ void BacktestService::run_job(const std::shared_ptr<Job>& job) {
   const auto groups = unit_groups(job->spec);
   JobResult result;
   result.units = static_cast<int>(groups.size());
+  std::vector<std::int64_t> cache_ns, compute_ns, exchange_ns;
+  cache_ns.reserve(groups.size());
+  compute_ns.reserve(groups.size());
+  exchange_ns.reserve(groups.size());
 
   for (const auto& group : groups) {
     if (job->cancel.load(std::memory_order_acquire)) {
@@ -232,8 +282,15 @@ void BacktestService::run_job(const std::shared_ptr<Job>& job) {
       registry_.gauge("svc.jobs_running").add(-1);
       return;
     }
+    obs::ObsSpan unit_span(ring, "unit");
 
-    auto day = day_cache_.get(job->spec.day_key());
+    const std::int64_t cache_t0 = steady_now_ns();
+    Expected<md::DayCache::Day> day = [&] {
+      obs::ObsSpan cache_span(ring, "day-cache");
+      return day_cache_.get(job->spec.day_key());
+    }();
+    cache_ns.push_back(steady_now_ns() - cache_t0);
+    stage_hist("cache").record(cache_ns.back());
     if (!day.has_value()) return fail("day load: " + day.error().message);
     const auto universe = universe_for(job->spec.symbols);
 
@@ -255,9 +312,18 @@ void BacktestService::run_job(const std::shared_ptr<Job>& job) {
     config.corr_store = &corr_store_;
     config.corr_key = key;
     config.metrics = &registry_;
+    config.trace = sink;
+    config.trace_context = obs::make_trace_context(job->trace_id);
 
+    const std::int64_t compute_t0 = steady_now_ns();
     const engine::PipelineResult run =
         engine::run_pipeline(config, *universe, {});
+    compute_ns.push_back(steady_now_ns() - compute_t0);
+    stage_hist("compute").record(compute_ns.back());
+    // Exchange = time the unit's dag nodes spent stalled on transport
+    // credits (the per-run metrics delta sums dag.*.credit_stall_ns).
+    exchange_ns.push_back(run.metrics.counter_suffix_total(".credit_stall_ns"));
+    stage_hist("exchange").record(exchange_ns.back());
     if (run.degraded) {
       std::string nodes;
       for (const auto& status : run.faults) nodes += " " + status.name;
@@ -290,6 +356,10 @@ void BacktestService::run_job(const std::shared_ptr<Job>& job) {
             [](const ParamOutcome& a, const ParamOutcome& b) {
               return a.index < b.index;
             });
+  result.latency.push_back(summarize_stage("queue", {queue_wait_ns}));
+  result.latency.push_back(summarize_stage("cache", std::move(cache_ns)));
+  result.latency.push_back(summarize_stage("compute", std::move(compute_ns)));
+  result.latency.push_back(summarize_stage("exchange", std::move(exchange_ns)));
   {
     std::lock_guard<std::mutex> lock(job->mutex);
     job->result = std::move(result);
@@ -316,6 +386,9 @@ void BacktestService::wire_routes() {
           json::Value body = json::Value::object();
           body.set("id", id.value());
           body.set("state", "queued");
+          if (const auto job = find(id.value());
+              job != nullptr && job->trace_id != 0)
+            body.set("trace_id", static_cast<std::int64_t>(job->trace_id));
           return json_response(201, body);
         }
         // GET: list.
@@ -336,19 +409,25 @@ void BacktestService::wire_routes() {
   server_.route_prefix(
       "/jobs/",
       [this](const obs::HttpRequest& req) -> obs::HttpResponse {
-        // /jobs/{id} or /jobs/{id}/result
+        // /jobs/{id}, /jobs/{id}/result or /jobs/{id}/trace
         std::string rest = req.target.substr(std::string("/jobs/").size());
         bool want_result = false;
+        bool want_trace = false;
         if (const auto slash = rest.find('/'); slash != std::string::npos) {
-          if (rest.substr(slash) != "/result") return error_response(404, "no such route");
-          want_result = true;
+          if (rest.substr(slash) == "/result")
+            want_result = true;
+          else if (rest.substr(slash) == "/trace")
+            want_trace = true;
+          else
+            return error_response(404, "no such route");
           rest.resize(slash);
         }
         const auto job = find(rest);
         if (job == nullptr) return error_response(404, "no such job: " + rest);
 
         if (req.method == "DELETE") {
-          if (want_result) return error_response(404, "no such route");
+          if (want_result || want_trace)
+            return error_response(404, "no such route");
           if (!cancel(job->id))
             return error_response(409, "job already terminal");
           return json_response(202, job_status_json(*job));
@@ -359,6 +438,20 @@ void BacktestService::wire_routes() {
             return error_response(
                 409, std::string("job is ") + to_string(state) + ", not done");
           return json_response(200, job_result_json(*job));
+        }
+        if (want_trace) {
+          // Served only once terminal: the state acquire-load orders this
+          // read after every ring write the job's threads made, so the
+          // serialization never races a live pipeline.
+          const JobState state = job->state.load(std::memory_order_acquire);
+          if (state == JobState::queued || state == JobState::running)
+            return error_response(
+                409, std::string("job is ") + to_string(state) +
+                         "; trace is served once the job is terminal");
+          if (job->trace == nullptr)
+            return error_response(404, "job tracing is disabled");
+          return obs::HttpResponse{200, "application/json",
+                                   job->trace->chrome_json()};
         }
         return json_response(200, job_status_json(*job));
       },
