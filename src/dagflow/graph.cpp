@@ -120,86 +120,93 @@ RunResult Graph::run(const RunOptions& options) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) result.nodes[i].name = nodes_[i].name;
   std::mutex status_mutex;
 
-  mpi::Environment::run(
-      rank_count(),
-      [&](mpi::Comm& comm) {
-        const int node = node_of_rank[static_cast<std::size_t>(comm.rank())];
-        const Node& spec = nodes_[static_cast<std::size_t>(node)];
-        NodeStatus local;           // this rank's observations only
-        std::optional<Context> ctx; // leaders only; built after the split
+  const auto rank_main = [&](mpi::Comm& comm) {
+    const int node = node_of_rank[static_cast<std::size_t>(comm.rank())];
+    const Node& spec = nodes_[static_cast<std::size_t>(node)];
+    NodeStatus local;           // this rank's observations only
+    std::optional<Context> ctx; // leaders only; built after the split
 
-        // Telemetry: this rank's trace ring (pid = rank, tid = node, thread
-        // row named after the node) and the node's wall-time histogram.
-        obs::TraceRing* ring = nullptr;
-        if (options.trace != nullptr) {
-          ring = &options.trace->ring(comm.rank(),
-                                      format("rank %d", comm.rank()));
-          ring->set_tid(node);
-          options.trace->set_thread_name(comm.rank(), node, spec.name);
-        }
-        obs::Histogram* wall =
-            options.metrics != nullptr
-                ? &options.metrics->histogram("dag." + spec.name + ".wall_ns")
-                : nullptr;
-        // Causal propagation: this rank thread writes spans to its own ring,
-        // and starts from the caller's root context (source nodes send with
-        // it; consuming a frame re-points the context at that frame's).
-        obs::TraceRingScope ring_scope(ring);
-        obs::TraceContextScope context_scope(options.trace_context);
+    // Telemetry: this rank's trace ring (pid = rank, tid = node, thread
+    // row named after the node) and the node's wall-time histogram.
+    obs::TraceRing* ring = nullptr;
+    if (options.trace != nullptr) {
+      ring = &options.trace->ring(comm.rank(),
+                                  format("rank %d", comm.rank()));
+      ring->set_tid(node);
+      options.trace->set_thread_name(comm.rank(), node, spec.name);
+    }
+    obs::Histogram* wall =
+        options.metrics != nullptr
+            ? &options.metrics->histogram("dag." + spec.name + ".wall_ns")
+            : nullptr;
+    // Causal propagation: this rank thread writes spans to its own ring,
+    // and starts from the caller's root context (source nodes send with
+    // it; consuming a frame re-points the context at that frame's).
+    obs::TraceRingScope ring_scope(ring);
+    obs::TraceContextScope context_scope(options.trace_context);
 
-        try {
-          // Private group communicator per node (collective over the world).
-          mpi::Comm group = comm.split(node, comm.rank());
-          const bool leader = comm.rank() == leader_rank[static_cast<std::size_t>(node)];
-          if (leader)
-            ctx.emplace(comm, node, spec.name, edges_, leader_rank,
-                        options.pump_timeout, options.metrics, ring);
-          obs::ObsSpan span(ring, "run", wall);
-          if (spec.fn) {
-            MM_ASSERT(leader);  // single-rank nodes have exactly one member
-            spec.fn(*ctx);
-          } else {
-            spec.group_fn(leader ? &*ctx : nullptr, group);
-          }
-        } catch (const std::exception& e) {
-          local.failed = true;
-          local.error = e.what();
-        } catch (...) {
-          local.failed = true;
-          local.error = "unknown exception";
-        }
+    try {
+      // Private group communicator per node (collective over the world).
+      mpi::Comm group = comm.split(node, comm.rank());
+      const bool leader = comm.rank() == leader_rank[static_cast<std::size_t>(node)];
+      if (leader)
+        ctx.emplace(comm, node, spec.name, edges_, leader_rank,
+                    options.pump_timeout, options.metrics, ring);
+      obs::ObsSpan span(ring, "run", wall);
+      if (spec.fn) {
+        MM_ASSERT(leader);  // single-rank nodes have exactly one member
+        spec.fn(*ctx);
+      } else {
+        spec.group_fn(leader ? &*ctx : nullptr, group);
+      }
+    } catch (const std::exception& e) {
+      local.failed = true;
+      local.error = e.what();
+    } catch (...) {
+      local.failed = true;
+      local.error = "unknown exception";
+    }
 
-        if (ctx) {
-          // Teardown runs even for a failed node: poison (or close) whatever
-          // the function left open, then drain remaining input so upstream
-          // emitters blocked on credits can always finish. Guarded, because a
-          // fault-plan kill makes every transport op throw — downstream then
-          // discovers the silence via its pump deadline instead.
-          try {
-            obs::ObsSpan span(ring, "drain");
-            if (local.failed)
-              ctx->fail_all_outputs();
-            else
-              ctx->close_all_outputs();
-            while (ctx->recv()) {
-            }
-          } catch (...) {
-          }
-          local.upstream_failed = ctx->upstream_failed();
-          local.timed_out = ctx->timed_out();
+    if (ctx) {
+      // Teardown runs even for a failed node: poison (or close) whatever
+      // the function left open, then drain remaining input so upstream
+      // emitters blocked on credits can always finish. Guarded, because a
+      // fault-plan kill makes every transport op throw — downstream then
+      // discovers the silence via its pump deadline instead.
+      try {
+        obs::ObsSpan span(ring, "drain");
+        if (local.failed)
+          ctx->fail_all_outputs();
+        else
+          ctx->close_all_outputs();
+        while (ctx->recv()) {
         }
+      } catch (...) {
+      }
+      local.upstream_failed = ctx->upstream_failed();
+      local.timed_out = ctx->timed_out();
+    }
 
-        std::lock_guard<std::mutex> lock(status_mutex);
-        NodeStatus& status = result.nodes[static_cast<std::size_t>(node)];
-        if (local.failed && !status.failed) {
-          status.failed = true;
-          status.error = local.error;
-        }
-        status.upstream_failed = status.upstream_failed || local.upstream_failed;
-        status.timed_out = status.timed_out || local.timed_out;
-      },
-      options.fault, options.metrics, options.heartbeat,
-      options.heartbeat_interval);
+    std::lock_guard<std::mutex> lock(status_mutex);
+    NodeStatus& status = result.nodes[static_cast<std::size_t>(node)];
+    if (local.failed && !status.failed) {
+      status.failed = true;
+      status.error = local.error;
+    }
+    status.upstream_failed = status.upstream_failed || local.upstream_failed;
+    status.timed_out = status.timed_out || local.timed_out;
+  };
+
+  if (options.rendezvous != nullptr) {
+    // One process per rank: run only the local rank here; peer processes run
+    // the same graph with their own rendezvous rank.
+    mpi::Environment::run_rendezvous(*options.rendezvous, rank_count(), rank_main,
+                                     options.fault, options.metrics,
+                                     options.heartbeat, options.heartbeat_interval);
+  } else {
+    mpi::Environment::run(rank_count(), rank_main, options.fault, options.metrics,
+                          options.heartbeat, options.heartbeat_interval);
+  }
 
   return result;
 }

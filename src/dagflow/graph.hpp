@@ -31,6 +31,10 @@
 #include "common/error.hpp"
 #include "mpmini/comm.hpp"
 #include "mpmini/fault.hpp"
+
+namespace mm::mpi {
+struct Rendezvous;  // socket_transport.hpp; used by pointer only
+}  // namespace mm::mpi
 #include "obs/heartbeat.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -107,6 +111,13 @@ struct RunOptions {
   // Invalid (the default) means sends are untraced until a frame says
   // otherwise. Field-free no-op when MM_OBS_ENABLED=OFF.
   obs::TraceContext trace_context{};
+
+  // Multi-process mode: when set, this process runs ONLY rendezvous->rank of
+  // the graph's rank space, meeting the other rank processes over the TCP
+  // socket transport (Environment::run_rendezvous). Every process must run
+  // the same graph. The RunResult reports node statuses observed by LOCAL
+  // ranks only; remote nodes appear as never-started. Must outlive run().
+  const mpi::Rendezvous* rendezvous = nullptr;
 };
 
 class Graph {

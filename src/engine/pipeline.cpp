@@ -138,6 +138,7 @@ PipelineResult run_pipeline(const PipelineConfig& config, const md::Universe& un
   options.trace_context = config.trace_context;
   options.heartbeat = live.board();
   options.heartbeat_interval = live.heartbeat_interval();
+  options.rendezvous = config.rendezvous;
 
   Stopwatch watch;
   const dag::RunResult run_result = graph.run(options);

@@ -94,6 +94,14 @@ struct PipelineConfig {
   // time so the run lasts long enough to scrape mid-day (see components.hpp);
   // 0 streams at full speed.
   double replay_speedup = 0.0;
+
+  // --- multi-process mode --------------------------------------------------
+  // When set, this process runs ONLY rendezvous->rank of the pipeline graph
+  // over the TCP socket transport; peer processes run the same config with
+  // their own ranks (see dag::RunOptions::rendezvous). The PipelineResult
+  // reflects local ranks only — run the master rank's process to get the
+  // report. Must outlive the run.
+  const mpi::Rendezvous* rendezvous = nullptr;
 };
 
 struct StageReport {

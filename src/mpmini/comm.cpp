@@ -17,22 +17,23 @@ inline void bump(obs::Counter* counter, std::uint64_t n = 1) {
 
 }  // namespace
 
-World::World(int size) : World(size, transport_mode()) {}
+World::World(int size)
+    // When the env picks the socket transport, a bare in-process World still
+    // needs working local delivery (Environment builds the socket world
+    // explicitly); fall back to rings for everything the env didn't route.
+    : World(size, transport_mode() == TransportMode::socket ? TransportMode::ring
+                                                            : transport_mode()) {}
 
-World::World(int size, TransportMode mode) : transport_(mode) {
+World::World(int size, TransportMode mode)
+    : World(size, std::make_unique<InProcessTransport>(size, mode)) {}
+
+World::World(int size, std::unique_ptr<Transport> transport)
+    : size_(size), transport_(std::move(transport)) {
   MM_ASSERT_MSG(size > 0, "World size must be positive");
-  mailboxes_.reserve(static_cast<std::size_t>(size));
-  for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
-  if (transport_ == TransportMode::ring)
-    for (auto& mailbox : mailboxes_) mailbox->init_lanes(size);
+  MM_ASSERT(transport_ != nullptr);
   op_counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) op_counts_[static_cast<std::size_t>(i)] = 0;
-}
-
-Mailbox& World::mailbox(int world_rank) {
-  MM_ASSERT(world_rank >= 0 && world_rank < size());
-  return *mailboxes_[static_cast<std::size_t>(world_rank)];
 }
 
 void World::attach_obs(obs::Registry& registry) {
@@ -50,7 +51,7 @@ void World::attach_obs(obs::Registry& registry) {
   // start from zero, not inherit the previous world's peaks.
   queue_peak.reset();
   ring_peak.reset();
-  for (auto& mailbox : mailboxes_) mailbox->set_obs(&queue_peak, &ring_peak);
+  transport_->attach_obs(&queue_peak, &ring_peak);
 }
 
 void World::check_op(int world_rank) {
@@ -111,22 +112,12 @@ void Comm::internal_send(int dest, int tag, std::vector<std::uint8_t> payload) {
   bump(metrics.send_messages);
   bump(metrics.send_bytes, msg.payload.size());
 
-  Mailbox& box = world_->mailbox(dest_world);
   const int src_world = members_[static_cast<std::size_t>(rank_)];
-  // Hot-path transmit: a lane-ring push in ring mode (lock-free, no
-  // contention with other senders), the locked mailbox path otherwise — and
-  // also when the bounded ring is full, where deliver() drains this lane
-  // first so per-(source, comm) order still holds.
+  // Hot-path transmit, delegated to the world's transport: a lane-ring push
+  // in ring mode (lock-free), the locked mailbox path otherwise, a serialized
+  // envelope over the peer's TCP link in socket mode.
   const auto transmit = [&](Message&& m) {
-    if (world_->transport() == TransportMode::ring) {
-      Lane& lane = box.lane_for_sender(src_world);
-      if (lane.ring.try_push(std::move(m))) {
-        lane.note_depth();
-        box.notify_ring_push();
-        return;
-      }
-    }
-    box.deliver(std::move(m));
+    world_->transmit(src_world, dest_world, std::move(m));
   };
 
   const FaultPlan& plan = world_->fault_plan();

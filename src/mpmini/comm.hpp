@@ -20,6 +20,7 @@
 #include "mpmini/mailbox.hpp"
 #include "mpmini/message.hpp"
 #include "mpmini/request.hpp"
+#include "mpmini/transport.hpp"
 #include "mpmini/wait.hpp"
 #include "obs/registry.hpp"
 
@@ -44,13 +45,20 @@ class World {
   // or whatever MM_MPMINI_TRANSPORT says) or the legacy locked mailbox path
   // (the bench's before/after baseline). Ring mode requires each world rank
   // to SEND from a single thread (see Comm); the locked mode has no such
-  // restriction.
+  // restriction. A bare World never builds the socket transport — when the
+  // env selects it, Environment::run routes through run_rendezvous and
+  // injects a SocketTransport via the third constructor.
   explicit World(int size);
   World(int size, TransportMode mode);
+  World(int size, std::unique_ptr<Transport> transport);
 
-  int size() const { return static_cast<int>(mailboxes_.size()); }
-  TransportMode transport() const { return transport_; }
-  Mailbox& mailbox(int world_rank);
+  int size() const { return size_; }
+  TransportMode transport() const { return transport_->mode(); }
+  Transport& transport_layer() { return *transport_; }
+  Mailbox& mailbox(int world_rank) { return transport_->mailbox(world_rank); }
+  void transmit(int src_world, int dest_world, Message&& msg) {
+    transport_->transmit(src_world, dest_world, std::move(msg));
+  }
   std::uint64_t allocate_comm_id() { return next_comm_id_.fetch_add(1); }
 
   // Install the fault plan BEFORE any rank thread starts (never concurrently
@@ -71,8 +79,8 @@ class World {
   World& operator=(const World&) = delete;
 
  private:
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  TransportMode transport_ = TransportMode::ring;
+  int size_ = 0;
+  std::unique_ptr<Transport> transport_;
   std::atomic<std::uint64_t> next_comm_id_{1};
   FaultPlan fault_plan_{};
   WorldObs metrics_{};

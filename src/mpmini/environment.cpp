@@ -3,6 +3,7 @@
 #include <exception>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,20 @@ void Environment::run(int world_size, const std::function<void(Comm&)>& rank_mai
   MM_ASSERT_MSG(world_size > 0, "world_size must be positive");
   MM_ASSERT_MSG(heartbeat == nullptr || heartbeat->size() >= world_size,
                 "heartbeat board is smaller than the world");
+  // Surface env-knob misconfigurations (warn-once) before traffic starts.
+  validate_transport_env();
+
+  if (transport_mode() == TransportMode::socket) {
+    // Env route to the multi-process launcher: this process hosts exactly
+    // one rank and meets the others at the rendezvous address.
+    auto rz = rendezvous_from_env();
+    if (!rz)
+      throw std::runtime_error("MM_MPMINI_TRANSPORT=socket: " +
+                               rz.error().to_string());
+    run_rendezvous(*rz, world_size, rank_main, fault, metrics, heartbeat,
+                   heartbeat_interval);
+    return;
+  }
 
   World world(world_size);
   world.set_fault_plan(fault);
@@ -59,6 +74,53 @@ void Environment::run(int world_size, const std::function<void(Comm&)>& rank_mai
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void Environment::run_rendezvous(const Rendezvous& rz, int world_size,
+                                 const std::function<void(Comm&)>& rank_main,
+                                 const FaultPlan& fault, obs::Registry* metrics,
+                                 obs::HeartbeatBoard* heartbeat,
+                                 std::chrono::nanoseconds heartbeat_interval) {
+  MM_ASSERT_MSG(world_size > 0, "world_size must be positive");
+  MM_ASSERT_MSG(rz.rank >= 0 && rz.rank < world_size,
+                "rendezvous rank out of range for the world");
+  MM_ASSERT_MSG(heartbeat == nullptr || heartbeat->size() >= world_size,
+                "heartbeat board is smaller than the world");
+  validate_transport_env();
+
+  World world(world_size, std::make_unique<SocketTransport>(world_size, rz));
+  world.set_fault_plan(fault);
+  if (metrics != nullptr) world.attach_obs(*metrics);
+  // Handshake after wiring obs so early inbound traffic lands in
+  // instrumented mailboxes.
+  world.transport_layer().start();
+
+  std::vector<int> members(static_cast<std::size_t>(world_size));
+  std::iota(members.begin(), members.end(), 0);
+  // Rank 0 of every process allocates the same first id from its own world:
+  // comm-id agreement across processes needs no traffic because collectives
+  // allocate at rank 0 and broadcast (split/duplicate), and the world comm
+  // is id #1 everywhere by construction.
+  const std::uint64_t world_comm_id = world.allocate_comm_id();
+
+  std::exception_ptr error;
+  {
+    log::set_thread_label(format("rank %d", rz.rank));
+    if (pin_requested()) (void)pin_current_thread(rz.rank);
+    obs::PulseGuard pulse(heartbeat, rz.rank, heartbeat_interval);
+    Comm comm(&world, world_comm_id, rz.rank, members);
+    try {
+      rank_main(comm);
+      pulse.retire();
+    } catch (...) {
+      error = std::current_exception();
+      MM_LOG_ERROR("rank " << rz.rank << " terminated with an exception");
+    }
+  }
+  // Goodbye barrier even on the error path: peers blocked on traffic this
+  // rank already sent still drain it before everyone tears down.
+  world.transport_layer().stop();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace mm::mpi

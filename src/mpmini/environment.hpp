@@ -1,9 +1,15 @@
-// Thread-per-rank launcher for mpmini programs.
+// Launchers for mpmini programs: thread-per-rank, or one process per rank.
 //
 // Environment::run(n, fn) plays the role of mpirun: it creates an n-rank
 // world, starts one thread per rank, hands each a world communicator, and
 // joins. A rank that throws poisons the run; the first exception is rethrown
 // to the caller after all ranks have finished.
+//
+// With MM_MPMINI_TRANSPORT=socket the same run() call instead drives ONLY
+// the local rank (MM_MPMINI_RANK) over the TCP socket transport, meeting the
+// other rank processes at MM_MPMINI_RENDEZVOUS — mpirun's role moves to
+// whatever launched the processes (scripts/transport_smoke.sh shows the
+// pattern). run_rendezvous() is the programmatic route to the same thing.
 #pragma once
 
 #include <chrono>
@@ -11,6 +17,7 @@
 
 #include "mpmini/comm.hpp"
 #include "mpmini/fault.hpp"
+#include "mpmini/socket_transport.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/registry.hpp"
 
@@ -41,6 +48,23 @@ class Environment {
                   obs::HeartbeatBoard* heartbeat = nullptr,
                   std::chrono::nanoseconds heartbeat_interval =
                       std::chrono::milliseconds{100});
+
+  // Multi-process launcher: runs ONLY rank `rz.rank` of a `world_size`-rank
+  // world in this process, connected to its peers over the TCP socket
+  // transport (see socket_transport.hpp for the handshake). Every rank
+  // process must call this with the same world_size; the call returns after
+  // the local rank main finished AND the goodbye barrier drained in-flight
+  // traffic, so joining all rank processes is equivalent to the thread
+  // launcher's join-all. The fault plan applies to the local rank only;
+  // heartbeat boards observe only local slots (each process has its own
+  // monitoring plane).
+  static void run_rendezvous(const Rendezvous& rz, int world_size,
+                             const std::function<void(Comm&)>& rank_main,
+                             const FaultPlan& fault = FaultPlan{},
+                             obs::Registry* metrics = nullptr,
+                             obs::HeartbeatBoard* heartbeat = nullptr,
+                             std::chrono::nanoseconds heartbeat_interval =
+                                 std::chrono::milliseconds{100});
 };
 
 }  // namespace mm::mpi

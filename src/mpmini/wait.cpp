@@ -1,8 +1,11 @@
 #include "mpmini/wait.hpp"
 
+#include <cerrno>
 #include <cstdlib>
-#include <string>
 #include <thread>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -16,60 +19,120 @@
 namespace mm::mpi {
 namespace {
 
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
+// Strict u64 parse: the whole string must be digits. Garbage ("256k",
+// "fast", "-1") is a parse failure, never a silent partial read.
+bool parse_u64(const char* raw, std::uint64_t* out) {
+  if (raw == nullptr || *raw == '\0') return false;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(raw, &end, 10);
-  return (end != nullptr && *end == '\0') ? static_cast<std::uint64_t>(v) : fallback;
+  if (errno != 0 || end == nullptr || *end != '\0' || raw[0] == '-') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+const TransportEnv& env_values() {
+  static const TransportEnv parsed = parse_transport_env(
+      std::getenv("MM_MPMINI_TRANSPORT"), std::getenv("MM_MPMINI_SPIN"),
+      std::getenv("MM_MPMINI_RING_CAP"), std::getenv("MM_MPMINI_PIN"),
+      std::thread::hardware_concurrency());
+  return parsed;
 }
 
 }  // namespace
 
-TransportMode transport_mode() {
-  static const TransportMode mode = [] {
-    const char* raw = std::getenv("MM_MPMINI_TRANSPORT");
-    if (raw != nullptr && std::string(raw) == "locked") return TransportMode::locked;
-    return TransportMode::ring;
-  }();
-  return mode;
-}
+TransportEnv parse_transport_env(const char* transport, const char* spin,
+                                 const char* ring_cap, const char* pin,
+                                 unsigned hardware_threads) {
+  TransportEnv env;
 
-const SpinPolicy& spin_policy() {
-  static const SpinPolicy policy = [] {
-    SpinPolicy p;
-    if (std::thread::hardware_concurrency() <= 1) {
-      // Single core: a pause can never let the peer progress, and long spins
-      // just burn the timeslice the peer needs. Yield immediately, a few
-      // times, then park.
-      p.iterations = 16;
-      p.pause_share = 0;
+  if (hardware_threads <= 1) {
+    // Single core: a pause can never let the peer progress, and long spins
+    // just burn the timeslice the peer needs. Yield immediately, a few
+    // times, then park.
+    env.spin.iterations = 16;
+    env.spin.pause_share = 0;
+  }
+
+  if (transport != nullptr && *transport != '\0') {
+    const std::string value(transport);
+    if (value == "ring") {
+      env.transport = TransportMode::ring;
+    } else if (value == "locked") {
+      env.transport = TransportMode::locked;
+    } else if (value == "socket") {
+      env.transport = TransportMode::socket;
+    } else {
+      env.warnings.push_back(
+          format("MM_MPMINI_TRANSPORT='%s' is not ring|locked|socket; using ring",
+                 transport));
     }
-    p.iterations = static_cast<std::uint32_t>(env_u64("MM_MPMINI_SPIN", p.iterations));
-    if (p.pause_share > p.iterations) p.pause_share = p.iterations;
-    return p;
-  }();
-  return policy;
+  }
+
+  if (spin != nullptr && *spin != '\0') {
+    std::uint64_t v = 0;
+    if (!parse_u64(spin, &v) || v > (std::uint64_t{1} << 31)) {
+      env.warnings.push_back(
+          format("MM_MPMINI_SPIN='%s' is not a spin count; using %u", spin,
+                 env.spin.iterations));
+    } else {
+      env.spin.iterations = static_cast<std::uint32_t>(v);
+    }
+  }
+  if (env.spin.pause_share > env.spin.iterations)
+    env.spin.pause_share = env.spin.iterations;
+
+  if (ring_cap != nullptr && *ring_cap != '\0') {
+    std::uint64_t v = 0;
+    if (!parse_u64(ring_cap, &v)) {
+      env.warnings.push_back(
+          format("MM_MPMINI_RING_CAP='%s' is not a capacity; using %llu", ring_cap,
+                 static_cast<unsigned long long>(env.ring_capacity)));
+    } else if (v < 2) {
+      env.warnings.push_back(
+          format("MM_MPMINI_RING_CAP=%llu is below the minimum; clamping to 2",
+                 static_cast<unsigned long long>(v)));
+      env.ring_capacity = 2;
+    } else if (v > (std::uint64_t{1} << 20)) {
+      // A bogus value must not hang round_up_pow2 or bad_alloc at startup;
+      // 2^20 message slots per lane is beyond any sane configuration.
+      env.warnings.push_back(
+          format("MM_MPMINI_RING_CAP=%llu is beyond 2^20; clamping to 2^20",
+                 static_cast<unsigned long long>(v)));
+      env.ring_capacity = std::uint64_t{1} << 20;
+    } else {
+      env.ring_capacity = v;
+    }
+  }
+
+  if (pin != nullptr && *pin != '\0') {
+    const std::string value(pin);
+    if (value == "1") {
+      env.pin = true;
+    } else if (value != "0") {
+      env.warnings.push_back(
+          format("MM_MPMINI_PIN='%s' is not 0|1; pinning stays off", pin));
+    }
+  }
+
+  return env;
 }
 
-std::uint64_t ring_capacity() {
-  static const std::uint64_t cap = [] {
-    std::uint64_t c = env_u64("MM_MPMINI_RING_CAP", 256);
-    if (c < 2) c = 2;
-    // A bogus env value must not hang round_up_pow2 or bad_alloc at startup;
-    // 2^20 message slots per lane is beyond any sane configuration.
-    if (c > (std::uint64_t{1} << 20)) c = std::uint64_t{1} << 20;
-    return c;
-  }();
-  return cap;
-}
+TransportMode transport_mode() { return env_values().transport; }
 
-bool pin_requested() {
-  static const bool pin = [] {
-    const char* raw = std::getenv("MM_MPMINI_PIN");
-    return raw != nullptr && std::string(raw) == "1";
+const SpinPolicy& spin_policy() { return env_values().spin; }
+
+std::uint64_t ring_capacity() { return env_values().ring_capacity; }
+
+bool pin_requested() { return env_values().pin; }
+
+void validate_transport_env() {
+  static const bool logged = [] {
+    for (const std::string& warning : env_values().warnings)
+      MM_LOG_WARN("mpmini: " << warning);
+    return true;
   }();
-  return pin;
+  (void)logged;
 }
 
 void spin_relax(const SpinPolicy& policy, std::uint32_t step) {

@@ -5,10 +5,15 @@
 // then sched yields, with the yield share sized for core-oversubscribed
 // hosts), and only after the budget is spent does it fall back to the
 // mailbox's condition variable — the park side of the eventcount protocol in
-// mailbox.cpp. All knobs are environment variables read once per process:
+// mailbox.cpp. All knobs are environment variables read once per process and
+// validated at Environment startup (unknown or garbage values warn once and
+// fall back to the default):
 //
-//   MM_MPMINI_TRANSPORT  "ring" (default) | "locked"  — lane rings vs the
-//                        legacy mutex/condvar-only delivery path
+//   MM_MPMINI_TRANSPORT  "ring" (default) | "locked" | "socket" — lane rings,
+//                        the legacy mutex/condvar-only delivery path, or the
+//                        multi-process TCP transport (one process per rank,
+//                        see socket_transport.hpp; requires MM_MPMINI_RANK
+//                        and MM_MPMINI_RENDEZVOUS)
 //   MM_MPMINI_SPIN       total spin iterations before parking (default 512;
 //                        0 parks immediately, reproducing legacy waits)
 //   MM_MPMINI_RING_CAP   per-lane ring capacity, rounded up to a power of
@@ -18,10 +23,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace mm::mpi {
 
-enum class TransportMode : std::uint8_t { ring, locked };
+enum class TransportMode : std::uint8_t { ring, locked, socket };
 
 struct SpinPolicy {
   // Total iterations before parking. The first `pause_share` of them issue a
@@ -32,11 +39,32 @@ struct SpinPolicy {
   bool enabled() const { return iterations > 0; }
 };
 
+// Everything the transport env knobs control, parsed and validated in one
+// place. `warnings` holds one line per rejected value (the corresponding
+// field carries the default instead).
+struct TransportEnv {
+  TransportMode transport = TransportMode::ring;
+  SpinPolicy spin{};
+  std::uint64_t ring_capacity = 256;
+  bool pin = false;
+  std::vector<std::string> warnings;
+};
+
+// Pure parser over raw getenv values (null = unset), exposed for tests.
+// `hardware_threads` sizes the single-core spin default.
+TransportEnv parse_transport_env(const char* transport, const char* spin,
+                                 const char* ring_cap, const char* pin,
+                                 unsigned hardware_threads);
+
 // Process-wide knob values (parsed from the environment on first use).
 TransportMode transport_mode();
 const SpinPolicy& spin_policy();
 std::uint64_t ring_capacity();
 bool pin_requested();
+
+// Log each env-validation warning exactly once per process. Called at
+// Environment startup so misconfigurations surface before traffic starts.
+void validate_transport_env();
 
 // One spin step: pause for low `step`, yield once past the policy's pause
 // share. Callers loop `for (step = 0; step < policy.iterations; ++step)`.

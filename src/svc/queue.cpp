@@ -1,16 +1,28 @@
 #include "svc/queue.hpp"
 
+#include "common/strings.hpp"
+
 namespace mm::svc {
 
 bool JobQueue::push(std::shared_ptr<Job> job) {
+  return try_push(std::move(job), 0).has_value();
+}
+
+Status JobQueue::try_push(std::shared_ptr<Job> job, std::size_t tenant_limit) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_) return false;
-    lanes_[job->spec.tenant].jobs.push_back(std::move(job));
+    if (shutdown_) return Error(Errc::shutdown, "queue is shut down");
+    Lane& lane = lanes_[job->spec.tenant];
+    if (tenant_limit > 0 && lane.jobs.size() >= tenant_limit)
+      return Error(Errc::capacity,
+                   format("tenant %s has %zu jobs queued (limit %zu)",
+                          job->spec.tenant.c_str(), lane.jobs.size(),
+                          tenant_limit));
+    lane.jobs.push_back(std::move(job));
     ++queued_;
   }
   ready_cv_.notify_one();
-  return true;
+  return {};
 }
 
 std::shared_ptr<Job> JobQueue::take() {

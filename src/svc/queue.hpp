@@ -30,6 +30,12 @@ class JobQueue {
   // Enqueue; rejects (returns false) after shutdown().
   bool push(std::shared_ptr<Job> job);
 
+  // Enqueue with per-tenant admission: fails with Errc::capacity when the
+  // tenant already has `tenant_limit` jobs queued (0 = unbounded), with
+  // Errc::shutdown after shutdown(). Running jobs do not count — the limit
+  // bounds queue depth, not concurrency (the worker pool bounds that).
+  Status try_push(std::shared_ptr<Job> job, std::size_t tenant_limit);
+
   // Next job under fair share; blocks while empty. Returns nullptr once
   // shutdown() is called. The job's tenant is counted running until
   // finished().

@@ -9,6 +9,7 @@
 #include "engine/pipeline.hpp"
 #include "marketdata/generator.hpp"
 #include "obs/prometheus.hpp"
+#include "wire/quote_source.hpp"
 
 namespace mm::svc {
 
@@ -82,6 +83,10 @@ BacktestService::BacktestService(ServiceConfig config)
     : config_(config),
       day_cache_(
           [this](const std::string& key) -> Expected<std::vector<md::Quote>> {
+            // Wire-fed mode: the feed server owns day generation; every
+            // replica pointed at it caches the identical bytes.
+            if (config_.feed_port != 0)
+              return wire::fetch_day(config_.feed_host, config_.feed_port, key);
             // Key format is JobSpec::day_key(): synthetic/<n>/<seed>/<day>.
             std::size_t symbols = 0;
             unsigned long long seed = 0;
@@ -150,9 +155,15 @@ Expected<std::string> BacktestService::submit(JobSpec spec) {
   registry_
       .counter(obs::labeled("svc.jobs_submitted", {{"tenant", job->spec.tenant}}))
       .add();
-  if (!queue_.push(job)) {
+  if (auto admitted = queue_.try_push(job, config_.tenant_queue_limit);
+      !admitted.has_value()) {
     job->state.store(JobState::cancelled, std::memory_order_release);
-    return Error(Errc::shutdown, "service is stopping");
+    if (admitted.error().code == Errc::capacity)
+      registry_
+          .counter(obs::labeled("svc.jobs_rejected",
+                                {{"tenant", job->spec.tenant}}))
+          .add();
+    return admitted.error();
   }
   return job->id;
 }
@@ -382,7 +393,13 @@ void BacktestService::wire_routes() {
           auto spec = parse_job_spec(req.body);
           if (!spec.has_value()) return error_response(400, spec.error().message);
           auto id = submit(std::move(spec.value()));
-          if (!id.has_value()) return error_response(503, id.error().message);
+          if (!id.has_value()) {
+            // Admission pushback is the tenant's to handle (back off and
+            // retry); everything else is the service going away.
+            const int status =
+                id.error().code == Errc::capacity ? 429 : 503;
+            return error_response(status, id.error().message);
+          }
           json::Value body = json::Value::object();
           body.set("id", id.value());
           body.set("state", "queued");

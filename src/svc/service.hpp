@@ -70,6 +70,18 @@ struct ServiceConfig {
   // default bounds a job's trace at 256 KiB per rank; deep sweeps drop the
   // newest events past that (TraceSink::total_dropped says how many).
   std::size_t trace_ring_events = 1u << 12;
+  // Per-tenant queue-depth bound (0 = unbounded): a POST /jobs that would
+  // put a tenant past this many QUEUED jobs is rejected with 429 and counted
+  // in svc.jobs_rejected{tenant}. Running jobs don't count — the worker pool
+  // already bounds concurrency; this bounds how far one tenant can backlog
+  // the shared queue.
+  std::size_t tenant_queue_limit = 0;
+  // Day source over the wire: when feed_port != 0 the DayCache loads days
+  // from a wire::TcpFeedServer at feed_host:feed_port (the day key is the
+  // subscription key) instead of generating them in-process. Lets one feed
+  // process serve many service replicas the identical bytes.
+  std::string feed_host = "127.0.0.1";
+  std::uint16_t feed_port = 0;
 };
 
 class BacktestService {

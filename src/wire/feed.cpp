@@ -1,0 +1,206 @@
+#include "wire/feed.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace mm::wire {
+
+TcpFeedServer::TcpFeedServer(DayResolver resolver, TcpFeedConfig config)
+    : resolver_(std::move(resolver)), config_(std::move(config)) {
+  MM_ASSERT_MSG(resolver_ != nullptr, "TcpFeedServer needs a day resolver");
+}
+
+TcpFeedServer::~TcpFeedServer() { stop(); }
+
+Status TcpFeedServer::start(std::uint16_t port) {
+  MM_ASSERT_MSG(!running_.load(), "TcpFeedServer already started");
+  auto listener = tcp_listen(config_.host, port, &port_);
+  if (!listener) return listener.error();
+  listener_ = std::move(*listener);
+  running_.store(true);
+  thread_ = std::thread([this] { accept_loop(); });
+  return {};
+}
+
+void TcpFeedServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock the accept loop's poll by racing its next timeout; the loop
+  // re-checks running_ every 50 ms.
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+void TcpFeedServer::accept_loop() {
+  while (running_.load()) {
+    auto conn = tcp_accept(listener_, std::chrono::milliseconds{50});
+    if (!conn) {
+      if (conn.error().code == Errc::timeout) continue;
+      if (running_.load())
+        MM_LOG_WARN("feed server accept failed: " << conn.error().to_string());
+      return;
+    }
+    serve(std::move(*conn));
+  }
+}
+
+void TcpFeedServer::serve(Socket conn) {
+  set_nodelay(conn);
+  // Read frames until the client's hello arrives (a conforming client sends
+  // it first and nothing else).
+  FrameParser parser;
+  std::uint8_t rx[512];
+  Hello hello;
+  bool have_hello = false;
+  while (!have_hello) {
+    auto n = recv_some(conn, rx, sizeof(rx));
+    if (!n || *n == 0) return;  // client went away before subscribing
+    parser.feed(rx, *n);
+    FrameView v;
+    while (parser.next(&v)) {
+      auto h = decode_hello(v);
+      if (!h) {
+        MM_LOG_WARN("feed server: rejecting session: " << h.error().to_string());
+        return;
+      }
+      hello = std::move(*h);
+      have_hello = true;
+      break;
+    }
+    if (parser.failed()) {
+      MM_LOG_WARN("feed server: corrupt hello stream: " << parser.error());
+      return;
+    }
+  }
+
+  auto day = resolver_(hello.key);
+  if (!day) {
+    // No day for that key: close without end_of_day; the client surfaces the
+    // truncation as an error.
+    MM_LOG_WARN("feed server: no day for key '" << hello.key
+                                                << "': " << day.error().to_string());
+    return;
+  }
+
+  FrameWriter writer;
+  writer.hello(hello.session, hello.key);  // echo confirms the subscription
+  std::uint64_t since_heartbeat = 0;
+  for (const md::Quote& q : *day) {
+    writer.quote(q);
+    if (++since_heartbeat == config_.heartbeat_every) {
+      writer.heartbeat(since_heartbeat);
+      since_heartbeat = 0;
+    }
+    // Flush in ~64 KB slabs so the writer buffer stays bounded.
+    if (writer.size() >= (std::size_t{64} << 10)) {
+      if (!send_all(conn, writer.bytes().data(), writer.size())) return;
+      writer.clear();
+    }
+  }
+  writer.end_of_day(day->size());
+  if (!send_all(conn, writer.bytes().data(), writer.size())) return;
+  sessions_.fetch_add(1);
+}
+
+UdpPublisher::UdpPublisher(std::string host, std::uint16_t port,
+                           UdpPublisherConfig config)
+    : host_(std::move(host)), port_(port), config_(config) {
+  MM_ASSERT_MSG(config_.quotes_per_datagram > 0, "need at least one quote per datagram");
+}
+
+Status UdpPublisher::publish_day(std::uint64_t session,
+                                 const std::vector<md::Quote>& day) {
+  auto sock = udp_connect(host_, port_);
+  if (!sock) return sock.error();
+
+  std::vector<std::uint8_t> datagram;
+  FrameWriter writer;
+  std::uint64_t seq = 0;
+  std::size_t at = 0;
+  while (at < day.size()) {
+    const std::size_t n = std::min(config_.quotes_per_datagram, day.size() - at);
+    start_datagram(datagram, session, seq);
+    writer.clear();
+    for (std::size_t i = 0; i < n; ++i) writer.quote(day[at + i]);
+    datagram.insert(datagram.end(), writer.bytes().begin(), writer.bytes().end());
+    finish_datagram(datagram, static_cast<std::uint16_t>(n));
+    if (auto sent = udp_send(*sock, datagram.data(), datagram.size()); !sent)
+      return sent.error();
+    ++datagrams_sent_;
+    seq += n;
+    at += n;
+  }
+  // Final datagram: the end_of_day marker, in the same sequence space so the
+  // receiver knows whether it arrived in order.
+  start_datagram(datagram, session, seq);
+  writer.clear();
+  writer.end_of_day(day.size());
+  datagram.insert(datagram.end(), writer.bytes().begin(), writer.bytes().end());
+  finish_datagram(datagram, 1);
+  if (auto sent = udp_send(*sock, datagram.data(), datagram.size()); !sent)
+    return sent.error();
+  ++datagrams_sent_;
+  return {};
+}
+
+Status UdpReceiver::bind(const std::string& host, std::uint16_t port) {
+  auto sock = udp_bind(host, port, &port_);
+  if (!sock) return sock.error();
+  sock_ = std::move(*sock);
+  return {};
+}
+
+Expected<std::vector<md::Quote>> UdpReceiver::receive_day(
+    std::chrono::milliseconds idle_timeout) {
+  MM_ASSERT_MSG(sock_.valid(), "UdpReceiver: bind() first");
+  std::vector<md::Quote> quotes;
+  SequenceTracker tracker;
+  std::uint8_t buf[2048];
+  for (;;) {
+    auto n = udp_recv(sock_, buf, sizeof(buf), idle_timeout);
+    if (!n) return n.error();  // timeout or socket failure
+    auto header = parse_datagram_header(buf, *n);
+    if (!header) {
+      ++stats_.parse_errors;
+      continue;  // garbage datagram: drop, keep listening
+    }
+    ++stats_.datagrams;
+    const std::uint64_t fresh = tracker.accept(header->first_seq, header->msg_count);
+    if (fresh == 0) {
+      ++stats_.stale_datagrams;
+      continue;
+    }
+    // Parse the payload; deliver only the last `fresh` messages (the head of
+    // an overlapping retransmit was already seen).
+    FrameParser parser;
+    parser.feed(buf + datagram_header_bytes, *n - datagram_header_bytes);
+    FrameView v;
+    std::uint64_t index = 0;
+    const std::uint64_t skip = header->msg_count - fresh;
+    bool done = false;
+    while (parser.next(&v)) {
+      ++stats_.frames;
+      if (index++ < skip) continue;
+      if (v.type == MsgType::quote) {
+        md::Quote q;
+        if (decode_quote(v, &q)) {
+          quotes.push_back(q);
+          ++stats_.quotes;
+        } else {
+          ++stats_.parse_errors;
+        }
+      } else if (v.type == MsgType::heartbeat) {
+        ++stats_.heartbeats;
+      } else if (v.type == MsgType::end_of_day) {
+        std::uint64_t expected = 0;
+        (void)decode_end_of_day(v, &expected);
+        done = true;
+      }
+    }
+    if (parser.failed()) ++stats_.parse_errors;
+    stats_.gaps = tracker.gaps();
+    stats_.gap_messages = tracker.gap_messages();
+    if (done) return quotes;
+  }
+}
+
+}  // namespace mm::wire

@@ -1,0 +1,140 @@
+// Zero-copy incremental frame parser for the mmq wire format.
+//
+// FrameParser consumes arbitrarily chunked byte spans (whatever recv()
+// returned) and yields FrameViews pointing INTO the caller's buffer whenever
+// a complete frame is available. A frame split across feeds is reassembled in
+// a fixed carry buffer sized at construction, so steady-state parsing — and
+// decoding a quote from a view — performs zero heap allocations (enforced by
+// an operator-new-counting test).
+//
+// Usage:
+//   parser.feed(buf, n);          // previous feed must be fully drained
+//   FrameView v;
+//   while (parser.next(&v)) { ... decode_quote(v, &q) ... }
+//   if (parser.failed()) ...      // corrupt stream; views already emitted
+//                                 // remain valid
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "wire/format.hpp"
+
+namespace mm::wire {
+
+// A complete frame. `body` points into the fed buffer (or the parser's carry
+// buffer) and is valid until the next call to next() or feed().
+struct FrameView {
+  MsgType type{};
+  const std::uint8_t* body = nullptr;
+  std::size_t size = 0;
+};
+
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_body = max_body_bytes);
+
+  // Hand the parser the next chunk. The previous chunk must be fully drained
+  // (next() returned false); any partial tail was copied into the carry
+  // buffer, so the caller may reuse its buffer immediately after.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  // Emit the next complete frame. Returns false when more bytes are needed
+  // (feed again) or the stream is corrupt (check failed()).
+  bool next(FrameView* out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  // Stream statistics (frames/bytes accepted so far).
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  bool header_ok(const std::uint8_t* p, std::size_t* frame_len);
+  void fail(const std::string& why);
+
+  std::vector<std::uint8_t> carry_;  // fixed capacity: one max-size frame
+  std::size_t carry_size_ = 0;
+  bool emitted_from_carry_ = false;  // reset carry on the call AFTER emitting
+
+  const std::uint8_t* data_ = nullptr;  // current fed chunk
+  std::size_t size_ = 0;
+  std::size_t cursor_ = 0;
+
+  std::size_t max_frame_ = 0;  // type byte + max body
+  bool failed_ = false;
+  std::string error_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// --- body decoders -------------------------------------------------------
+// Each checks the view's type and exact (or minimum) size; on success the
+// caller-provided out-param is filled. Quote decoding is allocation-free.
+
+bool decode_quote(const FrameView& v, md::Quote* out);
+bool decode_heartbeat(const FrameView& v, std::uint64_t* counter);
+bool decode_end_of_day(const FrameView& v, std::uint64_t* quote_count);
+
+struct Hello {
+  std::uint64_t session = 0;
+  std::uint16_t flags = 0;
+  std::string key;
+};
+
+// Validates magic and version; allocates only for the key string (once per
+// session, never per quote).
+Expected<Hello> decode_hello(const FrameView& v);
+
+// Parse and validate a UDP datagram header (magic, version, size bounds).
+Expected<DatagramHeader> parse_datagram_header(const std::uint8_t* data,
+                                               std::size_t size);
+
+// Per-message sequence dedup for UDP streams. The publisher numbers messages
+// contiguously from 0; each datagram carries [first_seq, first_seq + count).
+// accept() returns how many messages at the TAIL of the datagram are new —
+// 0 for a pure duplicate or late reordered datagram, `count` for in-order
+// delivery (and for a jump forward, which records a gap).
+class SequenceTracker {
+ public:
+  std::uint64_t accept(std::uint64_t first_seq, std::uint64_t count) {
+    const std::uint64_t end = first_seq + count;
+    if (end <= next_) {
+      // Entirely behind the cursor: a duplicate, or a reordered straggler
+      // whose slot was already skipped (that pairing shows up as one gap
+      // plus one stale datagram in the stats).
+      stale_ += 1;
+      return 0;
+    }
+    if (first_seq < next_) {
+      // Overlaps the cursor (partial retransmit): only the tail is new.
+      overlaps_ += 1;
+      const std::uint64_t fresh = end - next_;
+      next_ = end;
+      return fresh;
+    }
+    if (first_seq > next_) {
+      gaps_ += 1;
+      gap_messages_ += first_seq - next_;
+    }
+    next_ = end;
+    return count;
+  }
+
+  std::uint64_t expected_next() const { return next_; }
+  std::uint64_t stale() const { return stale_; }
+  std::uint64_t overlaps() const { return overlaps_; }
+  std::uint64_t gaps() const { return gaps_; }
+  std::uint64_t gap_messages() const { return gap_messages_; }
+
+ private:
+  std::uint64_t next_ = 0;
+  std::uint64_t stale_ = 0;
+  std::uint64_t overlaps_ = 0;
+  std::uint64_t gaps_ = 0;
+  std::uint64_t gap_messages_ = 0;
+};
+
+}  // namespace mm::wire

@@ -1,0 +1,95 @@
+#include "wire/quote_source.hpp"
+
+#include <random>
+
+#include "common/strings.hpp"
+
+namespace mm::wire {
+
+Expected<std::unique_ptr<WireQuoteSource>> WireQuoteSource::connect(
+    const std::string& host, std::uint16_t port, const std::string& key,
+    std::chrono::milliseconds connect_timeout) {
+  auto sock = tcp_connect(host, port, connect_timeout);
+  if (!sock) return sock.error();
+
+  std::unique_ptr<WireQuoteSource> src(new WireQuoteSource());
+  src->sock_ = std::move(*sock);
+  // Session ids only need to be distinct across concurrent subscribers for
+  // log correlation; a random draw is plenty.
+  src->session_ = std::random_device{}();
+
+  FrameWriter writer;
+  writer.hello(src->session_, key);
+  if (auto sent = send_all(src->sock_, writer.bytes().data(), writer.size()); !sent)
+    return sent.error();
+  return src;
+}
+
+std::optional<md::Quote> WireQuoteSource::next() {
+  while (!done_) {
+    // Drain the parser before touching the socket again.
+    FrameView v;
+    while (parser_.next(&v)) {
+      ++stats_.frames;
+      switch (v.type) {
+        case MsgType::quote: {
+          md::Quote q;
+          if (!decode_quote(v, &q)) {
+            ++stats_.parse_errors;
+            fail("malformed quote frame");
+            return std::nullopt;
+          }
+          ++stats_.quotes;
+          return q;
+        }
+        case MsgType::heartbeat:
+          ++stats_.heartbeats;
+          break;
+        case MsgType::hello:
+          // Server's subscription echo; nothing to do but note it arrived.
+          break;
+        case MsgType::end_of_day: {
+          (void)decode_end_of_day(v, &announced_count_);
+          done_ = true;
+          if (announced_count_ != stats_.quotes)
+            fail(format("end_of_day announced %llu quotes but %llu arrived",
+                        static_cast<unsigned long long>(announced_count_),
+                        static_cast<unsigned long long>(stats_.quotes)));
+          return std::nullopt;
+        }
+      }
+    }
+    if (parser_.failed()) {
+      ++stats_.parse_errors;
+      fail("corrupt stream: " + parser_.error());
+      return std::nullopt;
+    }
+    auto n = recv_some(sock_, rx_.data(), rx_.size());
+    if (!n) {
+      fail(n.error().to_string());
+      return std::nullopt;
+    }
+    if (*n == 0) {
+      // EOF before end_of_day: the server dropped us mid-day.
+      fail("connection closed before end_of_day");
+      return std::nullopt;
+    }
+    parser_.feed(rx_.data(), *n);
+  }
+  return std::nullopt;
+}
+
+Expected<std::vector<md::Quote>> fetch_day(const std::string& host,
+                                           std::uint16_t port,
+                                           const std::string& key,
+                                           std::chrono::milliseconds connect_timeout) {
+  auto src = WireQuoteSource::connect(host, port, key, connect_timeout);
+  if (!src) return src.error();
+  std::vector<md::Quote> day;
+  while (auto q = (*src)->next()) day.push_back(*q);
+  if ((*src)->failed())
+    return Error(Errc::io_error, "wire fetch_day('" + key + "'): " + (*src)->error());
+  return day;
+}
+
+}  // namespace mm::wire

@@ -275,6 +275,75 @@ TEST(SvcQueue, FairShareRoundRobinsTenantsAndRemovesQueuedJobs) {
   EXPECT_FALSE(queue.push(make_job("c", "c1")));
 }
 
+TEST(SvcQueue, PerTenantAdmissionLimitBoundsQueueDepthNotConcurrency) {
+  JobQueue queue;
+  const auto make_job = [](const std::string& tenant, const std::string& id) {
+    auto job = std::make_shared<Job>();
+    job->spec.tenant = tenant;
+    job->id = id;
+    return job;
+  };
+  // Tenant a fills its two queue slots; the third submission is refused while
+  // tenant b is unaffected (the limit is per tenant, not global).
+  ASSERT_TRUE(queue.try_push(make_job("a", "a1"), 2).has_value());
+  ASSERT_TRUE(queue.try_push(make_job("a", "a2"), 2).has_value());
+  const auto refused = queue.try_push(make_job("a", "a3"), 2);
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_EQ(refused.error().code, Errc::capacity);
+  ASSERT_TRUE(queue.try_push(make_job("b", "b1"), 2).has_value());
+
+  // Taking a1 moves it to running — running jobs do not count against the
+  // limit, so a slot frees up even though nothing has finished.
+  const auto first = queue.take();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->id, "a1");
+  ASSERT_TRUE(queue.try_push(make_job("a", "a3"), 2).has_value());
+
+  // Limit 0 means unbounded.
+  ASSERT_TRUE(queue.try_push(make_job("a", "a4"), 0).has_value());
+
+  queue.shutdown();
+  const auto after = queue.try_push(make_job("c", "c1"), 2);
+  ASSERT_FALSE(after.has_value());
+  EXPECT_EQ(after.error().code, Errc::shutdown);
+}
+
+TEST(SvcEndToEnd, TenantQueueLimitAnswers429AndCountsRejections) {
+  // One worker + a queue depth of one: flooding POST /jobs must trip the
+  // admission limit long before fifty sweeps can drain.
+  ServiceConfig config = fast_config(1);
+  config.tenant_queue_limit = 1;
+  BacktestService service(config);
+  ASSERT_TRUE(service.start().has_value());
+  const std::uint16_t port = service.port();
+
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 50 && rejected == 0; ++i) {
+    const int status = status_of(post(port, "/jobs", sweep_spec("greta")));
+    if (status == 201)
+      ++accepted;
+    else if (status == 429)
+      ++rejected;
+    else
+      FAIL() << "unexpected status " << status;
+  }
+  EXPECT_GE(accepted, 1);
+  ASSERT_GE(rejected, 1);
+
+  // The rejection shows up on the scrape, labeled by tenant (registry is a
+  // no-op under MM_OBS_ENABLED=OFF — the 429s above cover that build); the
+  // refused job is parked terminally cancelled so shutdown never waits on it.
+#if MM_OBS_ENABLED
+  const std::string metrics = get(port, "/metrics");
+  EXPECT_NE(metrics.find("mm_svc_jobs_rejected_total{tenant=\"greta\"} " +
+                         std::to_string(rejected)),
+            std::string::npos)
+      << metrics.substr(0, 2000);
+#endif
+  service.stop();
+}
+
 TEST(SvcEndToEnd, CancelQueuedAndRunningJobs) {
   // One worker so the second submission is guaranteed to queue behind the
   // first.
